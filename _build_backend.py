@@ -1,0 +1,144 @@
+"""Minimal in-tree PEP 517/660 build backend.
+
+The evaluation environment is offline and has setuptools 65.5 but no
+``wheel`` package, so neither build isolation (needs the network) nor the
+setuptools editable hook (needs ``wheel.bdist_wheel``) can work. This
+backend has zero dependencies: it writes wheel archives directly with
+:mod:`zipfile`. ``pyproject.toml`` points at it via ``backend-path``.
+
+Supported hooks: ``build_wheel``, ``build_editable``, ``build_sdist``
+(minimal), and the corresponding ``get_requires_for_*`` (all empty).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import os
+import tarfile
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+SUMMARY = (
+    "Reproduction of 'Increasing the Instruction Fetch Rate via "
+    "Block-Structured Instruction Set Architectures' (MICRO 1996)"
+)
+ROOT = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(ROOT, "src")
+
+_DIST_INFO = f"{NAME}-{VERSION}.dist-info"
+
+_METADATA = f"""Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: {SUMMARY}
+License: MIT
+Requires-Python: >=3.10
+Provides-Extra: test
+Requires-Dist: pytest ; extra == 'test'
+Requires-Dist: pytest-benchmark ; extra == 'test'
+Requires-Dist: hypothesis ; extra == 'test'
+"""
+
+_WHEEL_META = """Wheel-Version: 1.0
+Generator: repro-in-tree-backend (1.0.0)
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+_ENTRY_POINTS = """[console_scripts]
+bsisa = repro.harness.cli:main
+"""
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode()
+
+
+class _WheelWriter:
+    def __init__(self, path: str):
+        self.zf = zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED)
+        self.records: list[str] = []
+
+    def add(self, arcname: str, data: bytes) -> None:
+        info = zipfile.ZipInfo(arcname, date_time=(2020, 1, 1, 0, 0, 0))
+        info.external_attr = 0o644 << 16
+        self.zf.writestr(info, data)
+        self.records.append(f"{arcname},{_record_hash(data)},{len(data)}")
+
+    def close(self) -> None:
+        record_name = f"{_DIST_INFO}/RECORD"
+        self.records.append(f"{record_name},,")
+        self.add_record(record_name)
+        self.zf.close()
+
+    def add_record(self, record_name: str) -> None:
+        body = "\n".join(self.records) + "\n"
+        info = zipfile.ZipInfo(record_name, date_time=(2020, 1, 1, 0, 0, 0))
+        info.external_attr = 0o644 << 16
+        self.zf.writestr(info, body)
+
+
+def _add_dist_info(writer: _WheelWriter) -> None:
+    writer.add(f"{_DIST_INFO}/METADATA", _METADATA.encode())
+    writer.add(f"{_DIST_INFO}/WHEEL", _WHEEL_META.encode())
+    writer.add(f"{_DIST_INFO}/entry_points.txt", _ENTRY_POINTS.encode())
+    writer.add(f"{_DIST_INFO}/top_level.txt", b"repro\n")
+
+
+def _wheel_name() -> str:
+    return f"{NAME}-{VERSION}-py3-none-any.whl"
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    path = os.path.join(wheel_directory, _wheel_name())
+    writer = _WheelWriter(path)
+    for dirpath, dirnames, filenames in os.walk(os.path.join(SRC, NAME)):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for fname in sorted(filenames):
+            full = os.path.join(dirpath, fname)
+            arcname = os.path.relpath(full, SRC).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                writer.add(arcname, fh.read())
+    _add_dist_info(writer)
+    writer.close()
+    return _wheel_name()
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    path = os.path.join(wheel_directory, _wheel_name())
+    writer = _WheelWriter(path)
+    writer.add(f"__editable__.{NAME}.pth", (SRC + "\n").encode())
+    _add_dist_info(writer)
+    writer.close()
+    return _wheel_name()
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    name = f"{NAME}-{VERSION}.tar.gz"
+    path = os.path.join(sdist_directory, name)
+    with tarfile.open(path, "w:gz") as tf:
+        for member in ("pyproject.toml", "setup.py", "README.md", "src"):
+            full = os.path.join(ROOT, member)
+            if os.path.exists(full):
+                tf.add(full, arcname=f"{NAME}-{VERSION}/{member}")
+        pkg_info = io.BytesIO(_METADATA.encode())
+        info = tarfile.TarInfo(f"{NAME}-{VERSION}/PKG-INFO")
+        info.size = len(pkg_info.getvalue())
+        tf.addfile(info, pkg_info)
+    return name
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []

@@ -1,0 +1,31 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures through the
+shared :class:`SuiteRunner` (compilations and simulations are memoized
+across benchmarks, like the paper's figures share the same runs). The
+workload scale defaults to a reduced 0.35 so the full benchmark suite
+runs in minutes; set ``REPRO_BENCH_SCALE=1.0`` for the EXPERIMENTS.md
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import SuiteRunner
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> SuiteRunner:
+    return SuiteRunner(scale=bench_scale())
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

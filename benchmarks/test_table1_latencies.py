@@ -1,0 +1,16 @@
+"""Table 1: instruction classes and latencies."""
+
+from repro.harness import table1_latencies
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark, runner):
+    result = run_once(benchmark, table1_latencies, runner)
+    print("\n" + result.render())
+    benchmark.extra_info["latencies"] = result.summary
+    # the exact paper values
+    assert result.summary == {
+        "Integer": 1, "FP Add": 3, "FP/INT Mul": 3, "FP/INT Div": 8,
+        "Load": 2, "Store": 1, "Bit Field": 1, "Branch": 1,
+    }

@@ -1,0 +1,14 @@
+"""Table 2: the benchmark suite and dynamic instruction counts."""
+
+from repro.harness import table2_benchmarks
+
+from benchmarks.conftest import run_once
+
+
+def test_table2(benchmark, runner):
+    result = run_once(benchmark, table2_benchmarks, runner)
+    print("\n" + result.render())
+    benchmark.extra_info["instruction_counts"] = result.summary
+    assert len(result.rows) == 8
+    # every stand-in runs a non-trivial dynamic instruction count
+    assert all(count > 5_000 for count in result.summary.values())

@@ -1,0 +1,126 @@
+"""The paper's §6 future-work directions, implemented and measured.
+
+1. **Profile-guided enlargement** — don't duplicate across unbiased
+   branches (fixes go's icache loss).
+2. **Inlining** — remove the call/return boundaries that cap enlargement.
+3. **Trace cache** (§3's run-time rival) — same idea built at run time
+   into a small cache; compare head-to-head with compile-time block
+   enlargement.
+
+Run:  python examples/future_work.py [scale]
+"""
+
+import sys
+
+from repro.core import Toolchain
+from repro.opt import InlineConfig
+from repro.sim.config import MachineConfig
+from repro.sim.run import simulate_block_structured, simulate_conventional
+from repro.sim.tracecache import simulate_conventional_with_trace_cache
+from repro.workloads import SUITE
+
+
+def reduction(conv_cycles: int, other_cycles: int) -> float:
+    return 100.0 * (conv_cycles - other_cycles) / conv_cycles
+
+
+def profile_guided_demo(scale: float) -> None:
+    print("\n--- 1. profile-guided enlargement (benchmark: go) ---")
+    toolchain = Toolchain()
+    source = SUITE["go"].source(scale)
+    plain = toolchain.compile(source, "go")
+    guided = toolchain.compile_profile_guided(source, "go", min_bias=0.8)
+    config = MachineConfig()
+    conv = simulate_conventional(plain.conventional, config)
+    for label, pair in (("unguided", plain), ("profile-guided", guided)):
+        block = simulate_block_structured(pair.block, config)
+        print(f"{label:16s} code={pair.block.code_bytes // 1024:3d}KB "
+              f"icache misses={block.timing.icache_misses:6d} "
+              f"reduction={reduction(conv.cycles, block.cycles):+6.1f}%")
+    print("(the paper: go LOST 1.5% from duplication; refusing to fork at "
+          "unbiased branches recovers it)")
+
+
+def inlining_demo(scale: float) -> None:
+    print("\n--- 2. inlining (benchmark: vortex, call-heavy) ---")
+    source = SUITE["vortex"].source(scale)
+    config = MachineConfig()
+    for label, toolchain in (
+        ("calls kept", Toolchain()),
+        ("inlined", Toolchain(inline=InlineConfig(enabled=True))),
+    ):
+        pair = toolchain.compile(source, "vortex")
+        conv = simulate_conventional(pair.conventional, config)
+        block = simulate_block_structured(pair.block, config)
+        print(f"{label:16s} avg fetched block={block.avg_block_size:5.2f} ops "
+              f"reduction={reduction(conv.cycles, block.cycles):+6.1f}%")
+    print("(the paper: calls/returns were the main reason enlarged blocks "
+          "stayed at 8.2 of 16 ops)")
+
+
+def trace_cache_demo(scale: float) -> None:
+    print("\n--- 3. trace cache vs block enlargement ---")
+    config = MachineConfig()
+    print(f"{'bench':10s} {'conv':>10s} {'conv+TC':>10s} {'BS-ISA':>10s} "
+          f"{'TC hit':>8s}")
+    for name in ("m88ksim", "perl", "gcc"):
+        pair = Toolchain().compile(SUITE[name].source(scale), name)
+        conv = simulate_conventional(pair.conventional, config)
+        with_tc, fetch = simulate_conventional_with_trace_cache(
+            pair.conventional, config
+        )
+        block = simulate_block_structured(pair.block, config)
+        print(f"{name:10s} {conv.cycles:10,d} {with_tc.cycles:10,d} "
+              f"{block.cycles:10,d} {fetch.hit_rate:8.1%}")
+    print("(the paper §3: the trace cache matches enlargement while traces "
+          "fit its small cache, but enlargement 'uses the entire icache' — "
+          "see gcc)")
+
+
+
+
+def predication_demo(scale: float) -> None:
+    from repro.opt import IfConvertConfig
+
+    print("\n--- 4. predicated execution (benchmark: ijpeg) ---")
+    source = SUITE["ijpeg"].source(scale)
+    config = MachineConfig()
+    for label, toolchain in (
+        ("branches kept", Toolchain()),
+        ("if-converted", Toolchain(if_convert=IfConvertConfig(enabled=True))),
+    ):
+        pair = toolchain.compile(source, "ijpeg")
+        conv = simulate_conventional(pair.conventional, config)
+        block = simulate_block_structured(pair.block, config)
+        print(f"{label:16s} dynamic branches={conv.branch_events:6d} "
+              f"reduction={reduction(conv.cycles, block.cycles):+6.1f}%")
+    print("(the paper §6: eliminating branches that jump around small code "
+          "creates larger basic blocks for enlargement to merge)")
+
+
+def scientific_demo(scale: float) -> None:
+    from repro.workloads import EXTRA
+
+    print("\n--- 5. scientific code (the paper's closing prediction) ---")
+    pair = Toolchain().compile(EXTRA["scientific"].source(scale), "sci")
+    config = MachineConfig()
+    conv = simulate_conventional(pair.conventional, config)
+    block = simulate_block_structured(pair.block, config)
+    print(f"FP kernels: bp={conv.bp_accuracy:.3f} "
+          f"avg block {conv.avg_block_size:.1f} -> {block.avg_block_size:.1f} "
+          f"reduction={reduction(conv.cycles, block.cycles):+.1f}%")
+    print("(paper §6: 'should be even greater than the gains achieved for "
+          "the SPECint95 benchmarks')")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    profile_guided_demo(scale)
+    inlining_demo(scale)
+    trace_cache_demo(scale)
+    predication_demo(scale)
+    scientific_demo(scale)
+
+
+if __name__ == "__main__":
+    main()

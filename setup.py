@@ -1,0 +1,27 @@
+"""Setup script.
+
+Metadata lives here (rather than a ``[project]`` table) because the
+offline evaluation environment has setuptools but no ``wheel`` package,
+so PEP 517/660 builds fail; the legacy ``setup.py develop`` path that
+``pip install -e .`` falls back to needs no wheel.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Increasing the Instruction Fetch Rate via "
+        "Block-Structured Instruction Set Architectures' "
+        "(Hao, Chang, Evers, Patt; MICRO 1996)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["bsisa = repro.harness.cli:main"]},
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

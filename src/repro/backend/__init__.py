@@ -1,0 +1,30 @@
+"""Back ends: IR → machine code for both ISAs.
+
+Pipeline (shared until the last step, guaranteeing the paper's "same
+compiler, only block structuring differs" comparison):
+
+1. :mod:`repro.backend.machine_ir` lowers IR functions to machine basic
+   blocks over virtual registers;
+2. :mod:`repro.regalloc` assigns physical registers, inserts spill code,
+   lays out the stack frame and adds prologue/epilogue;
+3. either :mod:`repro.backend.conventional` linearizes the blocks into a
+   conventional executable (``BR``/``JMP`` branches), or
+   :mod:`repro.backend.blockstructured` runs the **block enlargement**
+   pass (:mod:`repro.backend.enlarge`) and emits atomic blocks with
+   ``TRAP``/``FAULT`` terminators.
+"""
+
+from repro.backend.machine_ir import MachineBlock, MachineFunction, MTerm, lower_module
+from repro.backend.conventional import generate_conventional
+from repro.backend.blockstructured import generate_block_structured
+from repro.backend.enlarge import EnlargeConfig
+
+__all__ = [
+    "MachineBlock",
+    "MachineFunction",
+    "MTerm",
+    "lower_module",
+    "generate_conventional",
+    "generate_block_structured",
+    "EnlargeConfig",
+]

@@ -1,0 +1,368 @@
+"""Machine IR and IR → machine lowering.
+
+The machine IR is a per-function CFG of :class:`MachineBlock`\\ s whose
+ops are :class:`~repro.isa.operation.MachineOp` over *virtual* registers
+(ids >= ``FIRST_VREG``); physical registers appear only where the calling
+convention pins them (argument registers, return-value registers, SP).
+
+Integer ALU operations may take an immediate as their final operand
+(``srcs`` one short of the opcode's arity, ``imm`` set) — the executors
+and timing model handle both forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.ir.instructions import (
+    Bin,
+    CallInstr,
+    CondBr,
+    Const,
+    Copy,
+    FrameAddr,
+    GlobalAddr,
+    IrOp,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    Select,
+    Store,
+    Un,
+    VReg,
+)
+from repro.ir.structure import Function, Module
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import MachineOp
+from repro.isa.program import DataSegment
+from repro.isa.registers import (
+    ARG_BASE,
+    FP_BASE,
+    FIRST_VREG,
+    NUM_ARG_REGS,
+    RV,
+)
+
+_BIN_OPCODE = {
+    IrOp.ADD: Opcode.ADD,
+    IrOp.SUB: Opcode.SUB,
+    IrOp.MUL: Opcode.MUL,
+    IrOp.DIV: Opcode.DIV,
+    IrOp.REM: Opcode.REM,
+    IrOp.AND: Opcode.AND,
+    IrOp.OR: Opcode.OR,
+    IrOp.XOR: Opcode.XOR,
+    IrOp.SHL: Opcode.SHL,
+    IrOp.SHR: Opcode.SHR,
+    IrOp.SRA: Opcode.SRA,
+    IrOp.SLT: Opcode.SLT,
+    IrOp.SLE: Opcode.SLE,
+    IrOp.SEQ: Opcode.SEQ,
+    IrOp.SNE: Opcode.SNE,
+    IrOp.FADD: Opcode.FADD,
+    IrOp.FSUB: Opcode.FSUB,
+    IrOp.FMUL: Opcode.FMUL,
+    IrOp.FDIV: Opcode.FDIV,
+    IrOp.FSLT: Opcode.FSLT,
+    IrOp.FSLE: Opcode.FSLE,
+    IrOp.FSEQ: Opcode.FSEQ,
+    IrOp.FSNE: Opcode.FSNE,
+}
+
+_PRINT_OPCODE = {
+    "int": Opcode.PUTINT,
+    "float": Opcode.PUTFLT,
+    "char": Opcode.PUTCH,
+}
+
+
+@dataclass
+class MTerm:
+    """Machine block terminator.
+
+    ``kind`` is one of ``"br"`` (conditional: cond register, if_true,
+    if_false), ``"jmp"`` (if_true), or ``"ret"``.
+    """
+
+    kind: str
+    cond: int | None = None
+    if_true: str | None = None
+    if_false: str | None = None
+
+    def targets(self) -> tuple[str, ...]:
+        if self.kind == "br":
+            return (self.if_true, self.if_false)  # type: ignore[return-value]
+        if self.kind == "jmp":
+            return (self.if_true,)  # type: ignore[return-value]
+        return ()
+
+
+class MachineBlock:
+    __slots__ = ("label", "ops", "term")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.ops: list[MachineOp] = []
+        self.term: MTerm | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MachineBlock {self.label} n={len(self.ops)}>"
+
+
+@dataclass
+class MachineFunction:
+    name: str
+    is_library: bool = False
+    blocks: list[MachineBlock] = field(default_factory=list)
+    block_map: dict[str, MachineBlock] = field(default_factory=dict)
+    #: vreg id -> True if floating point
+    vreg_is_fp: dict[int, bool] = field(default_factory=dict)
+    #: local-array frame slots: name -> size in bytes
+    frame_slots: dict[str, int] = field(default_factory=dict)
+    has_calls: bool = False
+    next_vreg: int = FIRST_VREG
+
+    @property
+    def entry(self) -> MachineBlock:
+        return self.blocks[0]
+
+    def new_block(self, label: str) -> MachineBlock:
+        if label in self.block_map:
+            raise CompileError(f"duplicate machine block {label!r}")
+        block = MachineBlock(label)
+        self.blocks.append(block)
+        self.block_map[label] = block
+        return block
+
+    def new_vreg(self, is_fp: bool = False) -> int:
+        reg = self.next_vreg
+        self.next_vreg += 1
+        self.vreg_is_fp[reg] = is_fp
+        return reg
+
+    def successors(self, label: str) -> tuple[str, ...]:
+        return self.block_map[label].term.targets()  # type: ignore[union-attr]
+
+
+def layout_globals(module: Module) -> DataSegment:
+    """Allocate the data segment for *module*'s globals."""
+    data = DataSegment()
+    for g in module.globals:
+        addr = data.allocate(g.name, g.size_bytes)
+        if g.init is not None:
+            data.init[addr] = g.init
+    return data
+
+
+class _FunctionLowerer:
+    def __init__(self, fn: Function, data: DataSegment):
+        self.fn = fn
+        self.data = data
+        self.mf = MachineFunction(fn.name, is_library=fn.is_library)
+        self.mf.frame_slots = dict(fn.frame_slots)
+        self.reg_of: dict[VReg, int] = {}
+
+    def mreg(self, vreg: VReg) -> int:
+        reg = self.reg_of.get(vreg)
+        if reg is None:
+            reg = self.mf.new_vreg(vreg.is_float)
+            self.reg_of[vreg] = reg
+        return reg
+
+    def run(self) -> MachineFunction:
+        # Entry block first; copy incoming arguments into their vregs.
+        for ir_block in self.fn.blocks:
+            self.mf.new_block(ir_block.label)
+        entry = self.mf.block_map[self.fn.entry.label]
+        if len(self.fn.params) > NUM_ARG_REGS:
+            raise CompileError(
+                f"{self.fn.name}: more than {NUM_ARG_REGS} parameters"
+            )
+        for i, param in enumerate(self.fn.params):
+            if param.is_float:
+                entry.ops.append(
+                    MachineOp(Opcode.FMOV, dest=self.mreg(param),
+                              srcs=(FP_BASE + ARG_BASE + i,))
+                )
+            else:
+                entry.ops.append(
+                    MachineOp(Opcode.MOV, dest=self.mreg(param),
+                              srcs=(ARG_BASE + i,))
+                )
+        # Blocks must be laid out with the entry first.
+        if self.mf.blocks[0].label != self.fn.entry.label:
+            raise CompileError(f"{self.fn.name}: entry block not first")
+        for ir_block in self.fn.blocks:
+            mblock = self.mf.block_map[ir_block.label]
+            for instr in ir_block.instrs:
+                self._lower_instr(mblock, instr)
+            self._lower_term(mblock, ir_block.term)
+        return self.mf
+
+    def _lower_instr(self, block: MachineBlock, instr) -> None:
+        ops = block.ops
+        if isinstance(instr, Const):
+            opcode = Opcode.FMOVI if instr.dest.is_float else Opcode.MOVI
+            ops.append(MachineOp(opcode, dest=self.mreg(instr.dest), imm=instr.value))
+        elif isinstance(instr, Bin):
+            ops.append(
+                MachineOp(
+                    _BIN_OPCODE[instr.op],
+                    dest=self.mreg(instr.dest),
+                    srcs=(self.mreg(instr.a), self.mreg(instr.b)),
+                )
+            )
+        elif isinstance(instr, Un):
+            self._lower_unop(block, instr)
+        elif isinstance(instr, Copy):
+            opcode = Opcode.FMOV if instr.dest.is_float else Opcode.MOV
+            ops.append(
+                MachineOp(opcode, dest=self.mreg(instr.dest),
+                          srcs=(self.mreg(instr.src),))
+            )
+        elif isinstance(instr, Load):
+            opcode = Opcode.FLD if instr.dest.is_float else Opcode.LD
+            ops.append(
+                MachineOp(opcode, dest=self.mreg(instr.dest),
+                          srcs=(self.mreg(instr.base),), imm=instr.offset)
+            )
+        elif isinstance(instr, Store):
+            opcode = Opcode.FST if instr.value.is_float else Opcode.ST
+            ops.append(
+                MachineOp(opcode,
+                          srcs=(self.mreg(instr.value), self.mreg(instr.base)),
+                          imm=instr.offset)
+            )
+        elif isinstance(instr, GlobalAddr):
+            ops.append(
+                MachineOp(Opcode.MOVI, dest=self.mreg(instr.dest),
+                          imm=self.data.address_of(instr.symbol))
+            )
+        elif isinstance(instr, FrameAddr):
+            ops.append(
+                MachineOp(Opcode.FRAMEADDR, dest=self.mreg(instr.dest),
+                          target=instr.slot)
+            )
+        elif isinstance(instr, Select):
+            opcode = Opcode.FSELECT if instr.dest.is_float else Opcode.SELECT
+            ops.append(
+                MachineOp(
+                    opcode,
+                    dest=self.mreg(instr.dest),
+                    srcs=(
+                        self.mreg(instr.cond),
+                        self.mreg(instr.a),
+                        self.mreg(instr.b),
+                    ),
+                )
+            )
+        elif isinstance(instr, Print):
+            ops.append(
+                MachineOp(_PRINT_OPCODE[instr.kind], srcs=(self.mreg(instr.src),))
+            )
+        elif isinstance(instr, CallInstr):
+            self._lower_call(block, instr)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot lower {instr!r}")
+
+    def _lower_unop(self, block: MachineBlock, instr: Un) -> None:
+        ops = block.ops
+        dest = self.mreg(instr.dest)
+        src = self.mreg(instr.a)
+        if instr.op is IrOp.NEG:
+            # dest = 0 - src
+            zero = self.mf.new_vreg(False)
+            ops.append(MachineOp(Opcode.MOVI, dest=zero, imm=0))
+            ops.append(MachineOp(Opcode.SUB, dest=dest, srcs=(zero, src)))
+        elif instr.op is IrOp.FNEG:
+            zero = self.mf.new_vreg(True)
+            ops.append(MachineOp(Opcode.FMOVI, dest=zero, imm=0.0))
+            ops.append(MachineOp(Opcode.FSUB, dest=dest, srcs=(zero, src)))
+        elif instr.op is IrOp.NOT:
+            # dest = (src == 0): seq with immediate 0
+            ops.append(MachineOp(Opcode.SEQ, dest=dest, srcs=(src,), imm=0))
+        elif instr.op is IrOp.ITOF:
+            ops.append(MachineOp(Opcode.CVTIF, dest=dest, srcs=(src,)))
+        elif instr.op is IrOp.FTOI:
+            ops.append(MachineOp(Opcode.CVTFI, dest=dest, srcs=(src,)))
+        else:  # pragma: no cover
+            raise CompileError(f"cannot lower unary {instr.op}")
+
+    def _lower_call(self, block: MachineBlock, instr: CallInstr) -> None:
+        ops = block.ops
+        self.mf.has_calls = True
+        if len(instr.args) > NUM_ARG_REGS:
+            raise CompileError(
+                f"call to {instr.func}: more than {NUM_ARG_REGS} arguments"
+            )
+        for i, arg in enumerate(instr.args):
+            if arg.is_float:
+                ops.append(
+                    MachineOp(Opcode.FMOV, dest=FP_BASE + ARG_BASE + i,
+                              srcs=(self.mreg(arg),))
+                )
+            else:
+                ops.append(
+                    MachineOp(Opcode.MOV, dest=ARG_BASE + i,
+                              srcs=(self.mreg(arg),))
+                )
+        ops.append(MachineOp(Opcode.CALL, target=instr.func))
+        if instr.dest is not None:
+            if instr.dest.is_float:
+                ops.append(
+                    MachineOp(Opcode.FMOV, dest=self.mreg(instr.dest),
+                              srcs=(FP_BASE + RV,))
+                )
+            else:
+                ops.append(
+                    MachineOp(Opcode.MOV, dest=self.mreg(instr.dest), srcs=(RV,))
+                )
+
+    def _lower_term(self, block: MachineBlock, term) -> None:
+        if isinstance(term, Jump):
+            block.term = MTerm("jmp", if_true=term.target)
+        elif isinstance(term, CondBr):
+            block.term = MTerm(
+                "br", cond=self.mreg(term.cond),
+                if_true=term.if_true, if_false=term.if_false,
+            )
+        elif isinstance(term, Ret):
+            if term.value is not None:
+                if term.value.is_float:
+                    block.ops.append(
+                        MachineOp(Opcode.FMOV, dest=FP_BASE + RV,
+                                  srcs=(self.mreg(term.value),))
+                    )
+                else:
+                    block.ops.append(
+                        MachineOp(Opcode.MOV, dest=RV,
+                                  srcs=(self.mreg(term.value),))
+                    )
+            block.term = MTerm("ret")
+        else:  # pragma: no cover
+            raise CompileError(f"cannot lower terminator {term!r}")
+
+
+def lower_function(fn: Function, data: DataSegment) -> MachineFunction:
+    """Lower one IR function to machine IR over virtual registers."""
+    return _FunctionLowerer(fn, data).run()
+
+
+def lower_module(module: Module) -> tuple[dict[str, MachineFunction], DataSegment]:
+    """Lower a whole module; returns machine functions and the data segment.
+
+    Runs the machine-level peephole pipeline (immediate folding, dead-def
+    removal, scaled-index fusion) on every function — shared by both back
+    ends, so the two ISAs see identical operation streams.
+    """
+    from repro.backend.peephole import peephole_function
+
+    data = layout_globals(module)
+    functions = {}
+    for name, fn in module.functions.items():
+        mf = lower_function(fn, data)
+        peephole_function(mf)
+        functions[name] = mf
+    return functions, data

@@ -1,0 +1,31 @@
+"""Public high-level API.
+
+::
+
+    from repro.core import Toolchain
+
+    tc = Toolchain()
+    pair = tc.compile(source, name="demo")
+    result = tc.compare(pair)
+    print(result.speedup)
+"""
+
+from repro.core.toolchain import (
+    CompiledPair,
+    Comparison,
+    Toolchain,
+    compile_block_structured,
+    compile_conventional,
+    compile_pair,
+    compare_isas,
+)
+
+__all__ = [
+    "Toolchain",
+    "CompiledPair",
+    "Comparison",
+    "compile_conventional",
+    "compile_block_structured",
+    "compile_pair",
+    "compare_isas",
+]

@@ -1,0 +1,178 @@
+"""High-level toolchain: MiniC source → both executables → comparison.
+
+This is the API the examples and the benchmark harness use. Both
+executables come from one optimized IR module — the paper's controlled
+comparison (§5: "this eliminated any unfair compiler advantages one ISA
+may have had over the other").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend import EnlargeConfig, generate_block_structured, generate_conventional
+from repro.frontend import compile_to_ir
+from repro.ir.structure import Module
+from repro.ir.verify import verify_module
+from repro.isa.program import BlockProgram, ConventionalProgram
+from repro.opt import (
+    IfConvertConfig,
+    InlineConfig,
+    if_convert_module,
+    inline_module,
+    optimize_module,
+    remove_uncalled_functions,
+)
+from repro.sim.config import MachineConfig
+from repro.sim.run import (
+    SimResult,
+    simulate_block_structured,
+    simulate_conventional,
+)
+
+
+@dataclass
+class CompiledPair:
+    """The same program compiled for both ISAs."""
+
+    name: str
+    module: Module
+    conventional: ConventionalProgram
+    block: BlockProgram
+
+    @property
+    def code_expansion(self) -> float:
+        """Static BS-ISA code size relative to the conventional image."""
+        conv = self.conventional.code_bytes
+        return self.block.code_bytes / conv if conv else 0.0
+
+
+@dataclass
+class Comparison:
+    """Timed results for both ISAs on one program + machine config."""
+
+    conventional: SimResult
+    block: SimResult
+
+    @property
+    def speedup(self) -> float:
+        """Conventional cycles / BS cycles (>1 means the BS-ISA wins)."""
+        return self.conventional.cycles / self.block.cycles
+
+    @property
+    def reduction_pct(self) -> float:
+        """Percent reduction in execution time (the paper's metric)."""
+        conv = self.conventional.cycles
+        return 100.0 * (conv - self.block.cycles) / conv if conv else 0.0
+
+    @property
+    def outputs_match(self) -> bool:
+        return self.conventional.outputs == self.block.outputs
+
+
+class Toolchain:
+    """Compiles MiniC for both ISAs and runs timed comparisons."""
+
+    def __init__(
+        self,
+        opt_level: int = 2,
+        enlarge: EnlargeConfig | None = None,
+        inline: InlineConfig | None = None,
+        if_convert: IfConvertConfig | None = None,
+    ):
+        self.opt_level = opt_level
+        self.enlarge = enlarge or EnlargeConfig()
+        #: paper §6 future work; both off by default to match the paper
+        self.inline = inline or InlineConfig(enabled=False)
+        self.if_convert = if_convert or IfConvertConfig(enabled=False)
+
+    def compile_ir(self, source: str, name: str = "program") -> Module:
+        """Front end + optimizer (+ optional inlining) only."""
+        module = compile_to_ir(source, name=name)
+        verify_module(module)
+        optimize_module(module, self.opt_level)
+        if self.inline.enabled:
+            inline_module(module, self.inline)
+            remove_uncalled_functions(module)
+            optimize_module(module, self.opt_level)
+        if self.if_convert.enabled:
+            if_convert_module(module, self.if_convert)
+            optimize_module(module, self.opt_level)
+        verify_module(module)
+        return module
+
+    def compile(self, source: str, name: str = "program") -> CompiledPair:
+        """Compile *source* for both ISAs."""
+        module = self.compile_ir(source, name)
+        conventional = generate_conventional(module, name)
+        block = generate_block_structured(module, name, self.enlarge)
+        return CompiledPair(name, module, conventional, block)
+
+    def compile_profile_guided(
+        self, source: str, name: str = "program", min_bias: float = 0.75
+    ) -> CompiledPair:
+        """Compile with profile-guided enlargement (paper §6).
+
+        Runs the conventional executable once as a training run, then
+        regenerates the BS-ISA image refusing to duplicate across traps
+        whose measured branch bias is below *min_bias*.
+        """
+        from dataclasses import replace
+
+        from repro.profile import collect_branch_profile
+
+        module = self.compile_ir(source, name)
+        conventional = generate_conventional(module, name)
+        profile = collect_branch_profile(conventional)
+        guided = replace(self.enlarge, profile=profile, min_bias=min_bias)
+        block = generate_block_structured(module, name, guided)
+        return CompiledPair(name, module, conventional, block)
+
+    def compare(
+        self, pair: CompiledPair, config: MachineConfig | None = None
+    ) -> Comparison:
+        """Run timed simulations of both executables."""
+        config = config or MachineConfig()
+        return Comparison(
+            conventional=simulate_conventional(pair.conventional, config),
+            block=simulate_block_structured(pair.block, config),
+        )
+
+
+def compile_conventional(
+    source: str, name: str = "program", opt_level: int = 2
+) -> ConventionalProgram:
+    """One-shot: MiniC source → conventional executable."""
+    return Toolchain(opt_level).compile(source, name).conventional
+
+
+def compile_block_structured(
+    source: str,
+    name: str = "program",
+    opt_level: int = 2,
+    enlarge: EnlargeConfig | None = None,
+) -> BlockProgram:
+    """One-shot: MiniC source → BS-ISA executable."""
+    return Toolchain(opt_level, enlarge).compile(source, name).block
+
+
+def compile_pair(
+    source: str,
+    name: str = "program",
+    opt_level: int = 2,
+    enlarge: EnlargeConfig | None = None,
+) -> CompiledPair:
+    """One-shot: MiniC source → both executables."""
+    return Toolchain(opt_level, enlarge).compile(source, name)
+
+
+def compare_isas(
+    source: str,
+    name: str = "program",
+    config: MachineConfig | None = None,
+    opt_level: int = 2,
+    enlarge: EnlargeConfig | None = None,
+) -> Comparison:
+    """One-shot: compile for both ISAs and run the timed comparison."""
+    toolchain = Toolchain(opt_level, enlarge)
+    return toolchain.compare(toolchain.compile(source, name), config)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the toolchain derives from :class:`ReproError` so
+callers can catch one type at the public-API boundary while tests can
+assert on the precise failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceError(ReproError):
+    """An error attributable to a location in MiniC source text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Invalid token in MiniC source."""
+
+
+class ParseError(SourceError):
+    """Syntactically invalid MiniC source."""
+
+
+class TypeCheckError(SourceError):
+    """Semantically invalid MiniC source (type or scope error)."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected by the verifier or an IR utility."""
+
+
+class CompileError(ReproError):
+    """A back-end invariant was violated while generating machine code."""
+
+
+class ExecutionError(ReproError):
+    """A functional executor hit an illegal state (bad address, etc.)."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator hit an internal inconsistency."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine or experiment configuration was supplied."""

@@ -1,0 +1,388 @@
+"""Block-structured ISA functional executor and trace generator.
+
+Implements the BS-ISA's architectural semantics (paper §2/§4.1):
+
+* an atomic block's effects (registers, stores, output) are buffered and
+  commit only if no fault fires — otherwise *everything* is discarded and
+  fetch redirects to the fault's target (a sibling enlarged variant that
+  re-executes the shared prefix);
+* the trap at the end of a committed block picks the successor *family*;
+  the dynamic block predictor picks which enlarged *variant* of that
+  family to fetch (paper §4.3) — a wrong family is a trap misprediction
+  (redirect at trap resolution), a right family but wrong variant shows
+  up later as a firing fault (squash + redirect at fault resolution);
+* ``CALL`` writes the continuation block's address to RA at commit;
+  call/return/jump successors are modelled as always predicted correctly
+  (same idealization as the conventional executor).
+
+With ``predictor=None`` prediction is perfect: the executor silently
+resolves the fault chain and fetches the correct variant directly, so no
+faults fire and no squashed units are emitted (Figure 4's configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ExecutionError
+from repro.exec.memory import Memory, STACK_BASE
+from repro.exec.trace import OP_LATENCY, DynOp, FetchUnit
+from repro.isa.opcodes import Opcode
+from repro.isa.program import AtomicBlock, BlockProgram
+from repro.isa.registers import RA, SP
+from repro.exec.opsem import effective_address, eval_op
+
+_DEFAULT_OP_LIMIT = 500_000_000
+
+
+@dataclass
+class BlockStats:
+    """Architectural counters from one BS-ISA run."""
+
+    fetched_ops: int = 0
+    committed_ops: int = 0
+    blocks_fetched: int = 0
+    blocks_committed: int = 0
+    blocks_squashed: int = 0
+    trap_predictions: int = 0
+    trap_mispredicts: int = 0
+    fault_mispredicts: int = 0
+    calls: int = 0
+    returns: int = 0
+    loads: int = 0
+    stores: int = 0
+    outputs: list = field(default_factory=list)
+
+    @property
+    def avg_block_size(self) -> float:
+        """Average *retired* block size (Figure 5's metric)."""
+        if not self.blocks_committed:
+            return 0.0
+        return self.committed_ops / self.blocks_committed
+
+    @property
+    def total_mispredicts(self) -> int:
+        return self.trap_mispredicts + self.fault_mispredicts
+
+
+class _BlockResult:
+    __slots__ = (
+        "rbuf", "sbuf", "obuf", "lwriter", "lstore", "dynops",
+        "fault_index", "fault_target", "next_addr", "trap_outcome", "halted",
+        "n_loads", "n_stores",
+    )
+
+    def __init__(self):
+        self.rbuf: dict[int, int | float] = {}
+        self.sbuf: dict[int, int | float] = {}
+        self.obuf: list = []
+        self.lwriter: dict[int, int] = {}
+        self.lstore: dict[int, int] = {}
+        self.dynops: list[DynOp] | None = None
+        self.fault_index: int | None = None
+        self.fault_target: int | None = None
+        self.next_addr: int | None = None
+        self.trap_outcome: bool | None = None
+        self.halted = False
+        self.n_loads = 0
+        self.n_stores = 0
+
+
+class BlockExecutor:
+    """Stateful BS-ISA executor; iterate :meth:`units` to run."""
+
+    def __init__(
+        self,
+        prog: BlockProgram,
+        predictor=None,
+        trace: bool = True,
+        op_limit: int = _DEFAULT_OP_LIMIT,
+    ):
+        self.prog = prog
+        self.predictor = predictor
+        self.trace = trace
+        self.op_limit = op_limit
+        self.stats = BlockStats()
+        self.regs: list[int | float] = [0] * 32 + [0.0] * 32
+        self.regs[SP] = STACK_BASE
+        self.memory = Memory(prog.data)
+        self.writer: dict[int, int] = {}
+        self.store_writer: dict[int, int] = {}
+        self._dyn = 0
+        self._executed_ops = 0
+
+    @property
+    def outputs(self) -> list:
+        return self.stats.outputs
+
+    def run(self) -> BlockStats:
+        for _ in self.units():
+            pass
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _exec_block(self, block: AtomicBlock, record: bool) -> _BlockResult:
+        """Speculatively execute *block* against buffered state."""
+        res = _BlockResult()
+        rbuf = res.rbuf
+        sbuf = res.sbuf
+        regs = self.regs
+        memory = self.memory
+        writer = self.writer
+        store_writer = self.store_writer
+        lwriter = res.lwriter
+        lstore = res.lstore
+        if record:
+            res.dynops = []
+
+        def read(r: int):
+            return rbuf[r] if r in rbuf else regs[r]
+
+        def write(r: int, v):
+            rbuf[r] = v
+
+        def out(kind: str, value):
+            res.obuf.append((kind, value))
+
+        def _unused(*_a):  # pragma: no cover - loads handled inline
+            raise ExecutionError("memory op reached eval_op")
+
+        self._executed_ops += len(block.ops)
+        if self._executed_ops > self.op_limit:
+            raise ExecutionError("block executor op limit hit")
+
+        for idx, op in enumerate(block.ops):
+            oc = op.opcode
+            dyn_id = self._dyn
+            if record:
+                self._dyn += 1
+            deps: tuple[int, ...] = ()
+
+            if op.is_control:
+                if oc is Opcode.FAULT:
+                    cond = op.srcs[0]
+                    if record:
+                        w = lwriter.get(cond, writer.get(cond))
+                        deps = (w,) if w is not None else ()
+                    outcome = read(cond) != 0
+                    if outcome != bool(op.imm) and res.fault_index is None:
+                        res.fault_index = idx
+                        res.fault_target = op.taddr
+                elif oc is Opcode.TRAP:
+                    cond = op.srcs[0]
+                    if record:
+                        w = lwriter.get(cond, writer.get(cond))
+                        deps = (w,) if w is not None else ()
+                    res.trap_outcome = read(cond) != 0
+                elif oc is Opcode.CALL:
+                    write(RA, op.taddr2)
+                    if record:
+                        lwriter[RA] = dyn_id
+                    res.next_addr = op.taddr
+                elif oc is Opcode.RET:
+                    cond = op.srcs[0]
+                    if record:
+                        w = lwriter.get(cond, writer.get(cond))
+                        deps = (w,) if w is not None else ()
+                    res.next_addr = int(read(cond))
+                elif oc is Opcode.JMP:
+                    res.next_addr = op.taddr
+                elif oc is Opcode.HALT:
+                    res.halted = True
+                else:
+                    raise ExecutionError(f"illegal control op {op.asm()!r}")
+                if record:
+                    res.dynops.append(DynOp(OP_LATENCY[oc], deps, uid=dyn_id))
+                continue
+
+            if op.is_load:
+                res.n_loads += 1
+                addr = effective_address(op, read)
+                value = sbuf[addr] if addr in sbuf else memory.load(addr)
+                if oc is Opcode.FLD or oc is Opcode.FLDX:
+                    value = float(value)
+                write(op.dest, value)
+                if record:
+                    deps_list = []
+                    for r in op.srcs:
+                        w = lwriter.get(r, writer.get(r))
+                        if w is not None:
+                            deps_list.append(w)
+                    s = lstore.get(addr, store_writer.get(addr))
+                    if s is not None:
+                        deps_list.append(s)
+                    res.dynops.append(
+                        DynOp(OP_LATENCY[oc], tuple(deps_list),
+                              mem_addr=addr, is_load=True, uid=dyn_id)
+                    )
+                    lwriter[op.dest] = dyn_id
+            elif op.is_store:
+                res.n_stores += 1
+                addr = effective_address(op, read)
+                sbuf[addr] = read(op.srcs[0])
+                if record:
+                    deps_list = []
+                    for r in op.srcs:
+                        w = lwriter.get(r, writer.get(r))
+                        if w is not None:
+                            deps_list.append(w)
+                    res.dynops.append(
+                        DynOp(OP_LATENCY[oc], tuple(deps_list),
+                              mem_addr=addr, is_store=True, uid=dyn_id)
+                    )
+                    lstore[addr] = dyn_id
+            else:
+                if record:
+                    deps_list = []
+                    for r in op.srcs:
+                        w = lwriter.get(r, writer.get(r))
+                        if w is not None:
+                            deps_list.append(w)
+                    res.dynops.append(
+                        DynOp(OP_LATENCY[oc], tuple(deps_list), uid=dyn_id)
+                    )
+                eval_op(op, read, write, _unused, _unused, out)
+                if record and op.dest is not None:
+                    lwriter[op.dest] = dyn_id
+        return res
+
+    def _commit(self, block: AtomicBlock, res: _BlockResult) -> None:
+        regs = self.regs
+        for r, v in res.rbuf.items():
+            regs[r] = v
+        memory = self.memory
+        for addr, v in res.sbuf.items():
+            memory.store(addr, v)
+        self.writer.update(res.lwriter)
+        self.store_writer.update(res.lstore)
+        stats = self.stats
+        stats.outputs.extend(res.obuf)
+        stats.committed_ops += len(block.ops)
+        stats.blocks_committed += 1
+        stats.loads += res.n_loads
+        stats.stores += res.n_stores
+
+    # ------------------------------------------------------------------
+
+    def units(self) -> Iterator[FetchUnit]:
+        prog = self.prog
+        stats = self.stats
+        predictor = self.predictor
+        perfect = predictor is None
+        pending: tuple[AtomicBlock, bool] | None = None
+
+        current = prog.block_at(prog.entry_addr)
+        while True:
+            res = self._exec_block(current, record=self.trace)
+
+            if res.fault_index is not None:
+                if perfect:
+                    # Perfect prediction never fetches a faulting variant:
+                    # silently resolve the chain to the correct sibling.
+                    current = prog.block_at(res.fault_target)
+                    continue
+                stats.blocks_fetched += 1
+                stats.blocks_squashed += 1
+                stats.fetched_ops += len(current.ops)
+                stats.fault_mispredicts += 1
+                if self.trace:
+                    yield FetchUnit(
+                        current.addr,
+                        current.size_bytes,
+                        res.dynops,
+                        squashed=True,
+                        resolve_index=res.fault_index,
+                        atomic=True,
+                    )
+                current = prog.block_at(res.fault_target)
+                continue
+
+            # Commit.
+            self._commit(current, res)
+            stats.blocks_fetched += 1
+            stats.fetched_ops += len(current.ops)
+
+            if pending is not None and predictor is not None:
+                prev_block, prev_outcome = pending
+                predictor.notify_actual(prev_block, prev_outcome, current)
+                pending = None
+
+            term = current.terminator
+            mispredict = False
+            next_block: AtomicBlock | None = None
+
+            if res.halted:
+                pass
+            elif term.opcode is Opcode.TRAP or (
+                term.opcode is Opcode.JMP and term.nbits > 0
+            ):
+                if term.opcode is Opcode.TRAP:
+                    explicit = term.taddr if res.trap_outcome else term.taddr2
+                    outcome = bool(res.trap_outcome)
+                else:
+                    # Jump into a multi-variant family: the predictor
+                    # selects the variant (direction is fixed/true).
+                    explicit = term.taddr
+                    outcome = True
+                if perfect:
+                    next_block = prog.block_at(explicit)
+                else:
+                    stats.trap_predictions += 1
+                    predicted_addr = predictor.predict(current)
+                    actual_root = prog.block_at(explicit).path[0]
+                    predicted = (
+                        prog.by_addr.get(predicted_addr)
+                        if predicted_addr is not None
+                        else None
+                    )
+                    if predicted is not None and predicted.path[0] == actual_root:
+                        next_block = predicted
+                    else:
+                        # Redirect: re-access the predictor with the
+                        # corrected trap direction to pick the variant.
+                        repredicted = predictor.predict_with_outcome(
+                            current, outcome
+                        )
+                        candidate = prog.by_addr.get(repredicted)
+                        if candidate is not None and candidate.path[0] == actual_root:
+                            next_block = candidate
+                        else:
+                            next_block = prog.block_at(explicit)
+                        mispredict = True
+                        stats.trap_mispredicts += 1
+                    pending = (current, outcome)
+            else:
+                if term.opcode is Opcode.CALL:
+                    stats.calls += 1
+                elif term.opcode is Opcode.RET:
+                    stats.returns += 1
+                if res.next_addr is None:
+                    raise ExecutionError(
+                        f"block {current.label} has no successor"
+                    )
+                next_block = prog.block_at(res.next_addr)
+
+            if self.trace:
+                yield FetchUnit(
+                    current.addr,
+                    current.size_bytes,
+                    res.dynops,
+                    mispredict=mispredict,
+                    resolve_index=len(current.ops) - 1 if mispredict else -1,
+                    atomic=True,
+                )
+            if res.halted:
+                return
+            current = next_block
+
+
+def run_block_structured(
+    prog: BlockProgram, predictor=None, op_limit: int = _DEFAULT_OP_LIMIT
+) -> BlockStats:
+    """Functionally execute *prog* (no trace); returns stats with outputs."""
+    executor = BlockExecutor(
+        prog, predictor=predictor, trace=False, op_limit=op_limit
+    )
+    return executor.run()

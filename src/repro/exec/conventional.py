@@ -1,0 +1,232 @@
+"""Conventional-ISA functional executor and trace generator.
+
+Executes a :class:`~repro.isa.program.ConventionalProgram` architecturally
+and (optionally) yields the dynamic :class:`~repro.exec.trace.FetchUnit`
+stream for the timing model. A fetch unit is the run of operations up to
+and including the first control operation (the machine makes one branch
+prediction per cycle — the paper's single-basic-block fetch limit), or 16
+operations, whichever comes first.
+
+Branch direction prediction comes from the supplied predictor; direct
+targets, calls and returns are modelled as always predicted correctly
+(BTB/RAS hits — both machines get the same idealization, see DESIGN.md).
+With ``predictor=None`` prediction is perfect (Figure 4's configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ExecutionError
+from repro.exec.memory import Memory, STACK_BASE
+from repro.exec.opsem import effective_address, eval_op
+from repro.exec.trace import OP_LATENCY, DynOp, FetchUnit
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import OP_BYTES
+from repro.isa.program import ConventionalProgram
+from repro.isa.registers import RA, SP
+
+_FETCH_LIMIT = 16
+_DEFAULT_OP_LIMIT = 500_000_000
+
+
+@dataclass
+class ConventionalStats:
+    """Architectural counters from one conventional-ISA run."""
+
+    dyn_ops: int = 0
+    units: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    calls: int = 0
+    returns: int = 0
+    loads: int = 0
+    stores: int = 0
+    outputs: list = field(default_factory=list)
+
+    @property
+    def avg_unit_size(self) -> float:
+        return self.dyn_ops / self.units if self.units else 0.0
+
+
+class ConventionalExecutor:
+    """Stateful executor; iterate :meth:`units` to run the program."""
+
+    def __init__(
+        self,
+        prog: ConventionalProgram,
+        predictor=None,
+        trace: bool = True,
+        op_limit: int = _DEFAULT_OP_LIMIT,
+    ):
+        self.prog = prog
+        self.predictor = predictor
+        self.trace = trace
+        self.op_limit = op_limit
+        self.stats = ConventionalStats()
+        self.regs: list[int | float] = [0] * 32 + [0.0] * 32
+        self.regs[SP] = STACK_BASE
+        self.memory = Memory(prog.data)
+        self.writer: dict[int, int] = {}
+        self.store_writer: dict[int, int] = {}
+        self._dyn = 0
+        #: optional callable(addr, taken) invoked at every executed BR
+        #: (used by repro.profile's training runs)
+        self.branch_hook = None
+
+    @property
+    def outputs(self) -> list:
+        return self.stats.outputs
+
+    def run(self) -> ConventionalStats:
+        """Run to completion discarding the unit stream; returns stats."""
+        for _ in self.units():
+            pass
+        return self.stats
+
+    def units(self) -> Iterator[FetchUnit]:
+        prog = self.prog
+        regs = self.regs
+        memory = self.memory
+        stats = self.stats
+        trace = self.trace
+        predictor = self.predictor
+        writer = self.writer
+        store_writer = self.store_writer
+        outputs = stats.outputs
+
+        def out(kind: str, value):
+            outputs.append((kind, value))
+
+        def _unused_load(addr):  # pragma: no cover - loads handled inline
+            raise ExecutionError("load reached eval_op")
+
+        def _unused_store(addr, value):  # pragma: no cover
+            raise ExecutionError("store reached eval_op")
+
+        read = regs.__getitem__
+        write = regs.__setitem__
+
+        pc = prog.entry_addr
+        running = True
+        while running:
+            unit_addr = pc
+            unit_ops: list[DynOp] = [] if trace else None  # type: ignore[assignment]
+            nops = 0
+            mispredict = False
+            resolve_index = -1
+            while True:
+                op = prog.op_at(pc)
+                oc = op.opcode
+                stats.dyn_ops += 1
+                if stats.dyn_ops > self.op_limit:
+                    raise ExecutionError("conventional executor op limit hit")
+                dyn_id = self._dyn
+                self._dyn += 1
+                nops += 1
+
+                if op.is_control:
+                    deps: tuple[int, ...] = ()
+                    if oc is Opcode.BR:
+                        cond_writer = writer.get(op.srcs[0])
+                        if cond_writer is not None:
+                            deps = (cond_writer,)
+                        taken = (regs[op.srcs[0]] != 0) == (op.imm == 1)
+                        stats.branches += 1
+                        if self.branch_hook is not None:
+                            self.branch_hook(op.addr, taken)
+                        if predictor is not None:
+                            predicted = predictor.predict_branch(op.addr)
+                            predictor.update_branch(op.addr, taken)
+                            if predicted != taken:
+                                stats.mispredicts += 1
+                                mispredict = True
+                                resolve_index = nops - 1
+                        pc = op.taddr if taken else pc + OP_BYTES
+                    elif oc is Opcode.JMP:
+                        pc = op.taddr
+                    elif oc is Opcode.CALL:
+                        stats.calls += 1
+                        regs[RA] = pc + OP_BYTES
+                        writer[RA] = dyn_id
+                        pc = op.taddr
+                    elif oc is Opcode.RET:
+                        stats.returns += 1
+                        ra_writer = writer.get(op.srcs[0])
+                        if ra_writer is not None:
+                            deps = (ra_writer,)
+                        pc = int(regs[op.srcs[0]])
+                    elif oc is Opcode.HALT:
+                        running = False
+                    else:
+                        raise ExecutionError(f"illegal control op {op.asm()!r}")
+                    if trace:
+                        unit_ops.append(DynOp(OP_LATENCY[oc], deps, uid=dyn_id))
+                    break
+
+                if op.is_load:
+                    stats.loads += 1
+                    addr = effective_address(op, read)
+                    value = memory.load(addr)
+                    if oc is Opcode.FLD or oc is Opcode.FLDX:
+                        value = float(value)
+                    regs[op.dest] = value
+                    if trace:
+                        deps_list = [writer[r] for r in op.srcs if r in writer]
+                        producing_store = store_writer.get(addr)
+                        if producing_store is not None:
+                            deps_list.append(producing_store)
+                        unit_ops.append(
+                            DynOp(OP_LATENCY[oc], tuple(deps_list),
+                                  mem_addr=addr, is_load=True, uid=dyn_id)
+                        )
+                    writer[op.dest] = dyn_id
+                elif op.is_store:
+                    stats.stores += 1
+                    addr = effective_address(op, read)
+                    self.memory.store(addr, regs[op.srcs[0]])
+                    if trace:
+                        deps_list = [
+                            writer[r] for r in op.srcs if r in writer
+                        ]
+                        unit_ops.append(
+                            DynOp(OP_LATENCY[oc], tuple(deps_list),
+                                  mem_addr=addr, is_store=True, uid=dyn_id)
+                        )
+                    store_writer[addr] = dyn_id
+                else:
+                    eval_op(op, read, write, _unused_load, _unused_store, out)
+                    if trace:
+                        deps_list = [
+                            writer[r] for r in op.srcs if r in writer
+                        ]
+                        unit_ops.append(
+                            DynOp(OP_LATENCY[oc], tuple(deps_list), uid=dyn_id)
+                        )
+                    if op.dest is not None:
+                        writer[op.dest] = dyn_id
+
+                pc += OP_BYTES
+                if nops >= _FETCH_LIMIT:
+                    break
+
+            stats.units += 1
+            if trace:
+                yield FetchUnit(
+                    unit_addr,
+                    nops * OP_BYTES,
+                    unit_ops,
+                    mispredict=mispredict,
+                    resolve_index=resolve_index,
+                )
+
+
+def run_conventional(
+    prog: ConventionalProgram, predictor=None, op_limit: int = _DEFAULT_OP_LIMIT
+) -> ConventionalStats:
+    """Functionally execute *prog* (no trace); returns stats with outputs."""
+    executor = ConventionalExecutor(
+        prog, predictor=predictor, trace=False, op_limit=op_limit
+    )
+    return executor.run()

@@ -1,0 +1,159 @@
+"""Direct IR interpreter — the golden reference executor.
+
+Interprets a :class:`~repro.ir.structure.Module` without going through
+either back end, so compiler bugs in lowering-to-machine/regalloc/layout
+show up as output mismatches against this interpreter in the equivalence
+tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.ir.instructions import (
+    Bin,
+    CallInstr,
+    CondBr,
+    Const,
+    Copy,
+    FrameAddr,
+    GlobalAddr,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    Select,
+    Store,
+    Un,
+    VReg,
+)
+from repro.ir.structure import Function, Module
+from repro.exec.memory import Memory, STACK_BASE
+from repro.isa.program import DataSegment
+from repro.semantics import eval_binop, eval_unop
+
+_DEFAULT_STEP_LIMIT = 200_000_000
+
+
+class _Frame:
+    __slots__ = ("regs", "slot_addrs")
+
+    def __init__(self):
+        self.regs: dict[VReg, int | float] = {}
+        self.slot_addrs: dict[str, int] = {}
+
+
+def _layout_globals(module: Module) -> DataSegment:
+    data = DataSegment()
+    for g in module.globals:
+        addr = data.allocate(g.name, g.size_bytes)
+        if g.init is not None:
+            data.init[addr] = g.init
+    return data
+
+
+def interpret_module(
+    module: Module, step_limit: int = _DEFAULT_STEP_LIMIT
+) -> list[tuple[str, int | float]]:
+    """Run ``main`` and return the program output."""
+    data = _layout_globals(module)
+    memory = Memory(data)
+    outputs: list[tuple[str, int | float]] = []
+    interp = _Interpreter(module, data, memory, outputs, step_limit)
+    interp.call(module.function("main"), [])
+    return outputs
+
+
+class _Interpreter:
+    def __init__(
+        self,
+        module: Module,
+        data: DataSegment,
+        memory: Memory,
+        outputs: list,
+        step_limit: int,
+    ):
+        self.module = module
+        self.data = data
+        self.memory = memory
+        self.outputs = outputs
+        self.steps = 0
+        self.step_limit = step_limit
+        self.stack_top = STACK_BASE
+
+    def call(self, fn: Function, args: list[int | float]) -> int | float | None:
+        if len(args) != len(fn.params):
+            raise ExecutionError(
+                f"{fn.name} called with {len(args)} args, wants {len(fn.params)}"
+            )
+        frame = _Frame()
+        for param, arg in zip(fn.params, args):
+            frame.regs[param] = arg
+        saved_stack = self.stack_top
+        for slot, size in fn.frame_slots.items():
+            self.stack_top -= (size + 7) & ~7
+            frame.slot_addrs[slot] = self.stack_top
+
+        block = fn.entry
+        while True:
+            for instr in block.instrs:
+                self._step(fn, frame, instr)
+            term = block.term
+            self.steps += 1
+            if self.steps > self.step_limit:
+                raise ExecutionError("IR interpreter step limit exceeded")
+            if isinstance(term, Jump):
+                block = fn.block(term.target)
+            elif isinstance(term, CondBr):
+                taken = frame.regs[term.cond] != 0
+                block = fn.block(term.if_true if taken else term.if_false)
+            elif isinstance(term, Ret):
+                value = frame.regs[term.value] if term.value is not None else None
+                self.stack_top = saved_stack
+                return value
+            else:  # pragma: no cover
+                raise ExecutionError(f"unknown terminator {term!r}")
+
+    def _step(self, fn: Function, frame: _Frame, instr) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise ExecutionError("IR interpreter step limit exceeded")
+        regs = frame.regs
+        if isinstance(instr, Const):
+            regs[instr.dest] = instr.value
+        elif isinstance(instr, Bin):
+            regs[instr.dest] = eval_binop(instr.op, regs[instr.a], regs[instr.b])
+        elif isinstance(instr, Un):
+            regs[instr.dest] = eval_unop(instr.op, regs[instr.a])
+        elif isinstance(instr, Copy):
+            regs[instr.dest] = regs[instr.src]
+        elif isinstance(instr, Select):
+            chosen = instr.a if regs[instr.cond] != 0 else instr.b
+            regs[instr.dest] = regs[chosen]
+        elif isinstance(instr, Load):
+            value = self.memory.load(int(regs[instr.base]) + instr.offset)
+            if instr.dest.is_float:
+                value = float(value)
+            regs[instr.dest] = value
+        elif isinstance(instr, Store):
+            self.memory.store(int(regs[instr.base]) + instr.offset, regs[instr.value])
+        elif isinstance(instr, GlobalAddr):
+            regs[instr.dest] = self.data.address_of(instr.symbol)
+        elif isinstance(instr, FrameAddr):
+            regs[instr.dest] = frame.slot_addrs[instr.slot]
+        elif isinstance(instr, Print):
+            value = regs[instr.src]
+            if instr.kind == "float":
+                self.outputs.append(("f", float(value)))
+            elif instr.kind == "char":
+                self.outputs.append(("i", int(value) & 0xFF))
+            else:
+                self.outputs.append(("i", int(value)))
+        elif isinstance(instr, CallInstr):
+            callee = self.module.function(instr.func)
+            result = self.call(callee, [regs[a] for a in instr.args])
+            if instr.dest is not None:
+                if result is None:
+                    raise ExecutionError(f"{instr.func} returned no value")
+                regs[instr.dest] = result
+        else:  # pragma: no cover
+            raise ExecutionError(f"unknown instruction {instr!r}")

@@ -1,0 +1,35 @@
+"""Word-addressed data memory shared by the functional executors."""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.isa.program import DataSegment, STACK_BASE
+
+__all__ = ["Memory", "STACK_BASE"]
+
+
+class Memory:
+    """Sparse 8-byte-word memory.
+
+    Reads of untouched words return 0 (int) — matching a zero-initialized
+    data segment and making wrong-path loads harmless. Addresses must be
+    8-byte aligned; the compiler only ever emits aligned accesses.
+    """
+
+    __slots__ = ("words",)
+
+    def __init__(self, data: DataSegment | None = None):
+        self.words: dict[int, int | float] = {}
+        if data is not None:
+            for addr, value in data.init.items():
+                self.words[addr] = value
+
+    def load(self, addr: int) -> int | float:
+        if addr & 7:
+            raise ExecutionError(f"unaligned load at {addr:#x}")
+        return self.words.get(addr, 0)
+
+    def store(self, addr: int, value: int | float) -> None:
+        if addr & 7:
+            raise ExecutionError(f"unaligned store at {addr:#x}")
+        self.words[addr] = value

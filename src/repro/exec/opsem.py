@@ -1,0 +1,125 @@
+"""Evaluation of non-control machine operations.
+
+Shared by the conventional and block-structured functional executors via
+small read/write/load/store/out callbacks, so buffered (atomic) and
+direct execution use identical arithmetic.
+
+Operand convention: binary ops may carry an immediate as their final
+operand (``srcs`` one short); loads/stores use ``imm`` as a byte offset.
+Effective addresses are aligned down to 8 bytes — the machine never
+traps, which keeps speculative wrong-path execution harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExecutionError
+from repro.ir.instructions import IrOp
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import MachineOp
+from repro.semantics import eval_binop, wrap64
+
+_BIN_IR = {
+    Opcode.ADD: IrOp.ADD,
+    Opcode.SUB: IrOp.SUB,
+    Opcode.AND: IrOp.AND,
+    Opcode.OR: IrOp.OR,
+    Opcode.XOR: IrOp.XOR,
+    Opcode.SLT: IrOp.SLT,
+    Opcode.SLE: IrOp.SLE,
+    Opcode.SEQ: IrOp.SEQ,
+    Opcode.SNE: IrOp.SNE,
+    Opcode.SHL: IrOp.SHL,
+    Opcode.SHR: IrOp.SHR,
+    Opcode.SRA: IrOp.SRA,
+    Opcode.MUL: IrOp.MUL,
+    Opcode.DIV: IrOp.DIV,
+    Opcode.REM: IrOp.REM,
+    Opcode.FADD: IrOp.FADD,
+    Opcode.FSUB: IrOp.FSUB,
+    Opcode.FMUL: IrOp.FMUL,
+    Opcode.FDIV: IrOp.FDIV,
+    Opcode.FSLT: IrOp.FSLT,
+    Opcode.FSLE: IrOp.FSLE,
+    Opcode.FSEQ: IrOp.FSEQ,
+    Opcode.FSNE: IrOp.FSNE,
+}
+
+
+def eval_op(
+    op: MachineOp,
+    read: Callable[[int], int | float],
+    write: Callable[[int, int | float], None],
+    load: Callable[[int], int | float],
+    store: Callable[[int, int | float], None],
+    out: Callable[[str, int | float], None],
+) -> None:
+    """Execute one non-control operation through the given callbacks."""
+    oc = op.opcode
+    ir = _BIN_IR.get(oc)
+    if ir is not None:
+        srcs = op.srcs
+        a = read(srcs[0])
+        b = read(srcs[1]) if len(srcs) > 1 else op.imm
+        write(op.dest, eval_binop(ir, a, b))
+        return
+    if oc is Opcode.MOVI or oc is Opcode.FMOVI:
+        write(op.dest, op.imm)
+        return
+    if oc is Opcode.MOV or oc is Opcode.FMOV:
+        write(op.dest, read(op.srcs[0]))
+        return
+    if oc is Opcode.SELECT or oc is Opcode.FSELECT:
+        cond, a, b = op.srcs
+        write(op.dest, read(a) if read(cond) != 0 else read(b))
+        return
+    if oc in _LOADS:
+        addr = effective_address(op, read)
+        value = load(addr)
+        if oc is Opcode.FLD or oc is Opcode.FLDX:
+            value = float(value)
+        write(op.dest, value)
+        return
+    if oc in _STORES:
+        store(effective_address(op, read), read(op.srcs[0]))
+        return
+    if oc is Opcode.CVTIF:
+        write(op.dest, float(int(read(op.srcs[0]))))
+        return
+    if oc is Opcode.CVTFI:
+        write(op.dest, wrap64(int(float(read(op.srcs[0])))))
+        return
+    if oc is Opcode.PUTINT:
+        out("i", int(read(op.srcs[0])))
+        return
+    if oc is Opcode.PUTFLT:
+        out("f", float(read(op.srcs[0])))
+        return
+    if oc is Opcode.PUTCH:
+        out("i", int(read(op.srcs[0])) & 0xFF)
+        return
+    raise ExecutionError(f"cannot evaluate {op.asm()!r}")
+
+
+_LOADS = frozenset({Opcode.LD, Opcode.FLD, Opcode.LDX, Opcode.FLDX})
+_STORES = frozenset({Opcode.ST, Opcode.FST, Opcode.STX, Opcode.FSTX})
+_INDEXED = frozenset({Opcode.LDX, Opcode.FLDX, Opcode.STX, Opcode.FSTX})
+
+
+def effective_address(op: MachineOp, read: Callable[[int], int | float]) -> int:
+    """The (aligned) effective address of a load or store.
+
+    Plain forms: ``base + imm`` (base is srcs[0] for loads, srcs[1] for
+    stores). Indexed forms add ``index << 3`` (index is the last source).
+    """
+    oc = op.opcode
+    if oc in (Opcode.LD, Opcode.FLD):
+        addr = int(read(op.srcs[0])) + (op.imm or 0)
+    elif oc in (Opcode.ST, Opcode.FST):
+        addr = int(read(op.srcs[1])) + (op.imm or 0)
+    elif oc in (Opcode.LDX, Opcode.FLDX):
+        addr = int(read(op.srcs[0])) + (int(read(op.srcs[1])) << 3) + (op.imm or 0)
+    else:  # STX / FSTX: (value, base, index)
+        addr = int(read(op.srcs[1])) + (int(read(op.srcs[2])) << 3) + (op.imm or 0)
+    return addr & ~7

@@ -1,0 +1,5 @@
+"""MiniC AST → IR lowering."""
+
+from repro.frontend.lower import lower_program, compile_to_ir
+
+__all__ = ["lower_program", "compile_to_ir"]

@@ -1,0 +1,34 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+:class:`SuiteRunner` caches compiled workloads and simulation runs so the
+figures share work (Fig. 3 and Figs. 6/7 reuse the same 64 KB runs);
+each ``table*``/``fig*`` function returns an :class:`ExperimentResult`
+whose ``render()`` produces the ASCII table/chart recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    SuiteRunner,
+    fig3_performance,
+    fig4_perfect_bp,
+    fig5_block_sizes,
+    fig6_icache_conventional,
+    fig7_icache_block,
+    table1_latencies,
+    table2_benchmarks,
+    ALL_EXPERIMENTS,
+)
+
+__all__ = [
+    "SuiteRunner",
+    "ExperimentResult",
+    "table1_latencies",
+    "table2_benchmarks",
+    "fig3_performance",
+    "fig4_perfect_bp",
+    "fig5_block_sizes",
+    "fig6_icache_conventional",
+    "fig7_icache_block",
+    "ALL_EXPERIMENTS",
+]

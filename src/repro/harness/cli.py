@@ -1,0 +1,132 @@
+"""``bsisa`` command-line interface.
+
+::
+
+    bsisa list                          # workloads and experiments
+    bsisa run fig3 [--scale 0.5]        # regenerate one figure/table
+    bsisa run all                       # everything (EXPERIMENTS.md data)
+    bsisa compile compress --isa block --dump   # inspect generated code
+    bsisa simulate compress [--perfect-bp] [--icache-kb 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.toolchain import Toolchain
+from repro.harness.experiments import ALL_EXPERIMENTS, SuiteRunner
+from repro.sim.config import MachineConfig
+from repro.sim.run import simulate_block_structured, simulate_conventional
+from repro.workloads import SUITE
+
+
+def _cmd_list(_args) -> int:
+    print("workloads:")
+    for name, workload in SUITE.items():
+        print(f"  {name:10s} {workload.description}")
+    print("experiments:")
+    for name, fn in ALL_EXPERIMENTS.items():
+        print(f"  {name:10s} {(fn.__doc__ or '').strip().splitlines()[0]}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runner = SuiteRunner(scale=args.scale)
+    for name in names:
+        result = ALL_EXPERIMENTS[name](runner)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    workload = SUITE[args.workload]
+    pair = Toolchain().compile(workload.source(args.scale), args.workload)
+    conv, block = pair.conventional, pair.block
+    print(
+        f"{args.workload}: conventional {len(conv.ops)} ops "
+        f"({conv.code_bytes} bytes); block-structured {block.num_blocks} "
+        f"atomic blocks, {block.code_bytes} bytes "
+        f"(expansion {pair.code_expansion:.2f}x, static avg block "
+        f"{block.static_block_size_avg():.1f} ops)"
+    )
+    if args.dump:
+        prog = block if args.isa == "block" else conv
+        print(prog.disassemble())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    workload = SUITE[args.workload]
+    toolchain = Toolchain()
+    source = workload.source(args.scale)
+    if args.profile_guided:
+        pair = toolchain.compile_profile_guided(source, args.workload)
+    else:
+        pair = toolchain.compile(source, args.workload)
+    config = MachineConfig(perfect_bp=args.perfect_bp).with_icache_kb(
+        args.icache_kb
+    )
+    conv = simulate_conventional(pair.conventional, config)
+    block = simulate_block_structured(pair.block, config)
+    reduction = 100.0 * (conv.cycles - block.cycles) / conv.cycles
+    for r in (conv, block):
+        print(
+            f"{r.isa:13s} cycles={r.cycles:10,d} ops={r.committed_ops:10,d} "
+            f"IPC={r.ipc:5.2f} avg_block={r.avg_block_size:5.2f} "
+            f"bp={r.bp_accuracy:.3f} icache_miss={r.timing.icache_misses}"
+        )
+    print(f"execution-time reduction: {reduction:+.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bsisa",
+        description="Block-structured ISA reproduction (MICRO 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment", help="table1|table2|fig3..fig7|all")
+    run.add_argument("--scale", type=float, default=1.0)
+    run.set_defaults(fn=_cmd_run)
+
+    comp = sub.add_parser("compile", help="compile a workload and report sizes")
+    comp.add_argument("workload", choices=list(SUITE))
+    comp.add_argument("--isa", choices=["conventional", "block"], default="block")
+    comp.add_argument("--scale", type=float, default=1.0)
+    comp.add_argument("--dump", action="store_true", help="print disassembly")
+    comp.set_defaults(fn=_cmd_compile)
+
+    simp = sub.add_parser("simulate", help="timed comparison on one workload")
+    simp.add_argument("workload", choices=list(SUITE))
+    simp.add_argument("--scale", type=float, default=1.0)
+    simp.add_argument("--perfect-bp", action="store_true")
+    simp.add_argument(
+        "--profile-guided",
+        action="store_true",
+        help="profile-guided enlargement (paper §6 extension)",
+    )
+    simp.add_argument("--icache-kb", type=int, default=64)
+    simp.set_defaults(fn=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""Experiment definitions: one function per paper table/figure.
+
+All experiments run the full eight-benchmark suite through the shared
+:class:`SuiteRunner`, which memoizes compiled programs and simulation
+results. The paper's numbers are embedded for side-by-side reporting
+where the paper states them explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.toolchain import CompiledPair, Toolchain
+from repro.harness.render import ascii_table, grouped_bars
+from repro.isa.latencies import CLASS_DESCRIPTION, LATENCY, InstrClass
+from repro.sim.config import MachineConfig
+from repro.sim.run import (
+    SimResult,
+    simulate_block_structured,
+    simulate_conventional,
+)
+from repro.workloads import SUITE
+
+#: Paper-reported values for side-by-side comparison (EXPERIMENTS.md).
+PAPER_FIG3_REDUCTION = {
+    "gcc": 7.2,
+    "m88ksim": 19.9,
+    "go": -1.5,
+}
+PAPER_FIG3_AVERAGE = 12.3
+PAPER_FIG4_AVERAGE = 19.1
+PAPER_FIG5_AVG_CONV = 5.2
+PAPER_FIG5_AVG_BLOCK = 8.2
+
+#: Icache sizes swept by Figures 6 and 7 (KB).
+ICACHE_SWEEP_KB = (16, 32, 64)
+
+
+def default_scale() -> float:
+    """Workload scale (REPRO_SCALE env var overrides; benches shrink it)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record: id, headers+rows, and rendered text."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    text: str = ""
+    summary: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        table = ascii_table(self.headers, self.rows, title=self.title)
+        if self.text:
+            return f"{table}\n\n{self.text}"
+        return table
+
+
+class SuiteRunner:
+    """Compiles the suite once and memoizes simulation runs."""
+
+    def __init__(
+        self,
+        scale: float | None = None,
+        benchmarks: list[str] | None = None,
+        toolchain: Toolchain | None = None,
+    ):
+        self.scale = scale if scale is not None else default_scale()
+        self.benchmarks = benchmarks or list(SUITE)
+        self.toolchain = toolchain or Toolchain()
+        self._pairs: dict[str, CompiledPair] = {}
+        self._runs: dict[tuple, SimResult] = {}
+
+    def pair(self, name: str) -> CompiledPair:
+        if name not in self._pairs:
+            source = SUITE[name].source(self.scale)
+            self._pairs[name] = self.toolchain.compile(source, name)
+        return self._pairs[name]
+
+    def run(self, name: str, isa: str, config: MachineConfig) -> SimResult:
+        icache_kb = config.icache.size_bytes // 1024 if config.icache else None
+        key = (name, isa, icache_kb, config.perfect_bp)
+        if key not in self._runs:
+            pair = self.pair(name)
+            if isa == "conventional":
+                result = simulate_conventional(pair.conventional, config)
+            else:
+                result = simulate_block_structured(pair.block, config)
+            self._runs[key] = result
+        return self._runs[key]
+
+    def run_pair(
+        self, name: str, config: MachineConfig
+    ) -> tuple[SimResult, SimResult]:
+        return (
+            self.run(name, "conventional", config),
+            self.run(name, "block", config),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+def table1_latencies(runner: SuiteRunner | None = None) -> ExperimentResult:
+    """Table 1: instruction classes and latencies (configuration check)."""
+    rows = [
+        [cls.value, LATENCY[cls], CLASS_DESCRIPTION[cls]]
+        for cls in InstrClass
+    ]
+    return ExperimentResult(
+        experiment="table1",
+        title="Table 1: Instruction classes and latencies",
+        headers=["Instruction Class", "Exec. Lat.", "Description"],
+        rows=rows,
+        summary={cls.value: LATENCY[cls] for cls in InstrClass},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+
+def table2_benchmarks(runner: SuiteRunner | None = None) -> ExperimentResult:
+    """Table 2: benchmarks, inputs, dynamic conventional instruction counts."""
+    runner = runner or SuiteRunner()
+    rows = []
+    counts = {}
+    for name in runner.benchmarks:
+        result = runner.run(name, "conventional", MachineConfig())
+        workload = SUITE[name]
+        rows.append([name, workload.paper_input, result.committed_ops])
+        counts[name] = result.committed_ops
+    return ExperimentResult(
+        experiment="table2",
+        title="Table 2: Benchmarks and dynamic instruction counts "
+        "(conventional ISA; stand-in inputs, see DESIGN.md)",
+        headers=["Benchmark", "Paper input", "# of Instructions"],
+        rows=rows,
+        summary=counts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 and 4 — total cycles, conventional vs block-structured
+# ---------------------------------------------------------------------------
+
+
+def _performance_figure(
+    runner: SuiteRunner, perfect_bp: bool
+) -> tuple[list[list], dict]:
+    config = MachineConfig(perfect_bp=perfect_bp)
+    rows = []
+    total_conv = 0
+    total_block = 0
+    reductions = {}
+    for name in runner.benchmarks:
+        conv, block = runner.run_pair(name, config)
+        reduction = 100.0 * (conv.cycles - block.cycles) / conv.cycles
+        reductions[name] = reduction
+        total_conv += conv.cycles
+        total_block += block.cycles
+        rows.append(
+            [name, conv.cycles, block.cycles, f"{reduction:+.1f}%"]
+        )
+    aggregate = 100.0 * (total_conv - total_block) / total_conv
+    summary = {
+        "reductions": reductions,
+        "aggregate_reduction_pct": aggregate,
+        "mean_reduction_pct": sum(reductions.values()) / len(reductions),
+    }
+    return rows, summary
+
+
+def fig3_performance(runner: SuiteRunner | None = None) -> ExperimentResult:
+    """Figure 3: cycles, conventional vs BS-ISA, 64 KB icache, real BP."""
+    runner = runner or SuiteRunner()
+    rows, summary = _performance_figure(runner, perfect_bp=False)
+    bars = grouped_bars(
+        [
+            (row[0], [("conventional", row[1]), ("block", row[2])])
+            for row in rows
+        ],
+        title="Total cycles (64 KB 4-way icache, real prediction)",
+    )
+    text = (
+        f"{bars}\n\nmean reduction {summary['mean_reduction_pct']:+.1f}% "
+        f"(paper: +{PAPER_FIG3_AVERAGE}%; paper per-benchmark: gcc +7.2%, "
+        f"m88ksim +19.9%, go -1.5%)"
+    )
+    return ExperimentResult(
+        "fig3",
+        "Figure 3: Performance, conventional vs block-structured ISA",
+        ["Benchmark", "Conv cycles", "BS cycles", "Reduction"],
+        rows,
+        text=text,
+        summary=summary,
+    )
+
+
+def fig4_perfect_bp(runner: SuiteRunner | None = None) -> ExperimentResult:
+    """Figure 4: the same comparison with perfect branch prediction."""
+    runner = runner or SuiteRunner()
+    rows, summary = _performance_figure(runner, perfect_bp=True)
+    text = (
+        f"mean reduction {summary['mean_reduction_pct']:+.1f}% "
+        f"(paper: +{PAPER_FIG4_AVERAGE}%)"
+    )
+    return ExperimentResult(
+        "fig4",
+        "Figure 4: Performance with perfect branch prediction",
+        ["Benchmark", "Conv cycles", "BS cycles", "Reduction"],
+        rows,
+        text=text,
+        summary=summary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — average retired block sizes
+# ---------------------------------------------------------------------------
+
+
+def fig5_block_sizes(runner: SuiteRunner | None = None) -> ExperimentResult:
+    """Figure 5: average retired block sizes for both ISAs."""
+    runner = runner or SuiteRunner()
+    config = MachineConfig()
+    rows = []
+    conv_sizes = {}
+    block_sizes = {}
+    for name in runner.benchmarks:
+        conv, block = runner.run_pair(name, config)
+        conv_sizes[name] = conv.avg_block_size
+        block_sizes[name] = block.avg_block_size
+        growth = (block.avg_block_size / conv.avg_block_size - 1.0) * 100.0
+        rows.append(
+            [
+                name,
+                round(conv.avg_block_size, 2),
+                round(block.avg_block_size, 2),
+                f"{growth:+.0f}%",
+            ]
+        )
+    mean_conv = sum(conv_sizes.values()) / len(conv_sizes)
+    mean_block = sum(block_sizes.values()) / len(block_sizes)
+    text = (
+        f"suite means: conventional {mean_conv:.1f}, block-structured "
+        f"{mean_block:.1f} ops/block (paper: {PAPER_FIG5_AVG_CONV} -> "
+        f"{PAPER_FIG5_AVG_BLOCK}, a 58% increase)"
+    )
+    return ExperimentResult(
+        "fig5",
+        "Figure 5: Average retired block sizes",
+        ["Benchmark", "Conventional", "Block-structured", "Growth"],
+        rows,
+        text=text,
+        summary={
+            "conventional": conv_sizes,
+            "block": block_sizes,
+            "mean_conventional": mean_conv,
+            "mean_block": mean_block,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7 — icache sensitivity
+# ---------------------------------------------------------------------------
+
+
+def _icache_figure(runner: SuiteRunner, isa: str) -> tuple[list[list], dict]:
+    perfect = {
+        name: runner.run(name, isa, MachineConfig().with_icache_kb(None)).cycles
+        for name in runner.benchmarks
+    }
+    rows = []
+    increases: dict[str, dict[int, float]] = {}
+    for name in runner.benchmarks:
+        row = [name]
+        increases[name] = {}
+        for kb in ICACHE_SWEEP_KB:
+            cycles = runner.run(
+                name, isa, MachineConfig().with_icache_kb(kb)
+            ).cycles
+            rel = (cycles - perfect[name]) / perfect[name]
+            increases[name][kb] = rel
+            row.append(round(rel, 3))
+        rows.append(row)
+    return rows, {"relative_increase": increases}
+
+
+def fig6_icache_conventional(
+    runner: SuiteRunner | None = None,
+) -> ExperimentResult:
+    """Figure 6: conventional-ISA slowdown vs a perfect icache."""
+    runner = runner or SuiteRunner()
+    rows, summary = _icache_figure(runner, "conventional")
+    return ExperimentResult(
+        "fig6",
+        "Figure 6: Relative execution-time increase over a perfect icache "
+        "(conventional ISA)",
+        ["Benchmark"] + [f"{kb}KB" for kb in ICACHE_SWEEP_KB],
+        rows,
+        summary=summary,
+    )
+
+
+def fig7_icache_block(runner: SuiteRunner | None = None) -> ExperimentResult:
+    """Figure 7: BS-ISA slowdown vs a perfect icache (block duplication)."""
+    runner = runner or SuiteRunner()
+    rows, summary = _icache_figure(runner, "block")
+    return ExperimentResult(
+        "fig7",
+        "Figure 7: Relative execution-time increase over a perfect icache "
+        "(block-structured ISA)",
+        ["Benchmark"] + [f"{kb}KB" for kb in ICACHE_SWEEP_KB],
+        rows,
+        summary=summary,
+    )
+
+
+#: Registry used by the CLI and the benchmark harness.
+ALL_EXPERIMENTS = {
+    "table1": table1_latencies,
+    "table2": table2_benchmarks,
+    "fig3": fig3_performance,
+    "fig4": fig4_perfect_bp,
+    "fig5": fig5_block_sizes,
+    "fig6": fig6_icache_conventional,
+    "fig7": fig7_icache_block,
+}

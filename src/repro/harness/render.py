@@ -1,0 +1,75 @@
+"""ASCII rendering of tables and bar charts for experiment results."""
+
+from __future__ import annotations
+
+
+def ascii_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render a monospace table with a header rule."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    pairs: list[tuple[str, float]],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the largest value."""
+    if not pairs:
+        return title
+    label_width = max(len(label) for label, _ in pairs)
+    peak = max(abs(value) for _, value in pairs) or 1.0
+    lines = [title] if title else []
+    for label, value in pairs:
+        bar = "#" * max(0, round(abs(value) / peak * width))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:,.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: list[tuple[str, list[tuple[str, float]]]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render grouped bars (one group of bars per benchmark)."""
+    lines = [title] if title else []
+    series_width = max(
+        (len(name) for _, series in groups for name, _ in series), default=0
+    )
+    peak = max(
+        (abs(v) for _, series in groups for _, v in series), default=1.0
+    ) or 1.0
+    for group_label, series in groups:
+        lines.append(f"{group_label}:")
+        for name, value in series:
+            bar = "#" * max(0, round(abs(value) / peak * width))
+            sign = "-" if value < 0 else ""
+            lines.append(
+                f"  {name.ljust(series_width)}  {sign}{bar} {value:,.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _numeric(text: str) -> bool:
+    return bool(text) and all(c.isdigit() or c in ",.%-+" for c in text)

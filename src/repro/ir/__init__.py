@@ -1,0 +1,70 @@
+"""Target-independent three-address IR.
+
+The front end lowers MiniC to this IR; the optimizer transforms it; both
+back ends consume it. The IR is a conventional CFG of basic blocks over an
+infinite set of typed virtual registers (no SSA — the optimizer passes are
+written to be correct on multiply-assigned registers).
+"""
+
+from repro.ir.instructions import (
+    Bin,
+    CallInstr,
+    CondBr,
+    Const,
+    Copy,
+    FrameAddr,
+    GlobalAddr,
+    Instr,
+    IrOp,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    Store,
+    Terminator,
+    Un,
+    VReg,
+)
+from repro.ir.structure import BasicBlock, Function, GlobalVar, Module
+from repro.ir.cfg import (
+    back_edges,
+    dominators,
+    predecessors,
+    reachable,
+    reverse_postorder,
+)
+from repro.ir.verify import verify_function, verify_module
+from repro.ir.printer import print_function, print_module
+
+__all__ = [
+    "VReg",
+    "IrOp",
+    "Instr",
+    "Bin",
+    "Un",
+    "Const",
+    "Copy",
+    "Load",
+    "Store",
+    "GlobalAddr",
+    "FrameAddr",
+    "CallInstr",
+    "Print",
+    "Terminator",
+    "CondBr",
+    "Jump",
+    "Ret",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "GlobalVar",
+    "predecessors",
+    "reverse_postorder",
+    "dominators",
+    "back_edges",
+    "reachable",
+    "verify_function",
+    "verify_module",
+    "print_function",
+    "print_module",
+]

@@ -1,0 +1,169 @@
+"""CFG analyses: reachability, reverse postorder, dominators, back edges.
+
+The functions here operate on :class:`~repro.ir.structure.Function` CFGs,
+but the algorithms are also exposed in a graph-generic form
+(:func:`generic_dominators`) because the block-enlargement pass runs the
+same analyses over *machine* CFGs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.ir.structure import BasicBlock, Function
+
+
+def successors(block: BasicBlock) -> tuple[str, ...]:
+    if block.term is None:
+        return ()
+    return block.term.targets()
+
+
+def reachable(fn: Function) -> set[str]:
+    """Labels of blocks reachable from the entry."""
+    seen: set[str] = set()
+    stack = [fn.entry.label]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        stack.extend(successors(fn.block(label)))
+    return seen
+
+
+def predecessors(fn: Function) -> dict[str, list[str]]:
+    """Map from block label to its predecessors' labels (reachable only)."""
+    preds: dict[str, list[str]] = {b.label: [] for b in fn.blocks}
+    for label in reachable(fn):
+        for succ in successors(fn.block(label)):
+            preds[succ].append(label)
+    return preds
+
+
+def reverse_postorder(fn: Function) -> list[str]:
+    """Reverse postorder over the reachable CFG, starting at the entry."""
+    return generic_reverse_postorder(
+        fn.entry.label, lambda label: successors(fn.block(label))
+    )
+
+
+def generic_reverse_postorder(
+    entry: Hashable, succs: Callable[[Hashable], Iterable[Hashable]]
+) -> list:
+    order: list = []
+    seen: set = set()
+
+    # Iterative DFS that records postorder.
+    stack: list[tuple[Hashable, Iterable]] = [(entry, iter(succs(entry)))]
+    seen.add(entry)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, iter(succs(nxt))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def generic_dominators(
+    entry: Hashable, succs: Callable[[Hashable], Iterable[Hashable]]
+) -> dict:
+    """Immediate dominators (Cooper–Harvey–Kennedy) for a generic graph.
+
+    Returns ``{node: idom}``; the entry's idom is itself.
+    """
+    order = generic_reverse_postorder(entry, succs)
+    index = {node: i for i, node in enumerate(order)}
+    preds: dict[Hashable, list] = {node: [] for node in order}
+    for node in order:
+        for nxt in succs(node):
+            if nxt in index:
+                preds[nxt].append(node)
+
+    idom: dict = {entry: entry}
+
+    def intersect(a, b):
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            candidates = [p for p in preds[node] if p in idom]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for p in candidates[1:]:
+                new = intersect(new, p)
+            if idom.get(node) != new:
+                idom[node] = new
+                changed = True
+    return idom
+
+
+def dominates(idom: dict, a: Hashable, b: Hashable) -> bool:
+    """True if *a* dominates *b* under the idom tree."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return a == node
+        node = parent
+
+
+def dominators(fn: Function) -> dict[str, str]:
+    """Immediate dominators of the reachable blocks of *fn*."""
+    return generic_dominators(
+        fn.entry.label, lambda label: successors(fn.block(label))
+    )
+
+
+def back_edges(fn: Function) -> set[tuple[str, str]]:
+    """Edges ``(tail, head)`` where *head* dominates *tail* (loop back edges)."""
+    return generic_back_edges(
+        fn.entry.label, lambda label: successors(fn.block(label))
+    )
+
+
+def generic_back_edges(
+    entry: Hashable, succs: Callable[[Hashable], Iterable[Hashable]]
+) -> set[tuple]:
+    idom = generic_dominators(entry, succs)
+    edges: set[tuple] = set()
+    for node in idom:
+        for nxt in succs(node):
+            if nxt in idom and dominates(idom, nxt, node):
+                edges.add((node, nxt))
+    return edges
+
+
+def natural_loop(fn: Function, back_edge: tuple[str, str]) -> set[str]:
+    """The set of blocks in the natural loop of *back_edge* ``(tail, head)``."""
+    tail, head = back_edge
+    preds = predecessors(fn)
+    loop = {head, tail}
+    stack = [tail]
+    while stack:
+        node = stack.pop()
+        for p in preds.get(node, ()):
+            if p not in loop:
+                loop.add(p)
+                stack.append(p)
+    return loop

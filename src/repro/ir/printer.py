@@ -1,0 +1,33 @@
+"""Textual IR dumps (for debugging, examples, and golden tests)."""
+
+from __future__ import annotations
+
+from repro.ir.structure import Function, Module
+
+
+def print_function(fn: Function) -> str:
+    lines = []
+    params = ", ".join(map(repr, fn.params))
+    lib = "library " if fn.is_library else ""
+    lines.append(f"{lib}func {fn.name}({params}):")
+    for slot, size in fn.frame_slots.items():
+        lines.append(f"  frame {slot}: {size} bytes")
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append(f"  {instr!r}")
+        lines.append(f"  {block.term!r}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    lines = []
+    for g in module.globals:
+        ty = "float" if g.is_float else "int"
+        suffix = f"[{g.words}]" if g.words > 1 else ""
+        init = f" = {g.init!r}" if g.init is not None else ""
+        lines.append(f"global {ty} {g.name}{suffix}{init}")
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(print_function(fn))
+    return "\n".join(lines)

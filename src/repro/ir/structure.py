@@ -1,0 +1,138 @@
+"""IR containers: basic blocks, functions, modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.instructions import Instr, Terminator, VReg
+
+
+class BasicBlock:
+    """A labelled sequence of instructions with exactly one terminator."""
+
+    __slots__ = ("label", "instrs", "term")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instrs: list[Instr] = []
+        self.term: Terminator | None = None
+
+    @property
+    def terminated(self) -> bool:
+        return self.term is not None
+
+    def append(self, instr: Instr) -> None:
+        if self.term is not None:
+            raise IRError(f"appending to terminated block {self.label}")
+        self.instrs.append(instr)
+
+    def terminate(self, term: Terminator) -> None:
+        if self.term is not None:
+            raise IRError(f"block {self.label} already terminated")
+        self.term = term
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.label} n={len(self.instrs)}>"
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable: scalar or array."""
+
+    name: str
+    is_float: bool
+    #: number of 8-byte words (1 for scalars)
+    words: int = 1
+    init: int | float | None = None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.words * 8
+
+
+class Function:
+    """An IR function: ordered blocks, virtual-register factory, frame."""
+
+    def __init__(
+        self,
+        name: str,
+        params: list[VReg],
+        ret_is_float: bool = False,
+        returns_value: bool = False,
+        is_library: bool = False,
+    ):
+        self.name = name
+        self.params = params
+        self.ret_is_float = ret_is_float
+        self.returns_value = returns_value
+        self.is_library = is_library
+        self.blocks: list[BasicBlock] = []
+        self.block_map: dict[str, BasicBlock] = {}
+        #: frame slot name -> size in bytes (local arrays)
+        self.frame_slots: dict[str, int] = {}
+        self._next_vreg = max((p.id for p in params), default=-1) + 1
+        self._next_label = 0
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def new_vreg(self, ty: str = "i") -> VReg:
+        reg = VReg(self._next_vreg, ty)
+        self._next_vreg += 1
+        return reg
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        label = f"{self.name}.{hint}{self._next_label}"
+        self._next_label += 1
+        block = BasicBlock(label)
+        self.blocks.append(block)
+        self.block_map[label] = block
+        return block
+
+    def add_frame_slot(self, name: str, size_bytes: int) -> str:
+        """Register a frame slot; returns its (function-unique) name."""
+        if name in self.frame_slots:
+            raise IRError(f"duplicate frame slot {name!r} in {self.name}")
+        self.frame_slots[name] = size_bytes
+        return name
+
+    def block(self, label: str) -> BasicBlock:
+        try:
+            return self.block_map[label]
+        except KeyError:
+            raise IRError(f"no block {label!r} in function {self.name}")
+
+    def remove_blocks(self, labels: set[str]) -> None:
+        """Drop blocks (used by CFG simplification)."""
+        if self.blocks and self.blocks[0].label in labels:
+            raise IRError("cannot remove the entry block")
+        self.blocks = [b for b in self.blocks if b.label not in labels]
+        for label in labels:
+            del self.block_map[label]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Function {self.name} blocks={len(self.blocks)}>"
+
+
+@dataclass
+class Module:
+    """A compiled MiniC translation unit."""
+
+    name: str = "module"
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: dict[str, Function] = field(default_factory=dict)
+
+    def add_function(self, fn: Function) -> None:
+        if fn.name in self.functions:
+            raise IRError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function {name!r} in module {self.name}")

@@ -1,0 +1,84 @@
+"""Target instruction-set definitions.
+
+This package defines both ISAs evaluated by the paper:
+
+* the **conventional load/store ISA** — the baseline, with ordinary
+  conditional branches (``BR``); and
+* the **block-structured ISA** (BS-ISA) — the same operation set except
+  that direct conditional branches are replaced by ``TRAP`` and ``FAULT``
+  operations and the architectural unit is the :class:`AtomicBlock`.
+
+Shared pieces: opcodes with Table-1 latency classes, register conventions,
+the :class:`MachineOp` representation, and program images for both ISAs.
+"""
+
+from repro.isa.latencies import InstrClass, LATENCY, latency_of
+from repro.isa.opcodes import Opcode, OPCODE_INFO, OpcodeInfo
+from repro.isa.registers import (
+    ZERO,
+    RV,
+    RA,
+    SP,
+    ARG_BASE,
+    NUM_ARG_REGS,
+    FP_BASE,
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    FIRST_VREG,
+    CALLEE_SAVED_INT,
+    CALLEE_SAVED_FP,
+    ALLOCATABLE_INT,
+    ALLOCATABLE_FP,
+    is_fp_reg,
+    is_virtual,
+    reg_name,
+)
+from repro.isa.operation import MachineOp, OP_BYTES
+from repro.isa.program import (
+    AtomicBlock,
+    BlockProgram,
+    ConventionalProgram,
+    DataSegment,
+    LINE_BYTES,
+)
+from repro.isa.asm import (
+    assemble_block_structured,
+    assemble_conventional,
+    parse_op,
+)
+
+__all__ = [
+    "InstrClass",
+    "LATENCY",
+    "latency_of",
+    "Opcode",
+    "OPCODE_INFO",
+    "OpcodeInfo",
+    "MachineOp",
+    "OP_BYTES",
+    "LINE_BYTES",
+    "assemble_conventional",
+    "assemble_block_structured",
+    "parse_op",
+    "AtomicBlock",
+    "BlockProgram",
+    "ConventionalProgram",
+    "DataSegment",
+    "ZERO",
+    "RV",
+    "RA",
+    "SP",
+    "ARG_BASE",
+    "NUM_ARG_REGS",
+    "FP_BASE",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "FIRST_VREG",
+    "CALLEE_SAVED_INT",
+    "CALLEE_SAVED_FP",
+    "ALLOCATABLE_INT",
+    "ALLOCATABLE_FP",
+    "is_fp_reg",
+    "is_virtual",
+    "reg_name",
+]

@@ -1,0 +1,228 @@
+"""Assembler for both ISAs: text → executable program images.
+
+The accepted syntax is exactly what :meth:`ConventionalProgram.disassemble`
+and :meth:`BlockProgram.disassemble` print (addresses optional, comments
+after ``;``), so disassembly round-trips::
+
+    text = prog.disassemble()
+    again = assemble_conventional(text, data=prog.data)
+    # `again` executes identically
+
+This also makes hand-written machine-level test programs first-class:
+see ``tests/test_asm.py`` for examples of writing small conventional and
+block-structured programs directly in assembly.
+
+Conventional syntax::
+
+    main:
+    loop:
+      add r3, r3, 1
+      slt r14, r3, 10
+      br r14, 1, loop
+      ret r31
+
+Block-structured syntax (one block per label; ``; path=...`` and
+``dirs=...`` metadata are optional and default to a single-block path)::
+
+    entry:  ; path=entry dirs=()
+      movi r14, 5
+      trap r14, blk_a, blk_b, nbits=1
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import CompileError
+from repro.isa.opcodes import OPCODE_INFO, Opcode
+from repro.isa.operation import MachineOp
+from repro.isa.program import (
+    AtomicBlock,
+    BlockProgram,
+    ConventionalProgram,
+    DataSegment,
+)
+from repro.isa.registers import FP_BASE
+
+_BY_NAME = {opcode.value: opcode for opcode in Opcode}
+_REG = re.compile(r"^(r|f)(\d+)$")
+_ADDR_PREFIX = re.compile(r"^0x[0-9a-fA-F]+\s+")
+_NBITS = re.compile(r"^nbits=(\d+)$")
+_PATH_META = re.compile(r"path=(\S+)(?:\s+dirs=\(([^)]*)\))?")
+
+#: how many label operands each control opcode takes
+_TARGET_COUNTS = {
+    Opcode.BR: 1,
+    Opcode.JMP: 1,
+    Opcode.CALL: 2,  # conventional uses 1; block form adds a continuation
+    Opcode.TRAP: 2,
+    Opcode.FAULT: 1,
+}
+
+
+def _parse_reg(token: str) -> int | None:
+    match = _REG.match(token)
+    if not match:
+        return None
+    index = int(match.group(2))
+    if index > 31:
+        raise CompileError(f"register index out of range: {token}")
+    return index + (FP_BASE if match.group(1) == "f" else 0)
+
+
+def _parse_imm(token: str) -> int | float:
+    try:
+        return int(token, 0)
+    except ValueError:
+        try:
+            return float(token)
+        except ValueError:
+            raise CompileError(f"cannot parse operand {token!r}")
+
+
+def parse_op(line: str) -> MachineOp:
+    """Parse one assembly operation (no label, no address)."""
+    line = line.split(";", 1)[0].strip()
+    line = _ADDR_PREFIX.sub("", line)
+    if not line:
+        raise CompileError("empty operation")
+    mnemonic, _, rest = line.partition(" ")
+    opcode = _BY_NAME.get(mnemonic)
+    if opcode is None or opcode is Opcode.FRAMEADDR:
+        raise CompileError(f"unknown mnemonic {mnemonic!r}")
+    info = OPCODE_INFO[opcode]
+    tokens = [t.strip() for t in rest.split(",") if t.strip()] if rest.strip() else []
+
+    op = MachineOp(opcode)
+    # destination
+    if info.writes_dest and opcode is not Opcode.CALL:
+        if not tokens:
+            raise CompileError(f"{mnemonic}: missing destination")
+        dest = _parse_reg(tokens.pop(0))
+        if dest is None:
+            raise CompileError(f"{mnemonic}: destination must be a register")
+        op.dest = dest
+
+    # trailing nbits= (trap)
+    if tokens and (m := _NBITS.match(tokens[-1])):
+        op.nbits = int(m.group(1))
+        tokens.pop()
+
+    # label targets come last
+    n_targets = _TARGET_COUNTS.get(opcode, 0)
+    targets: list[str] = []
+    while tokens and len(targets) < n_targets:
+        candidate = tokens[-1]
+        if _parse_reg(candidate) is None and not _is_number(candidate):
+            targets.insert(0, tokens.pop())
+        else:
+            break
+    if targets:
+        op.target = targets[0]
+        if len(targets) > 1:
+            op.target2 = targets[1]
+
+    # remaining: registers, then (only as the final operand) an immediate
+    srcs: list[int] = []
+    for position, token in enumerate(tokens):
+        reg = _parse_reg(token)
+        if reg is not None:
+            srcs.append(reg)
+            continue
+        if position != len(tokens) - 1 or op.imm is not None:
+            raise CompileError(
+                f"{mnemonic}: immediates are only legal as the final "
+                f"operand in {line!r}"
+            )
+        op.imm = _parse_imm(token)
+    op.srcs = tuple(srcs)
+    return op
+
+
+def _is_number(token: str) -> bool:
+    try:
+        _parse_imm(token)
+        return True
+    except CompileError:
+        return False
+
+
+def _lines_of(text: str):
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(";") or line.startswith("#"):
+            continue
+        yield line
+
+
+def assemble_conventional(
+    text: str,
+    data: DataSegment | None = None,
+    entry: str = "_start",
+    name: str = "asm",
+) -> ConventionalProgram:
+    """Assemble conventional-ISA text into an executable image."""
+    prog = ConventionalProgram(data or DataSegment(), entry, name)
+    from repro.isa.program import CODE_BASE
+    from repro.isa.operation import OP_BYTES
+
+    for line in _lines_of(text):
+        if line.endswith(":") or (line.split(";")[0].strip().endswith(":")):
+            label = line.split(";")[0].strip()[:-1].strip()
+            if label in prog.label_addrs:
+                raise CompileError(f"duplicate label {label!r}")
+            prog.label_addrs[label] = CODE_BASE + len(prog.ops) * OP_BYTES
+            continue
+        prog.ops.append(parse_op(line))
+    if entry not in prog.label_addrs:
+        raise CompileError(f"no entry label {entry!r}")
+    prog.finalize()
+    return prog
+
+
+def assemble_block_structured(
+    text: str,
+    data: DataSegment | None = None,
+    entry: str = "_start",
+    name: str = "asm",
+) -> BlockProgram:
+    """Assemble BS-ISA text into an executable image of atomic blocks."""
+    prog = BlockProgram(data or DataSegment(), entry, name)
+    label: str | None = None
+    path: tuple[str, ...] = ()
+    dirs: tuple[int, ...] = ()
+    ops: list[MachineOp] = []
+
+    def flush():
+        nonlocal ops
+        if label is None:
+            return
+        if not ops:
+            raise CompileError(f"block {label!r} has no operations")
+        if not ops[-1].is_control:
+            raise CompileError(f"block {label!r} must end with a control op")
+        prog.add_block(AtomicBlock(label, ops, path or (label,), dirs))
+        ops = []
+
+    for line in _lines_of(text):
+        head = line.split(";", 1)[0].strip()
+        if head.endswith(":"):
+            flush()
+            label = head[:-1].strip()
+            path, dirs = (label,), ()
+            meta = _PATH_META.search(line)
+            if meta:
+                path = tuple(meta.group(1).split("+"))
+                if meta.group(2):
+                    dirs = tuple(
+                        int(d) for d in meta.group(2).split(",") if d.strip()
+                    )
+            continue
+        if label is None:
+            raise CompileError(f"operation before any block label: {line!r}")
+        ops.append(parse_op(line))
+    flush()
+    if entry not in prog.by_label:
+        raise CompileError(f"no entry block {entry!r}")
+    prog.finalize()
+    return prog

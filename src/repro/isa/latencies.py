@@ -1,0 +1,67 @@
+"""Instruction classes and execution latencies.
+
+This module is the direct encoding of **Table 1** of the paper:
+
+======================  ===========  =================================
+Instruction class       Exec. lat.   Description
+======================  ===========  =================================
+Integer                 1            INT add, sub and logic ops
+FP Add                  3            FP add, sub, and convert
+FP/INT Mul              3            FP mul and INT mul
+FP/INT Div              8            FP div and INT div
+Load                    2            Memory loads
+Store                   1            Memory stores
+Bit Field               1            Shift, and bit testing
+Branch                  1            Control instructions
+======================  ===========  =================================
+
+The latencies apply identically to the conventional and block-structured
+processors (the paper configures both machines the same way).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstrClass(enum.Enum):
+    """The eight functional-unit classes of Table 1."""
+
+    INTEGER = "Integer"
+    FP_ADD = "FP Add"
+    MUL = "FP/INT Mul"
+    DIV = "FP/INT Div"
+    LOAD = "Load"
+    STORE = "Store"
+    BIT_FIELD = "Bit Field"
+    BRANCH = "Branch"
+
+
+#: Execution latency, in cycles, of each class (Table 1).
+LATENCY: dict[InstrClass, int] = {
+    InstrClass.INTEGER: 1,
+    InstrClass.FP_ADD: 3,
+    InstrClass.MUL: 3,
+    InstrClass.DIV: 8,
+    InstrClass.LOAD: 2,
+    InstrClass.STORE: 1,
+    InstrClass.BIT_FIELD: 1,
+    InstrClass.BRANCH: 1,
+}
+
+#: Description column of Table 1, for harness rendering.
+CLASS_DESCRIPTION: dict[InstrClass, str] = {
+    InstrClass.INTEGER: "INT add, sub and logic OPs",
+    InstrClass.FP_ADD: "FP add, sub, and convert",
+    InstrClass.MUL: "FP mul and INT mul",
+    InstrClass.DIV: "FP div and INT div",
+    InstrClass.LOAD: "Memory loads",
+    InstrClass.STORE: "Memory stores",
+    InstrClass.BIT_FIELD: "Shift, and bit testing",
+    InstrClass.BRANCH: "Control instructions",
+}
+
+
+def latency_of(cls: InstrClass) -> int:
+    """Return the execution latency in cycles for *cls*."""
+    return LATENCY[cls]

@@ -1,0 +1,168 @@
+"""Machine opcodes shared by the conventional and block-structured ISAs.
+
+The operation set corresponds to "the instructions of a load/store
+architecture with the exception of conditional branches with direct
+targets" (paper §4.1): the conventional ISA expresses those as ``BR``
+while the BS-ISA expresses them as ``TRAP`` (end-of-block two-target
+branch) and ``FAULT`` (block-suppressing branch inserted by the block
+enlargement optimization).
+
+Compare operations write 0/1 into an integer register; ``BR``/``TRAP``/
+``FAULT`` test an integer register against zero, so a conditional branch
+in either ISA is a compare op plus a control op — mirroring the paper's
+MIPS-like baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.latencies import InstrClass
+
+
+class Opcode(enum.Enum):
+    # Integer ALU (class Integer)
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLT = "slt"
+    SLE = "sle"
+    SEQ = "seq"
+    SNE = "sne"
+    MOV = "mov"
+    MOVI = "movi"
+    # Predicated moves (if-conversion): dest = a if cond != 0 else b
+    SELECT = "select"
+    FSELECT = "fselect"
+    # Output intrinsics (side-effecting, class Integer)
+    PUTINT = "putint"
+    PUTFLT = "putflt"
+    PUTCH = "putch"
+    # Bit field (class Bit Field)
+    SHL = "shl"
+    SHR = "shr"
+    SRA = "sra"
+    # Multiply (class FP/INT Mul)
+    MUL = "mul"
+    FMUL = "fmul"
+    # Divide (class FP/INT Div)
+    DIV = "div"
+    REM = "rem"
+    FDIV = "fdiv"
+    # FP add / convert / compare (class FP Add)
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMOV = "fmov"
+    FMOVI = "fmovi"
+    CVTIF = "cvtif"
+    CVTFI = "cvtfi"
+    FSLT = "fslt"
+    FSLE = "fsle"
+    FSEQ = "fseq"
+    FSNE = "fsne"
+    # Memory (classes Load / Store)
+    LD = "ld"
+    FLD = "fld"
+    ST = "st"
+    FST = "fst"
+    # Scaled-index addressing forms: address = base + (index << 3) + imm
+    LDX = "ldx"
+    FLDX = "fldx"
+    STX = "stx"
+    FSTX = "fstx"
+    # Control (class Branch)
+    BR = "br"  # conventional ISA only
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    HALT = "halt"
+    TRAP = "trap"  # BS-ISA only
+    FAULT = "fault"  # BS-ISA only
+    # Back-end pseudo-op: resolved to `add dest, sp, imm` once the frame
+    # layout is known. Never appears in a finalized program image.
+    FRAMEADDR = "frameaddr"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of an opcode used across the toolchain."""
+
+    klass: InstrClass
+    writes_dest: bool
+    nsrc: int
+    is_control: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    fp_dest: bool = False
+    fp_srcs: bool = False
+    has_imm: bool = False
+    is_output: bool = False
+
+
+_I = InstrClass
+
+OPCODE_INFO: dict[Opcode, OpcodeInfo] = {
+    Opcode.ADD: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.SUB: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.AND: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.OR: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.XOR: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.SLT: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.SLE: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.SEQ: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.SNE: OpcodeInfo(_I.INTEGER, True, 2),
+    Opcode.MOV: OpcodeInfo(_I.INTEGER, True, 1),
+    Opcode.MOVI: OpcodeInfo(_I.INTEGER, True, 0, has_imm=True),
+    Opcode.SELECT: OpcodeInfo(_I.INTEGER, True, 3),
+    Opcode.FSELECT: OpcodeInfo(_I.INTEGER, True, 3, fp_dest=True),
+    Opcode.PUTINT: OpcodeInfo(_I.INTEGER, False, 1, is_output=True),
+    Opcode.PUTFLT: OpcodeInfo(_I.INTEGER, False, 1, fp_srcs=True, is_output=True),
+    Opcode.PUTCH: OpcodeInfo(_I.INTEGER, False, 1, is_output=True),
+    Opcode.SHL: OpcodeInfo(_I.BIT_FIELD, True, 2),
+    Opcode.SHR: OpcodeInfo(_I.BIT_FIELD, True, 2),
+    Opcode.SRA: OpcodeInfo(_I.BIT_FIELD, True, 2),
+    Opcode.MUL: OpcodeInfo(_I.MUL, True, 2),
+    Opcode.FMUL: OpcodeInfo(_I.MUL, True, 2, fp_dest=True, fp_srcs=True),
+    Opcode.DIV: OpcodeInfo(_I.DIV, True, 2),
+    Opcode.REM: OpcodeInfo(_I.DIV, True, 2),
+    Opcode.FDIV: OpcodeInfo(_I.DIV, True, 2, fp_dest=True, fp_srcs=True),
+    Opcode.FADD: OpcodeInfo(_I.FP_ADD, True, 2, fp_dest=True, fp_srcs=True),
+    Opcode.FSUB: OpcodeInfo(_I.FP_ADD, True, 2, fp_dest=True, fp_srcs=True),
+    Opcode.FMOV: OpcodeInfo(_I.FP_ADD, True, 1, fp_dest=True, fp_srcs=True),
+    Opcode.FMOVI: OpcodeInfo(_I.FP_ADD, True, 0, fp_dest=True, has_imm=True),
+    Opcode.CVTIF: OpcodeInfo(_I.FP_ADD, True, 1, fp_dest=True),
+    Opcode.CVTFI: OpcodeInfo(_I.FP_ADD, True, 1, fp_srcs=True),
+    Opcode.FSLT: OpcodeInfo(_I.FP_ADD, True, 2, fp_srcs=True),
+    Opcode.FSLE: OpcodeInfo(_I.FP_ADD, True, 2, fp_srcs=True),
+    Opcode.FSEQ: OpcodeInfo(_I.FP_ADD, True, 2, fp_srcs=True),
+    Opcode.FSNE: OpcodeInfo(_I.FP_ADD, True, 2, fp_srcs=True),
+    Opcode.LD: OpcodeInfo(_I.LOAD, True, 1, is_load=True, has_imm=True),
+    Opcode.FLD: OpcodeInfo(_I.LOAD, True, 1, is_load=True, fp_dest=True, has_imm=True),
+    Opcode.ST: OpcodeInfo(_I.STORE, False, 2, is_store=True, has_imm=True),
+    Opcode.FST: OpcodeInfo(_I.STORE, False, 2, is_store=True, has_imm=True),
+    Opcode.LDX: OpcodeInfo(_I.LOAD, True, 2, is_load=True, has_imm=True),
+    Opcode.FLDX: OpcodeInfo(_I.LOAD, True, 2, is_load=True, fp_dest=True, has_imm=True),
+    Opcode.STX: OpcodeInfo(_I.STORE, False, 3, is_store=True, has_imm=True),
+    Opcode.FSTX: OpcodeInfo(_I.STORE, False, 3, is_store=True, has_imm=True),
+    Opcode.BR: OpcodeInfo(_I.BRANCH, False, 1, is_control=True),
+    Opcode.JMP: OpcodeInfo(_I.BRANCH, False, 0, is_control=True),
+    Opcode.CALL: OpcodeInfo(_I.BRANCH, True, 0, is_control=True),
+    Opcode.RET: OpcodeInfo(_I.BRANCH, False, 1, is_control=True),
+    Opcode.HALT: OpcodeInfo(_I.BRANCH, False, 0, is_control=True),
+    Opcode.TRAP: OpcodeInfo(_I.BRANCH, False, 1, is_control=True),
+    Opcode.FAULT: OpcodeInfo(_I.BRANCH, False, 1, is_control=True),
+    Opcode.FRAMEADDR: OpcodeInfo(_I.INTEGER, True, 0, has_imm=True),
+}
+
+#: Opcodes legal only in conventional-ISA images.
+CONVENTIONAL_ONLY = frozenset({Opcode.BR})
+#: Opcodes legal only in block-structured-ISA images.
+BLOCK_ONLY = frozenset({Opcode.TRAP, Opcode.FAULT})
+
+
+def info(opcode: Opcode) -> OpcodeInfo:
+    """Return the :class:`OpcodeInfo` for *opcode*."""
+    return OPCODE_INFO[opcode]

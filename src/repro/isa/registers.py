@@ -1,0 +1,87 @@
+"""Register-file layout and calling convention.
+
+Both ISAs share a load/store register file:
+
+* 32 integer registers, ids ``0..31`` (``r0`` is hardwired to zero);
+* 32 floating-point registers, ids ``32..63`` (``f0`` is hardwired to 0.0).
+
+Register ids ``>= FIRST_VREG`` (64) denote *virtual* registers used by the
+back end before register allocation; they never appear in an executable
+program image.
+
+Calling convention
+------------------
+
+==============  =======================================================
+``r0`` / ``f0``  hardwired zero
+``r2`` / ``f2``  return value (int / float)
+``r4..r11``      integer argument registers (by argument position)
+``f4..f11``      floating-point argument registers (by argument position)
+``r16..r27``     callee-saved integer registers
+``f16..f27``     callee-saved floating-point registers
+``r29``          stack pointer (grows down, 8-byte aligned)
+``r31``          return address (written by ``CALL``)
+==============  =======================================================
+
+Everything not listed as callee-saved is caller-saved; the linear-scan
+allocator places values that are live across a call into the callee-saved
+set and the prologue/epilogue save and restore exactly the callee-saved
+registers a function actually uses.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: First floating-point register id.
+FP_BASE = NUM_INT_REGS
+#: First virtual-register id (back-end internal).
+FIRST_VREG = NUM_INT_REGS + NUM_FP_REGS
+
+ZERO = 0  # hardwired integer zero (f0 == FP_BASE is the FP zero)
+RV = 2  # integer return value; FP return value is FP_BASE + 2
+RA = 31  # return address, written by CALL
+SP = 29  # stack pointer
+
+ARG_BASE = 4  # r4/f4 hold the first argument
+NUM_ARG_REGS = 8
+
+#: Callee-saved registers (saved/restored by the prologue/epilogue).
+CALLEE_SAVED_INT = tuple(range(16, 28))
+CALLEE_SAVED_FP = tuple(range(FP_BASE + 16, FP_BASE + 28))
+
+#: Reserved spill-scratch registers (never allocated; used by the spill
+#: rewriting pass to shuttle values between memory and operations).
+INT_SCRATCH = (12, 13)
+FP_SCRATCH = (FP_BASE + 12, FP_BASE + 13)
+
+#: Caller-saved scratch registers handed out by the allocator.
+_CALLER_SAVED_INT = (14, 15, 3, 28)
+_CALLER_SAVED_FP = (FP_BASE + 14, FP_BASE + 15, FP_BASE + 3, FP_BASE + 28)
+
+#: Full allocatable pools: caller-saved first so short-lived values avoid
+#: forcing prologue saves, then the callee-saved set.
+ALLOCATABLE_INT = _CALLER_SAVED_INT + CALLEE_SAVED_INT
+ALLOCATABLE_FP = _CALLER_SAVED_FP + CALLEE_SAVED_FP
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if *reg* is a physical floating-point register id."""
+    return FP_BASE <= reg < FIRST_VREG
+
+
+def is_virtual(reg: int) -> bool:
+    """True if *reg* is a virtual (pre-allocation) register id."""
+    return reg >= FIRST_VREG
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable register name (``r7``, ``f3``, ``v42``)."""
+    if reg < 0:
+        raise ValueError(f"negative register id {reg}")
+    if reg < FP_BASE:
+        return f"r{reg}"
+    if reg < FIRST_VREG:
+        return f"f{reg - FP_BASE}"
+    return f"v{reg - FIRST_VREG}"

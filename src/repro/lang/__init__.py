@@ -1,0 +1,20 @@
+"""MiniC: the small C-like source language compiled by this toolchain.
+
+MiniC stands in for the C subset the paper compiled with the retargeted
+Intel Reference C Compiler. It supports ``int`` (64-bit) and ``float``
+scalars, fixed-size arrays (global, local, and array parameters passed by
+reference), functions, ``if``/``while``/``for``/``break``/``continue``/
+``return``, the usual C operators including short-circuit ``&&``/``||``,
+cast expressions ``int(e)`` / ``float(e)``, and the output builtins
+``print_int``, ``print_float`` and ``print_char``.
+
+A function may be declared with the ``library`` qualifier; the block
+enlargement pass refuses to combine blocks inside library functions
+(paper §4.2, termination condition 5).
+"""
+
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.semantic import analyze
+
+__all__ = ["tokenize", "parse", "analyze"]

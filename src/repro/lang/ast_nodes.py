@@ -1,0 +1,199 @@
+"""AST node definitions for MiniC.
+
+Nodes are plain dataclasses; the semantic pass (:mod:`repro.lang.semantic`)
+annotates expressions with their computed :class:`Type` in ``ty``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BaseType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    VOID = "void"
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniC type: a base type, optionally an array of it."""
+
+    base: BaseType
+    is_array: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.base.value}[]" if self.is_array else self.base.value
+
+
+INT = Type(BaseType.INT)
+FLOAT = Type(BaseType.FLOAT)
+VOID = Type(BaseType.VOID)
+INT_ARRAY = Type(BaseType.INT, True)
+FLOAT_ARRAY = Type(BaseType.FLOAT, True)
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    ty: Type = field(default=VOID, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    target: Type = VOID
+    operand: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ty: Type = VOID
+    array_size: int | None = None
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # type: ignore[assignment]  # Name or Index
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Block = None  # type: ignore[assignment]
+    orelse: Block | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ty: Type = VOID
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    ret: Type = VOID
+    params: list[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+    is_library: bool = False
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    ty: Type = VOID
+    array_size: int | None = None
+    init: int | float | None = None
+
+
+@dataclass
+class Program(Node):
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,156 @@
+"""Hand-written lexer for MiniC."""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, TokKind, Token
+
+_TWO_CHAR = {
+    "<<": TokKind.SHL,
+    ">>": TokKind.SHR,
+    "&&": TokKind.ANDAND,
+    "||": TokKind.OROR,
+    "==": TokKind.EQEQ,
+    "!=": TokKind.BANGEQ,
+    "<=": TokKind.LE,
+    ">=": TokKind.GE,
+}
+
+_ONE_CHAR = {
+    "(": TokKind.LPAREN,
+    ")": TokKind.RPAREN,
+    "{": TokKind.LBRACE,
+    "}": TokKind.RBRACE,
+    "[": TokKind.LBRACKET,
+    "]": TokKind.RBRACKET,
+    ";": TokKind.SEMI,
+    ",": TokKind.COMMA,
+    "+": TokKind.PLUS,
+    "-": TokKind.MINUS,
+    "*": TokKind.STAR,
+    "/": TokKind.SLASH,
+    "%": TokKind.PERCENT,
+    "&": TokKind.AMP,
+    "|": TokKind.PIPE,
+    "^": TokKind.CARET,
+    "!": TokKind.BANG,
+    "<": TokKind.LT,
+    ">": TokKind.GT,
+    "=": TokKind.ASSIGN,
+}
+
+
+class _Cursor:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    @property
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+
+def _skip_trivia(cur: _Cursor) -> None:
+    while not cur.at_end:
+        ch = cur.peek()
+        if ch in " \t\r\n":
+            cur.advance()
+        elif ch == "/" and cur.peek(1) == "/":
+            while not cur.at_end and cur.peek() != "\n":
+                cur.advance()
+        elif ch == "/" and cur.peek(1) == "*":
+            line, col = cur.line, cur.col
+            cur.advance(2)
+            while not (cur.peek() == "*" and cur.peek(1) == "/"):
+                if cur.at_end:
+                    raise LexError("unterminated block comment", line, col)
+                cur.advance()
+            cur.advance(2)
+        else:
+            return
+
+
+def _lex_number(cur: _Cursor) -> Token:
+    line, col = cur.line, cur.col
+    start = cur.pos
+    text = cur.text
+    if cur.peek() == "0" and cur.peek(1) in "xX":
+        cur.advance(2)
+        while cur.peek().isalnum():
+            cur.advance()
+        literal = text[start : cur.pos]
+        try:
+            return Token(TokKind.INT_LIT, literal, line, col, int(literal, 16))
+        except ValueError:
+            raise LexError(f"invalid hex literal {literal!r}", line, col)
+    while cur.peek().isdigit():
+        cur.advance()
+    is_float = False
+    if cur.peek() == "." and cur.peek(1).isdigit():
+        is_float = True
+        cur.advance()
+        while cur.peek().isdigit():
+            cur.advance()
+    if cur.peek() in "eE" and (
+        cur.peek(1).isdigit() or (cur.peek(1) in "+-" and cur.peek(2).isdigit())
+    ):
+        is_float = True
+        cur.advance()
+        if cur.peek() in "+-":
+            cur.advance()
+        while cur.peek().isdigit():
+            cur.advance()
+    literal = text[start : cur.pos]
+    if is_float:
+        return Token(TokKind.FLOAT_LIT, literal, line, col, float(literal))
+    return Token(TokKind.INT_LIT, literal, line, col, int(literal))
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert MiniC *source* into a token list ending with EOF."""
+    cur = _Cursor(source)
+    tokens: list[Token] = []
+    while True:
+        _skip_trivia(cur)
+        if cur.at_end:
+            tokens.append(Token(TokKind.EOF, "", cur.line, cur.col))
+            return tokens
+        line, col = cur.line, cur.col
+        ch = cur.peek()
+        if ch.isdigit():
+            tokens.append(_lex_number(cur))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = cur.pos
+            while cur.peek().isalnum() or cur.peek() == "_":
+                cur.advance()
+            word = cur.text[start : cur.pos]
+            kind = KEYWORDS.get(word, TokKind.IDENT)
+            tokens.append(Token(kind, word, line, col))
+            continue
+        pair = ch + cur.peek(1)
+        if pair in _TWO_CHAR:
+            cur.advance(2)
+            tokens.append(Token(_TWO_CHAR[pair], pair, line, col))
+            continue
+        if ch in _ONE_CHAR:
+            cur.advance()
+            tokens.append(Token(_ONE_CHAR[ch], ch, line, col))
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)

@@ -1,0 +1,392 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind, Token
+
+_TYPE_KEYWORDS = {
+    TokKind.KW_INT: ast.BaseType.INT,
+    TokKind.KW_FLOAT: ast.BaseType.FLOAT,
+    TokKind.KW_VOID: ast.BaseType.VOID,
+}
+
+# binary operator precedence, loosest first
+_BIN_LEVELS: list[set[str]] = [
+    {"||"},
+    {"&&"},
+    {"|"},
+    {"^"},
+    {"&"},
+    {"==", "!="},
+    {"<", "<=", ">", ">="},
+    {"<<", ">>"},
+    {"+", "-"},
+    {"*", "/", "%"},
+]
+
+_BIN_TOKENS = {
+    TokKind.OROR: "||",
+    TokKind.ANDAND: "&&",
+    TokKind.PIPE: "|",
+    TokKind.CARET: "^",
+    TokKind.AMP: "&",
+    TokKind.EQEQ: "==",
+    TokKind.BANGEQ: "!=",
+    TokKind.LT: "<",
+    TokKind.LE: "<=",
+    TokKind.GT: ">",
+    TokKind.GE: ">=",
+    TokKind.SHL: "<<",
+    TokKind.SHR: ">>",
+    TokKind.PLUS: "+",
+    TokKind.MINUS: "-",
+    TokKind.STAR: "*",
+    TokKind.SLASH: "/",
+    TokKind.PERCENT: "%",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ---- token plumbing -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, kind: TokKind) -> bool:
+        return self.peek().kind is kind
+
+    def accept(self, kind: TokKind) -> Token | None:
+        if self.check(kind):
+            return self.next()
+        return None
+
+    def expect(self, kind: TokKind) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r}, found {tok.text or 'end of input'!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.next()
+
+    # ---- declarations ----------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check(TokKind.EOF):
+            is_library = self.accept(TokKind.KW_LIBRARY) is not None
+            ty_tok = self.peek()
+            if ty_tok.kind not in _TYPE_KEYWORDS:
+                raise ParseError(
+                    f"expected a declaration, found {ty_tok.text!r}",
+                    ty_tok.line,
+                    ty_tok.column,
+                )
+            self.next()
+            base = _TYPE_KEYWORDS[ty_tok.kind]
+            name = self.expect(TokKind.IDENT)
+            if self.check(TokKind.LPAREN):
+                program.functions.append(
+                    self._function_rest(base, name, is_library)
+                )
+            else:
+                if is_library:
+                    raise ParseError(
+                        "'library' applies only to functions",
+                        ty_tok.line,
+                        ty_tok.column,
+                    )
+                program.globals.append(self._global_rest(base, name))
+        return program
+
+    def _global_rest(self, base: ast.BaseType, name: Token) -> ast.GlobalDecl:
+        decl = ast.GlobalDecl(
+            name=name.text, ty=ast.Type(base), line=name.line
+        )
+        if base is ast.BaseType.VOID:
+            raise ParseError("globals cannot be void", name.line, name.column)
+        if self.accept(TokKind.LBRACKET):
+            size = self.expect(TokKind.INT_LIT)
+            decl.array_size = int(size.value)  # type: ignore[arg-type]
+            decl.ty = ast.Type(base, is_array=True)
+            self.expect(TokKind.RBRACKET)
+        if self.accept(TokKind.ASSIGN):
+            negative = self.accept(TokKind.MINUS) is not None
+            lit = self.next()
+            if lit.kind not in (TokKind.INT_LIT, TokKind.FLOAT_LIT):
+                raise ParseError(
+                    "global initializers must be literals", lit.line, lit.column
+                )
+            value = lit.value
+            decl.init = -value if negative else value  # type: ignore[operator]
+        self.expect(TokKind.SEMI)
+        return decl
+
+    def _function_rest(
+        self, base: ast.BaseType, name: Token, is_library: bool
+    ) -> ast.FuncDecl:
+        self.expect(TokKind.LPAREN)
+        params: list[ast.Param] = []
+        if not self.check(TokKind.RPAREN):
+            while True:
+                p_ty = self.peek()
+                if p_ty.kind not in _TYPE_KEYWORDS or p_ty.kind is TokKind.KW_VOID:
+                    raise ParseError(
+                        f"expected parameter type, found {p_ty.text!r}",
+                        p_ty.line,
+                        p_ty.column,
+                    )
+                self.next()
+                p_base = _TYPE_KEYWORDS[p_ty.kind]
+                p_name = self.expect(TokKind.IDENT)
+                is_array = False
+                if self.accept(TokKind.LBRACKET):
+                    self.expect(TokKind.RBRACKET)
+                    is_array = True
+                params.append(
+                    ast.Param(
+                        name=p_name.text,
+                        ty=ast.Type(p_base, is_array),
+                        line=p_name.line,
+                    )
+                )
+                if not self.accept(TokKind.COMMA):
+                    break
+        self.expect(TokKind.RPAREN)
+        body = self.parse_block()
+        return ast.FuncDecl(
+            name=name.text,
+            ret=ast.Type(base),
+            params=params,
+            body=body,
+            is_library=is_library,
+            line=name.line,
+        )
+
+    # ---- statements -------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        open_tok = self.expect(TokKind.LBRACE)
+        block = ast.Block(line=open_tok.line)
+        while not self.check(TokKind.RBRACE):
+            if self.check(TokKind.EOF):
+                raise ParseError("unterminated block", open_tok.line, open_tok.column)
+            block.stmts.append(self.parse_stmt())
+        self.expect(TokKind.RBRACE)
+        return block
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind is TokKind.LBRACE:
+            return self.parse_block()
+        if tok.kind in (TokKind.KW_INT, TokKind.KW_FLOAT):
+            # A declaration unless this is a cast expression `int(...)`.
+            if self.peek(1).kind is not TokKind.LPAREN:
+                return self._var_decl()
+        if tok.kind is TokKind.KW_IF:
+            return self._if_stmt()
+        if tok.kind is TokKind.KW_WHILE:
+            return self._while_stmt()
+        if tok.kind is TokKind.KW_FOR:
+            return self._for_stmt()
+        if tok.kind is TokKind.KW_RETURN:
+            self.next()
+            value = None
+            if not self.check(TokKind.SEMI):
+                value = self.parse_expr()
+            self.expect(TokKind.SEMI)
+            return ast.Return(value=value, line=tok.line)
+        if tok.kind is TokKind.KW_BREAK:
+            self.next()
+            self.expect(TokKind.SEMI)
+            return ast.Break(line=tok.line)
+        if tok.kind is TokKind.KW_CONTINUE:
+            self.next()
+            self.expect(TokKind.SEMI)
+            return ast.Continue(line=tok.line)
+        stmt = self._simple_stmt()
+        self.expect(TokKind.SEMI)
+        return stmt
+
+    def _var_decl(self) -> ast.VarDecl:
+        ty_tok = self.next()
+        base = _TYPE_KEYWORDS[ty_tok.kind]
+        name = self.expect(TokKind.IDENT)
+        decl = ast.VarDecl(name=name.text, ty=ast.Type(base), line=name.line)
+        if self.accept(TokKind.LBRACKET):
+            size = self.expect(TokKind.INT_LIT)
+            decl.array_size = int(size.value)  # type: ignore[arg-type]
+            decl.ty = ast.Type(base, is_array=True)
+            self.expect(TokKind.RBRACKET)
+        if self.accept(TokKind.ASSIGN):
+            if decl.array_size is not None:
+                raise ParseError(
+                    "array declarations cannot have initializers",
+                    name.line,
+                    name.column,
+                )
+            decl.init = self.parse_expr()
+        self.expect(TokKind.SEMI)
+        return decl
+
+    def _simple_stmt(self) -> ast.Stmt:
+        """An assignment or a bare expression (no trailing semicolon)."""
+        start = self.pos
+        tok = self.peek()
+        expr = self.parse_expr()
+        if self.check(TokKind.ASSIGN):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError(
+                    "assignment target must be a variable or array element",
+                    tok.line,
+                    tok.column,
+                )
+            self.next()
+            value = self.parse_expr()
+            return ast.Assign(target=expr, value=value, line=tok.line)
+        del start
+        return ast.ExprStmt(expr=expr, line=tok.line)
+
+    def _if_stmt(self) -> ast.If:
+        tok = self.expect(TokKind.KW_IF)
+        self.expect(TokKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokKind.RPAREN)
+        then = self._stmt_as_block()
+        orelse = None
+        if self.accept(TokKind.KW_ELSE):
+            orelse = self._stmt_as_block()
+        return ast.If(cond=cond, then=then, orelse=orelse, line=tok.line)
+
+    def _while_stmt(self) -> ast.While:
+        tok = self.expect(TokKind.KW_WHILE)
+        self.expect(TokKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokKind.RPAREN)
+        body = self._stmt_as_block()
+        return ast.While(cond=cond, body=body, line=tok.line)
+
+    def _for_stmt(self) -> ast.For:
+        tok = self.expect(TokKind.KW_FOR)
+        self.expect(TokKind.LPAREN)
+        init: ast.Stmt | None = None
+        if not self.check(TokKind.SEMI):
+            if self.peek().kind in (TokKind.KW_INT, TokKind.KW_FLOAT):
+                init = self._var_decl()  # consumes the semicolon
+            else:
+                init = self._simple_stmt()
+                self.expect(TokKind.SEMI)
+        else:
+            self.expect(TokKind.SEMI)
+        cond = None
+        if not self.check(TokKind.SEMI):
+            cond = self.parse_expr()
+        self.expect(TokKind.SEMI)
+        step = None
+        if not self.check(TokKind.RPAREN):
+            step = self._simple_stmt()
+        self.expect(TokKind.RPAREN)
+        body = self._stmt_as_block()
+        return ast.For(init=init, cond=cond, step=step, body=body, line=tok.line)
+
+    def _stmt_as_block(self) -> ast.Block:
+        if self.check(TokKind.LBRACE):
+            return self.parse_block()
+        stmt = self.parse_stmt()
+        return ast.Block(stmts=[stmt], line=stmt.line)
+
+    # ---- expressions ------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_BIN_LEVELS):
+            return self._unary()
+        left = self._binary(level + 1)
+        ops = _BIN_LEVELS[level]
+        while True:
+            tok = self.peek()
+            op = _BIN_TOKENS.get(tok.kind)
+            if op is None or op not in ops:
+                return left
+            self.next()
+            right = self._binary(level + 1)
+            left = ast.BinOp(op=op, left=left, right=right, line=tok.line)
+
+    def _unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is TokKind.MINUS:
+            self.next()
+            operand = self._unary()
+            return ast.UnOp(op="-", operand=operand, line=tok.line)
+        if tok.kind is TokKind.BANG:
+            self.next()
+            operand = self._unary()
+            return ast.UnOp(op="!", operand=operand, line=tok.line)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is TokKind.INT_LIT:
+            self.next()
+            return ast.IntLit(value=int(tok.value), line=tok.line)  # type: ignore[arg-type]
+        if tok.kind is TokKind.FLOAT_LIT:
+            self.next()
+            return ast.FloatLit(value=float(tok.value), line=tok.line)  # type: ignore[arg-type]
+        if tok.kind in (TokKind.KW_INT, TokKind.KW_FLOAT):
+            self.next()
+            self.expect(TokKind.LPAREN)
+            operand = self.parse_expr()
+            self.expect(TokKind.RPAREN)
+            target = ast.INT if tok.kind is TokKind.KW_INT else ast.FLOAT
+            return ast.Cast(target=target, operand=operand, line=tok.line)
+        if tok.kind is TokKind.LPAREN:
+            self.next()
+            expr = self.parse_expr()
+            self.expect(TokKind.RPAREN)
+            return expr
+        if tok.kind is TokKind.IDENT:
+            self.next()
+            if self.check(TokKind.LPAREN):
+                self.next()
+                args: list[ast.Expr] = []
+                if not self.check(TokKind.RPAREN):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(TokKind.COMMA):
+                            break
+                self.expect(TokKind.RPAREN)
+                return ast.Call(func=tok.text, args=args, line=tok.line)
+            expr: ast.Expr = ast.Name(ident=tok.text, line=tok.line)
+            while self.check(TokKind.LBRACKET):
+                self.next()
+                index = self.parse_expr()
+                self.expect(TokKind.RBRACKET)
+                expr = ast.Index(base=expr, index=index, line=tok.line)
+            return expr
+        raise ParseError(
+            f"expected an expression, found {tok.text or 'end of input'!r}",
+            tok.line,
+            tok.column,
+        )
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC *source* into an (un-typed) AST."""
+    return _Parser(tokenize(source)).parse_program()

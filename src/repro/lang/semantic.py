@@ -1,0 +1,314 @@
+"""Semantic analysis (name resolution and type checking) for MiniC.
+
+``analyze`` walks the AST, resolves every :class:`~repro.lang.ast_nodes.Name`
+to a :class:`Symbol` (attached as ``node.binding``), annotates every
+expression's ``ty``, and raises :class:`~repro.errors.TypeCheckError` on
+any violation. The lowering pass relies on the attached bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TypeCheckError
+from repro.lang import ast_nodes as ast
+from repro.lang.ast_nodes import FLOAT, INT, VOID, BaseType, Type
+
+
+@dataclass
+class Symbol:
+    """A resolved variable: global, parameter, or local."""
+
+    name: str
+    ty: Type
+    kind: str  # "global" | "param" | "local"
+    array_size: int | None = None
+    uid: int = 0
+
+
+@dataclass
+class FuncSig:
+    name: str
+    ret: Type
+    params: list[Type]
+    is_library: bool = False
+    is_builtin: bool = False
+
+
+BUILTINS: dict[str, FuncSig] = {
+    "print_int": FuncSig("print_int", VOID, [INT], is_builtin=True),
+    "print_float": FuncSig("print_float", VOID, [FLOAT], is_builtin=True),
+    "print_char": FuncSig("print_char", VOID, [INT], is_builtin=True),
+}
+
+_INT_ONLY_OPS = {"%", "<<", ">>", "&", "|", "^", "&&", "||"}
+_ARITH_OPS = {"+", "-", "*", "/"}
+_CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def define(self, sym: Symbol, line: int) -> None:
+        if sym.name in self.symbols:
+            raise TypeCheckError(f"redefinition of {sym.name!r}", line)
+        self.symbols[sym.name] = sym
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class AnalyzedProgram:
+    """The type-checked program plus its symbol information."""
+
+    program: ast.Program
+    functions: dict[str, FuncSig]
+    globals: dict[str, Symbol]
+    #: per-function list of local symbols (for frame layout)
+    locals_of: dict[str, list[Symbol]] = field(default_factory=dict)
+
+
+class _Analyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.functions: dict[str, FuncSig] = dict(BUILTINS)
+        self.globals: dict[str, Symbol] = {}
+        self.locals_of: dict[str, list[Symbol]] = {}
+        self._uid = 0
+        self._loop_depth = 0
+        self._current: FuncSig | None = None
+        self._current_locals: list[Symbol] = []
+
+    def _new_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    # ---- top level --------------------------------------------------------
+
+    def run(self) -> AnalyzedProgram:
+        for g in self.program.globals:
+            if g.name in self.globals:
+                raise TypeCheckError(f"redefinition of global {g.name!r}", g.line)
+            if g.init is not None:
+                want_float = g.ty.base is BaseType.FLOAT
+                if want_float != isinstance(g.init, float):
+                    raise TypeCheckError(
+                        f"initializer type mismatch for {g.name!r}", g.line
+                    )
+            self.globals[g.name] = Symbol(
+                g.name, g.ty, "global", g.array_size, self._new_uid()
+            )
+        for f in self.program.functions:
+            if f.name in self.functions:
+                raise TypeCheckError(f"redefinition of function {f.name!r}", f.line)
+            self.functions[f.name] = FuncSig(
+                f.name, f.ret, [p.ty for p in f.params], f.is_library
+            )
+        if "main" not in self.functions:
+            raise TypeCheckError("program has no 'main' function")
+        main = self.functions["main"]
+        if main.params or main.ret.base is BaseType.FLOAT:
+            raise TypeCheckError("'main' must take no parameters and return int or void")
+        for f in self.program.functions:
+            self._check_function(f)
+        return AnalyzedProgram(self.program, self.functions, self.globals, self.locals_of)
+
+    def _check_function(self, f: ast.FuncDecl) -> None:
+        self._current = self.functions[f.name]
+        self._current_locals = []
+        scope = _Scope()
+        for g in self.globals.values():
+            scope.symbols[g.name] = g
+        fn_scope = _Scope(scope)
+        for p in f.params:
+            sym = Symbol(p.name, p.ty, "param", None, self._new_uid())
+            fn_scope.define(sym, p.line)
+            setattr(p, "binding", sym)
+        self._check_block(f.body, _Scope(fn_scope))
+        self.locals_of[f.name] = self._current_locals
+        self._current = None
+
+    # ---- statements --------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.ty.base is BaseType.VOID:
+                raise TypeCheckError("variables cannot be void", stmt.line)
+            sym = Symbol(stmt.name, stmt.ty, "local", stmt.array_size, self._new_uid())
+            if stmt.init is not None:
+                ty = self._check_expr(stmt.init, scope)
+                if ty != stmt.ty:
+                    raise TypeCheckError(
+                        f"cannot initialize {stmt.ty} variable {stmt.name!r} "
+                        f"with {ty} value",
+                        stmt.line,
+                    )
+            scope.define(sym, stmt.line)
+            self._current_locals.append(sym)
+            setattr(stmt, "binding", sym)
+        elif isinstance(stmt, ast.Assign):
+            target_ty = self._check_expr(stmt.target, scope)
+            if isinstance(stmt.target, ast.Name) and stmt.target.ty.is_array:
+                raise TypeCheckError("cannot assign to an array", stmt.line)
+            value_ty = self._check_expr(stmt.value, scope)
+            if target_ty != value_ty:
+                raise TypeCheckError(
+                    f"cannot assign {value_ty} to {target_ty}", stmt.line
+                )
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, _Scope(scope))
+        elif isinstance(stmt, ast.If):
+            self._expect_int(stmt.cond, scope, "if condition")
+            self._check_block(stmt.then, _Scope(scope))
+            if stmt.orelse is not None:
+                self._check_block(stmt.orelse, _Scope(scope))
+        elif isinstance(stmt, ast.While):
+            self._expect_int(stmt.cond, scope, "while condition")
+            self._loop_depth += 1
+            self._check_block(stmt.body, _Scope(scope))
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._expect_int(stmt.cond, inner, "for condition")
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_block(stmt.body, _Scope(inner))
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            assert self._current is not None
+            if stmt.value is None:
+                if self._current.ret != VOID:
+                    raise TypeCheckError(
+                        f"{self._current.name!r} must return {self._current.ret}",
+                        stmt.line,
+                    )
+            else:
+                ty = self._check_expr(stmt.value, scope)
+                if ty != self._current.ret:
+                    raise TypeCheckError(
+                        f"return type mismatch: expected {self._current.ret}, "
+                        f"got {ty}",
+                        stmt.line,
+                    )
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                word = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise TypeCheckError(f"{word!r} outside a loop", stmt.line)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise TypeCheckError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    # ---- expressions --------------------------------------------------------
+
+    def _expect_int(self, expr: ast.Expr, scope: _Scope, what: str) -> None:
+        ty = self._check_expr(expr, scope)
+        if ty != INT:
+            raise TypeCheckError(f"{what} must be int, got {ty}", expr.line)
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> Type:
+        ty = self._infer(expr, scope)
+        expr.ty = ty
+        return ty
+
+    def _infer(self, expr: ast.Expr, scope: _Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.Name):
+            sym = scope.lookup(expr.ident)
+            if sym is None:
+                raise TypeCheckError(f"undefined variable {expr.ident!r}", expr.line)
+            setattr(expr, "binding", sym)
+            return sym.ty
+        if isinstance(expr, ast.Index):
+            base_ty = self._check_expr(expr.base, scope)
+            if not base_ty.is_array:
+                raise TypeCheckError("indexing a non-array value", expr.line)
+            self._expect_int(expr.index, scope, "array index")
+            return Type(base_ty.base)
+        if isinstance(expr, ast.BinOp):
+            lt = self._check_expr(expr.left, scope)
+            rt = self._check_expr(expr.right, scope)
+            if lt.is_array or rt.is_array:
+                raise TypeCheckError(
+                    f"operator {expr.op!r} cannot apply to arrays", expr.line
+                )
+            if expr.op in _INT_ONLY_OPS:
+                if lt != INT or rt != INT:
+                    raise TypeCheckError(
+                        f"operator {expr.op!r} requires int operands", expr.line
+                    )
+                return INT
+            if lt != rt:
+                raise TypeCheckError(
+                    f"operand type mismatch for {expr.op!r}: {lt} vs {rt}",
+                    expr.line,
+                )
+            if expr.op in _CMP_OPS:
+                return INT
+            if expr.op in _ARITH_OPS:
+                return lt
+            raise TypeCheckError(f"unknown operator {expr.op!r}", expr.line)
+        if isinstance(expr, ast.UnOp):
+            ty = self._check_expr(expr.operand, scope)
+            if expr.op == "!":
+                if ty != INT:
+                    raise TypeCheckError("'!' requires an int operand", expr.line)
+                return INT
+            if expr.op == "-":
+                if ty.is_array:
+                    raise TypeCheckError("cannot negate an array", expr.line)
+                return ty
+            raise TypeCheckError(f"unknown unary operator {expr.op!r}", expr.line)
+        if isinstance(expr, ast.Cast):
+            ty = self._check_expr(expr.operand, scope)
+            if ty.is_array:
+                raise TypeCheckError("cannot cast an array", expr.line)
+            return expr.target
+        if isinstance(expr, ast.Call):
+            sig = self.functions.get(expr.func)
+            if sig is None:
+                raise TypeCheckError(f"undefined function {expr.func!r}", expr.line)
+            if len(expr.args) != len(sig.params):
+                raise TypeCheckError(
+                    f"{expr.func!r} expects {len(sig.params)} arguments, "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            for i, (arg, want) in enumerate(zip(expr.args, sig.params)):
+                got = self._check_expr(arg, scope)
+                if got != want:
+                    raise TypeCheckError(
+                        f"argument {i + 1} of {expr.func!r}: expected {want}, "
+                        f"got {got}",
+                        expr.line,
+                    )
+                if want.is_array and not isinstance(arg, ast.Name):
+                    raise TypeCheckError(
+                        "array arguments must be array variables", expr.line
+                    )
+            return sig.ret
+        raise TypeCheckError(f"unknown expression {type(expr).__name__}", expr.line)
+
+
+def analyze(program: ast.Program) -> AnalyzedProgram:
+    """Type-check *program* and return its symbol information."""
+    return _Analyzer(program).run()

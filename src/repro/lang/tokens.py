@@ -1,0 +1,83 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokKind(enum.Enum):
+    # literals / names
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    IDENT = "ident"
+    # keywords
+    KW_INT = "int"
+    KW_FLOAT = "float"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_LIBRARY = "library"
+    # punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    # operators
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    SHL = "<<"
+    SHR = ">>"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    BANG = "!"
+    ANDAND = "&&"
+    OROR = "||"
+    EQEQ = "=="
+    BANGEQ = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    ASSIGN = "="
+    EOF = "eof"
+
+
+KEYWORDS: dict[str, TokKind] = {
+    "int": TokKind.KW_INT,
+    "float": TokKind.KW_FLOAT,
+    "void": TokKind.KW_VOID,
+    "if": TokKind.KW_IF,
+    "else": TokKind.KW_ELSE,
+    "while": TokKind.KW_WHILE,
+    "for": TokKind.KW_FOR,
+    "return": TokKind.KW_RETURN,
+    "break": TokKind.KW_BREAK,
+    "continue": TokKind.KW_CONTINUE,
+    "library": TokKind.KW_LIBRARY,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    column: int
+    value: int | float | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

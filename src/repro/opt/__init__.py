@@ -1,0 +1,40 @@
+"""Middle-end optimizer.
+
+The passes mirror "the standard set of optimizations" the paper's Intel
+Reference C Compiler applied before either back end runs, guaranteeing
+that the conventional and block-structured executables differ *only* in
+block structuring (paper §5).
+
+All passes are correct on non-SSA IR: value-tracking passes are local to
+a basic block and kill facts on redefinition; DCE is a global use-count
+fixpoint.
+"""
+
+from repro.opt.constant_folding import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.cse import local_cse
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.ifconvert import (
+    IfConvertConfig,
+    if_convert_function,
+    if_convert_module,
+)
+from repro.opt.inline import InlineConfig, inline_module, remove_uncalled_functions
+from repro.opt.simplify_cfg import simplify_cfg
+from repro.opt.pipeline import optimize_function, optimize_module
+
+__all__ = [
+    "fold_constants",
+    "propagate_copies",
+    "local_cse",
+    "eliminate_dead_code",
+    "simplify_cfg",
+    "optimize_function",
+    "optimize_module",
+    "InlineConfig",
+    "inline_module",
+    "remove_uncalled_functions",
+    "IfConvertConfig",
+    "if_convert_function",
+    "if_convert_module",
+]

@@ -1,0 +1,94 @@
+"""Local constant folding and constant branch elimination.
+
+Within each block, tracks registers currently holding known constants
+(facts are killed on redefinition, so the pass is safe on non-SSA IR) and
+rewrites:
+
+* ``Bin``/``Un`` with all-constant operands → ``Const``;
+* algebraic identities with one constant operand (``x+0``, ``x*1``,
+  ``x*0``, ``x-0``, ``x<<0`` …) → ``Copy``/``Const``;
+* ``CondBr`` on a known constant → ``Jump``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Bin,
+    CondBr,
+    Const,
+    Copy,
+    Instr,
+    IrOp,
+    Jump,
+    Un,
+    VReg,
+)
+from repro.ir.structure import Function
+from repro.semantics import eval_binop, eval_unop
+
+_ZERO_IDENTITY = {IrOp.ADD, IrOp.SUB, IrOp.OR, IrOp.XOR, IrOp.SHL, IrOp.SHR, IrOp.SRA}
+_ANNIHILATES_TO_ZERO = {IrOp.MUL, IrOp.AND}
+
+
+def _fold_identities(instr: Bin, consts: dict[VReg, int | float]) -> Instr | None:
+    """Fold ``x op const`` identities; return a replacement or None."""
+    a_const = consts.get(instr.a)
+    b_const = consts.get(instr.b)
+    op = instr.op
+    if b_const == 0 and op in _ZERO_IDENTITY:
+        return Copy(instr.dest, instr.a)
+    if a_const == 0 and op in (IrOp.ADD, IrOp.OR, IrOp.XOR):
+        return Copy(instr.dest, instr.b)
+    if b_const == 0 and op in _ANNIHILATES_TO_ZERO:
+        return Const(instr.dest, 0)
+    if a_const == 0 and op in _ANNIHILATES_TO_ZERO:
+        return Const(instr.dest, 0)
+    if b_const == 1 and op in (IrOp.MUL, IrOp.DIV):
+        return Copy(instr.dest, instr.a)
+    if a_const == 1 and op is IrOp.MUL:
+        return Copy(instr.dest, instr.b)
+    return None
+
+
+def fold_constants(fn: Function) -> bool:
+    """Run local constant folding over *fn*; returns True if it changed."""
+    changed = False
+    for block in fn.blocks:
+        consts: dict[VReg, int | float] = {}
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            replacement: Instr | None = None
+            if isinstance(instr, Bin):
+                if instr.a in consts and instr.b in consts:
+                    value = eval_binop(instr.op, consts[instr.a], consts[instr.b])
+                    replacement = Const(instr.dest, value)
+                else:
+                    replacement = _fold_identities(instr, consts)
+            elif isinstance(instr, Un):
+                if instr.a in consts:
+                    replacement = Const(
+                        instr.dest, eval_unop(instr.op, consts[instr.a])
+                    )
+            elif isinstance(instr, Copy):
+                if instr.src in consts:
+                    replacement = Const(instr.dest, consts[instr.src])
+
+            if replacement is not None:
+                instr = replacement
+                changed = True
+            new_instrs.append(instr)
+
+            dest = instr.defines()
+            if dest is not None:
+                if isinstance(instr, Const):
+                    consts[dest] = instr.value
+                else:
+                    consts.pop(dest, None)
+        block.instrs = new_instrs
+
+        term = block.term
+        if isinstance(term, CondBr) and term.cond in consts:
+            taken = consts[term.cond] != 0
+            block.term = Jump(term.if_true if taken else term.if_false)
+            changed = True
+    return changed

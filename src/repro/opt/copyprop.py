@@ -1,0 +1,44 @@
+"""Local copy propagation.
+
+Within each block, ``d = copy s`` makes later uses of ``d`` read ``s``
+directly, until either register is redefined. Works on non-SSA IR by
+killing facts aggressively on redefinition.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Copy, VReg
+from repro.ir.structure import Function
+
+
+def propagate_copies(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        alias: dict[VReg, VReg] = {}
+        kept = []
+        for instr in block.instrs:
+            if alias:
+                before = tuple(instr.uses())
+                instr.replace_uses(alias)
+                if tuple(instr.uses()) != before:
+                    changed = True
+            if isinstance(instr, Copy) and instr.src == instr.dest:
+                changed = True  # self-copy: drop it entirely
+                continue
+            kept.append(instr)
+            dest = instr.defines()
+            if dest is not None:
+                # Redefinition kills facts about dest (as key and as value).
+                alias.pop(dest, None)
+                stale = [k for k, v in alias.items() if v == dest]
+                for k in stale:
+                    del alias[k]
+                if isinstance(instr, Copy):
+                    alias[dest] = instr.src
+        block.instrs = kept
+        if alias and block.term is not None:
+            before = tuple(block.term.uses())
+            block.term.replace_uses(alias)
+            if tuple(block.term.uses()) != before:
+                changed = True
+    return changed

@@ -1,0 +1,66 @@
+"""Local common-subexpression elimination.
+
+Within a block, a pure ``Bin``/``Un``/``GlobalAddr``/``FrameAddr`` whose
+(op, operands) key is already available is replaced by a ``Copy`` from
+the earlier result. Facts die when any participating register is
+redefined. Loads are *not* CSE'd (no alias analysis — stores would have
+to kill them; keeping them out is simple and sound).
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Bin,
+    Copy,
+    FrameAddr,
+    GlobalAddr,
+    Instr,
+    Un,
+    VReg,
+)
+from repro.ir.instructions import COMMUTATIVE
+from repro.ir.structure import Function
+
+
+def _key(instr: Instr):
+    if isinstance(instr, Bin):
+        a, b = instr.a, instr.b
+        if instr.op in COMMUTATIVE and (b.id, b.ty) < (a.id, a.ty):
+            a, b = b, a
+        return ("bin", instr.op, a, b)
+    if isinstance(instr, Un):
+        return ("un", instr.op, instr.a)
+    if isinstance(instr, GlobalAddr):
+        return ("ga", instr.symbol)
+    if isinstance(instr, FrameAddr):
+        return ("fa", instr.slot)
+    return None
+
+
+def local_cse(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        available: dict[tuple, VReg] = {}
+        # registers participating in each fact, for invalidation
+        users: dict[VReg, list[tuple]] = {}
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            key = _key(instr)
+            if key is not None and key in available:
+                prior = available[key]
+                instr = Copy(instr.defines(), prior)
+                changed = True
+            new_instrs.append(instr)
+            dest = instr.defines()
+            if dest is not None:
+                for stale_key in users.pop(dest, ()):  # redefinition kills
+                    available.pop(stale_key, None)
+            key = _key(instr)
+            # A fact whose dest is one of its own operands (a = add a, b)
+            # describes the *old* operand value; never register it.
+            if key is not None and dest is not None and dest not in instr.uses():
+                available[key] = dest
+                for reg in (dest, *instr.uses()):
+                    users.setdefault(reg, []).append(key)
+        block.instrs = new_instrs
+    return changed

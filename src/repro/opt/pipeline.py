@@ -1,0 +1,40 @@
+"""Optimizer driver."""
+
+from __future__ import annotations
+
+from repro.ir.structure import Function, Module
+from repro.opt.constant_folding import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.cse import local_cse
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.simplify_cfg import simplify_cfg
+
+_MAX_ITERATIONS = 10
+
+
+def optimize_function(fn: Function, level: int = 2) -> None:
+    """Optimize *fn* in place.
+
+    ``level`` 0 = nothing, 1 = CFG cleanup only, 2 = full pipeline run to
+    a (bounded) fixpoint.
+    """
+    if level <= 0:
+        return
+    if level == 1:
+        simplify_cfg(fn)
+        return
+    for _ in range(_MAX_ITERATIONS):
+        changed = False
+        changed |= simplify_cfg(fn)
+        changed |= fold_constants(fn)
+        changed |= propagate_copies(fn)
+        changed |= local_cse(fn)
+        changed |= eliminate_dead_code(fn)
+        if not changed:
+            return
+
+
+def optimize_module(module: Module, level: int = 2) -> None:
+    """Optimize every function of *module* in place."""
+    for fn in module.functions.values():
+        optimize_function(fn, level)

@@ -1,0 +1,103 @@
+"""CFG simplification.
+
+* removes unreachable blocks;
+* threads jumps through empty forwarding blocks (``A -> E -> B`` where
+  ``E`` is instruction-free becomes ``A -> B``);
+* merges a block into its unique ``Jump`` successor when that successor
+  has exactly one predecessor;
+* rewrites ``CondBr`` with identical targets to ``Jump``.
+
+This pass is what turns the lowering's generous block scaffolding into
+the compact basic blocks whose sizes Figure 5 measures.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import predecessors, reachable
+from repro.ir.instructions import CondBr, Jump
+from repro.ir.structure import Function
+
+
+def _remove_unreachable(fn: Function) -> bool:
+    live = reachable(fn)
+    dead = {b.label for b in fn.blocks} - live
+    if not dead:
+        return False
+    fn.remove_blocks(dead)
+    return True
+
+
+def _thread_empty_jumps(fn: Function) -> bool:
+    """Retarget edges that go through empty Jump-only blocks."""
+    forward: dict[str, str] = {}
+    for block in fn.blocks:
+        if not block.instrs and isinstance(block.term, Jump):
+            if block.term.target != block.label:
+                forward[block.label] = block.term.target
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in forward and label not in seen:
+            seen.add(label)
+            label = forward[label]
+        return label
+
+    changed = False
+    for block in fn.blocks:
+        term = block.term
+        if term is None:
+            continue
+        for target in term.targets():
+            final = resolve(target)
+            if final != target:
+                term.retarget(target, final)
+                changed = True
+    # Entry block must stay first; if the entry forwards, physically keep it.
+    return changed
+
+
+def _fold_same_target_condbr(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        term = block.term
+        if isinstance(term, CondBr) and term.if_true == term.if_false:
+            block.term = Jump(term.if_true)
+            changed = True
+    return changed
+
+
+def _merge_chains(fn: Function) -> bool:
+    changed = False
+    while True:
+        preds = predecessors(fn)
+        merged = False
+        for block in list(fn.blocks):
+            term = block.term
+            if not isinstance(term, Jump):
+                continue
+            succ_label = term.target
+            if succ_label == block.label:
+                continue
+            if len(preds.get(succ_label, [])) != 1:
+                continue
+            succ = fn.block(succ_label)
+            if succ is fn.entry:
+                continue
+            block.instrs.extend(succ.instrs)
+            block.term = succ.term
+            fn.remove_blocks({succ_label})
+            merged = True
+            changed = True
+            break
+        if not merged:
+            return changed
+
+
+def simplify_cfg(fn: Function) -> bool:
+    changed = False
+    changed |= _fold_same_target_condbr(fn)
+    changed |= _thread_empty_jumps(fn)
+    changed |= _remove_unreachable(fn)
+    changed |= _merge_chains(fn)
+    changed |= _remove_unreachable(fn)
+    return changed

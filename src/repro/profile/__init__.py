@@ -1,0 +1,11 @@
+"""Profile collection for profile-guided block enlargement (paper §6).
+
+"Profiling can improve the icache hit rate by guiding the compiler's use
+of the block enlargement optimization. The amount of code duplication
+... can be reduced if this optimization does not combine blocks that
+contain unbiased branches."
+"""
+
+from repro.profile.collector import BranchProfile, collect_branch_profile
+
+__all__ = ["BranchProfile", "collect_branch_profile"]

@@ -1,0 +1,100 @@
+"""Branch-bias profiling over a conventional-ISA training run.
+
+The profile maps each branching machine basic block (by label — labels
+are shared between the conventional image and the BS back end's
+pre-blocks, since both come from the same machine IR) to
+``(true_edge_count, total)``: how often the block's terminating branch
+went to its IR true-edge successor. The enlargement pass consults the
+*bias* ``max(p, 1-p)`` to refuse duplication at unbiased branches.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.exec.conventional import ConventionalExecutor
+from repro.isa.opcodes import Opcode
+from repro.isa.program import ConventionalProgram
+
+#: synthetic suffixes added by the BS back end's pre-block splitting
+_SYNTHETIC_SUFFIX = re.compile(r"(\.[cs]\d+)+$")
+
+
+def base_label(label: str) -> str:
+    """Strip call-continuation/size-split suffixes back to the machine
+    basic-block label the branch statistics are keyed by."""
+    return _SYNTHETIC_SUFFIX.sub("", label)
+
+
+@dataclass
+class BranchProfile:
+    """Per-block branch statistics from a training run."""
+
+    #: machine block label -> (true-edge count, total executions)
+    edges: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def bias(self, label: str) -> float | None:
+        """The branch bias in [0.5, 1.0] for *label*'s terminating branch,
+        or None if the block never executed its branch in training.
+        Accepts pre-block labels (synthetic suffixes are stripped)."""
+        stats = self.edges.get(base_label(label))
+        if not stats or stats[1] == 0:
+            return None
+        p = stats[0] / stats[1]
+        return max(p, 1.0 - p)
+
+    def true_rate(self, label: str) -> float | None:
+        stats = self.edges.get(base_label(label))
+        if not stats or stats[1] == 0:
+            return None
+        return stats[0] / stats[1]
+
+    @property
+    def total_branches(self) -> int:
+        return sum(total for _, total in self.edges.values())
+
+
+def _branch_owner_labels(prog: ConventionalProgram) -> dict[int, str]:
+    """Map each BR op's address to its owning basic-block label."""
+    # Block labels contain a '.', function aliases do not.
+    addr_to_label: dict[int, str] = {}
+    for label, addr in prog.label_addrs.items():
+        if "." in label:
+            addr_to_label[addr] = label
+    owners: dict[int, str] = {}
+    current = prog.entry_label
+    for op in prog.ops:
+        current = addr_to_label.get(op.addr, current)
+        if op.opcode is Opcode.BR:
+            owners[op.addr] = current
+    return owners
+
+
+def collect_branch_profile(
+    prog: ConventionalProgram, op_limit: int = 500_000_000
+) -> BranchProfile:
+    """Run *prog* functionally and collect branch-edge statistics."""
+    owners = _branch_owner_labels(prog)
+    counts: dict[str, list[int]] = {}
+
+    def hook(addr: int, taken: bool) -> None:
+        label = owners.get(addr)
+        if label is None:
+            return
+        op = prog.op_at(addr)
+        true_edge = taken if op.imm == 1 else not taken
+        entry = counts.get(label)
+        if entry is None:
+            entry = counts[label] = [0, 0]
+        entry[0] += int(true_edge)
+        entry[1] += 1
+
+    executor = ConventionalExecutor(
+        prog, predictor=None, trace=False, op_limit=op_limit
+    )
+    executor.branch_hook = hook
+    executor.run()
+    return BranchProfile(
+        edges={label: (t, n) for label, (t, n) in counts.items()}
+    )

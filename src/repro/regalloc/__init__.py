@@ -1,0 +1,6 @@
+"""Register allocation: liveness analysis + linear scan with spilling."""
+
+from repro.regalloc.liveness import LivenessInfo, compute_liveness
+from repro.regalloc.linear_scan import allocate_function
+
+__all__ = ["LivenessInfo", "compute_liveness", "allocate_function"]

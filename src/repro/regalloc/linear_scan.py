@@ -1,0 +1,287 @@
+"""Linear-scan register allocation with spilling and frame layout.
+
+Classic Poletto/Sarkar linear scan over coarse live intervals
+(``[first position, last position]``, extended to block boundaries where
+the register is live-in/out). Two register classes (int/float) run
+independently. Intervals that cross a ``CALL`` are restricted to the
+callee-saved pool (the prologue/epilogue save exactly the callee-saved
+registers a function uses); when no register is available, the
+furthest-ending conflicting interval is spilled to a stack slot and
+spill code is rewritten through reserved scratch registers.
+
+After allocation the frame is laid out (saved RA, saved callee-saved
+registers, spill slots, local arrays), ``FRAMEADDR`` pseudo-ops become
+``add dest, sp, #offset``, and prologue/epilogue code is inserted. The
+returned function contains only physical registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.machine_ir import MachineBlock, MachineFunction
+from repro.errors import CompileError
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import MachineOp
+from repro.isa.registers import (
+    ALLOCATABLE_FP,
+    ALLOCATABLE_INT,
+    CALLEE_SAVED_FP,
+    CALLEE_SAVED_INT,
+    FIRST_VREG,
+    FP_SCRATCH,
+    INT_SCRATCH,
+    RA,
+    SP,
+    is_fp_reg,
+)
+
+_CALLEE_SAVED = frozenset(CALLEE_SAVED_INT) | frozenset(CALLEE_SAVED_FP)
+
+
+@dataclass
+class _Interval:
+    vreg: int
+    start: int
+    end: int
+    is_fp: bool
+    crosses_call: bool = False
+    assigned: int | None = None
+    spilled: bool = False
+
+
+def _build_intervals(mf: MachineFunction) -> tuple[list[_Interval], list[int]]:
+    from repro.regalloc.liveness import compute_liveness
+
+    liveness = compute_liveness(mf)
+    position = 0
+    starts: dict[int, int] = {}
+    ends: dict[int, int] = {}
+    call_positions: list[int] = []
+
+    def touch(reg: int, pos: int) -> None:
+        if reg < FIRST_VREG:
+            return
+        if reg not in starts or pos < starts[reg]:
+            starts[reg] = pos
+        if reg not in ends or pos > ends[reg]:
+            ends[reg] = pos
+
+    for block in mf.blocks:
+        block_start = position
+        for op in block.ops:
+            for r in op.srcs:
+                touch(r, position)
+            if op.dest is not None:
+                touch(op.dest, position)
+            if op.opcode is Opcode.CALL:
+                call_positions.append(position)
+            position += 1
+        if block.term is not None and block.term.cond is not None:
+            touch(block.term.cond, position)
+        block_end = position
+        position += 1
+        for r in liveness.live_in[block.label]:
+            touch(r, block_start)
+        for r in liveness.live_out[block.label]:
+            touch(r, block_end)
+
+    intervals = [
+        _Interval(v, starts[v], ends[v], mf.vreg_is_fp.get(v, False))
+        for v in starts
+    ]
+    for itv in intervals:
+        itv.crosses_call = any(itv.start <= c < itv.end for c in call_positions)
+    intervals.sort(key=lambda i: (i.start, i.end, i.vreg))
+    return intervals, call_positions
+
+
+def _scan(intervals: list[_Interval], pool: tuple[int, ...], is_fp: bool) -> None:
+    callee_saved = tuple(r for r in pool if r in _CALLEE_SAVED)
+    active: list[_Interval] = []
+    free = list(pool)
+
+    def eligible(itv: _Interval) -> tuple[int, ...]:
+        return callee_saved if itv.crosses_call else pool
+
+    for itv in (i for i in intervals if i.is_fp == is_fp):
+        # Expire old intervals.
+        still = []
+        for a in active:
+            if a.end < itv.start:
+                free.append(a.assigned)  # type: ignore[arg-type]
+            else:
+                still.append(a)
+        active = still
+
+        ok = eligible(itv)
+        choice = next((r for r in ok if r in free), None)
+        if choice is not None:
+            free.remove(choice)
+            itv.assigned = choice
+            active.append(itv)
+            continue
+        # Spill: the furthest-ending active interval holding an eligible
+        # register, or this interval itself if it ends last.
+        candidates = [a for a in active if a.assigned in ok]
+        victim = max(candidates, key=lambda a: a.end, default=None)
+        if victim is not None and victim.end > itv.end:
+            itv.assigned = victim.assigned
+            victim.assigned = None
+            victim.spilled = True
+            active.remove(victim)
+            active.append(itv)
+        else:
+            itv.spilled = True
+
+
+@dataclass
+class FrameLayout:
+    size: int = 0
+    ra_offset: int | None = None
+    saved_regs: list[tuple[int, int]] = None  # (reg, offset)
+    spill_offsets: dict[int, int] = None  # vreg -> offset
+    slot_offsets: dict[str, int] = None  # array slot -> offset
+
+    def __post_init__(self):
+        self.saved_regs = self.saved_regs or []
+        self.spill_offsets = self.spill_offsets or {}
+        self.slot_offsets = self.slot_offsets or {}
+
+
+def _layout_frame(
+    mf: MachineFunction, used_callee: list[int], spilled: list[int]
+) -> FrameLayout:
+    layout = FrameLayout()
+    offset = 0
+    if mf.has_calls:
+        layout.ra_offset = offset
+        offset += 8
+    for reg in sorted(used_callee):
+        layout.saved_regs.append((reg, offset))
+        offset += 8
+    for vreg in sorted(spilled):
+        layout.spill_offsets[vreg] = offset
+        offset += 8
+    for slot, size in mf.frame_slots.items():
+        layout.slot_offsets[slot] = offset
+        offset += (size + 7) & ~7
+    layout.size = (offset + 15) & ~15
+    return layout
+
+
+def _rewrite_block(
+    block: MachineBlock,
+    assignment: dict[int, int],
+    layout: FrameLayout,
+    vreg_is_fp: dict[int, bool],
+) -> None:
+    new_ops: list[MachineOp] = []
+
+    def load_spilled(vreg: int, scratch_index: int) -> int:
+        is_fp = vreg_is_fp.get(vreg, False)
+        scratch = (FP_SCRATCH if is_fp else INT_SCRATCH)[scratch_index]
+        opcode = Opcode.FLD if is_fp else Opcode.LD
+        new_ops.append(
+            MachineOp(opcode, dest=scratch, srcs=(SP,),
+                      imm=layout.spill_offsets[vreg])
+        )
+        return scratch
+
+    for op in block.ops:
+        scratch_used = {False: 0, True: 0}
+        new_srcs = []
+        for r in op.srcs:
+            if r >= FIRST_VREG:
+                phys = assignment.get(r)
+                if phys is None:
+                    is_fp = vreg_is_fp.get(r, False)
+                    idx = scratch_used[is_fp]
+                    scratch_used[is_fp] = idx + 1
+                    if idx >= 2:
+                        raise CompileError("spill scratch exhausted")
+                    phys = load_spilled(r, idx)
+                new_srcs.append(phys)
+            else:
+                new_srcs.append(r)
+        op.srcs = tuple(new_srcs)
+        store_after = None
+        if op.dest is not None and op.dest >= FIRST_VREG:
+            phys = assignment.get(op.dest)
+            if phys is None:
+                vreg = op.dest
+                is_fp = vreg_is_fp.get(vreg, False)
+                phys = (FP_SCRATCH if is_fp else INT_SCRATCH)[0]
+                opcode = Opcode.FST if is_fp else Opcode.ST
+                store_after = MachineOp(
+                    opcode, srcs=(phys, SP), imm=layout.spill_offsets[vreg]
+                )
+            op.dest = phys
+        if op.opcode is Opcode.FRAMEADDR:
+            op.opcode = Opcode.ADD
+            op.srcs = (SP,)
+            op.imm = layout.slot_offsets[op.target]
+            op.target = None
+        new_ops.append(op)
+        if store_after is not None:
+            new_ops.append(store_after)
+
+    term = block.term
+    if term is not None and term.cond is not None and term.cond >= FIRST_VREG:
+        phys = assignment.get(term.cond)
+        if phys is None:
+            vreg = term.cond
+            phys = INT_SCRATCH[0]
+            new_ops.append(
+                MachineOp(Opcode.LD, dest=phys, srcs=(SP,),
+                          imm=layout.spill_offsets[vreg])
+            )
+        term.cond = phys
+    block.ops = new_ops
+
+
+def _insert_prologue_epilogue(mf: MachineFunction, layout: FrameLayout) -> None:
+    if layout.size == 0:
+        return
+    prologue: list[MachineOp] = [
+        MachineOp(Opcode.ADD, dest=SP, srcs=(SP,), imm=-layout.size)
+    ]
+    if layout.ra_offset is not None:
+        prologue.append(
+            MachineOp(Opcode.ST, srcs=(RA, SP), imm=layout.ra_offset)
+        )
+    for reg, offset in layout.saved_regs:
+        opcode = Opcode.FST if is_fp_reg(reg) else Opcode.ST
+        prologue.append(MachineOp(opcode, srcs=(reg, SP), imm=offset))
+    mf.entry.ops[:0] = prologue
+
+    epilogue: list[MachineOp] = []
+    for reg, offset in layout.saved_regs:
+        opcode = Opcode.FLD if is_fp_reg(reg) else Opcode.LD
+        epilogue.append(MachineOp(opcode, dest=reg, srcs=(SP,), imm=offset))
+    if layout.ra_offset is not None:
+        epilogue.append(
+            MachineOp(Opcode.LD, dest=RA, srcs=(SP,), imm=layout.ra_offset)
+        )
+    epilogue.append(MachineOp(Opcode.ADD, dest=SP, srcs=(SP,), imm=layout.size))
+    for block in mf.blocks:
+        if block.term is not None and block.term.kind == "ret":
+            block.ops.extend(op.copy() for op in epilogue)
+
+
+def allocate_function(mf: MachineFunction) -> FrameLayout:
+    """Allocate registers for *mf* in place; returns the frame layout."""
+    intervals, _ = _build_intervals(mf)
+    _scan(intervals, ALLOCATABLE_INT, is_fp=False)
+    _scan(intervals, ALLOCATABLE_FP, is_fp=True)
+
+    assignment = {i.vreg: i.assigned for i in intervals if i.assigned is not None}
+    spilled = [i.vreg for i in intervals if i.spilled]
+    used_callee = sorted(
+        {r for r in assignment.values() if r in _CALLEE_SAVED}
+    )
+    layout = _layout_frame(mf, used_callee, spilled)
+    for block in mf.blocks:
+        _rewrite_block(block, assignment, layout, mf.vreg_is_fp)
+    _insert_prologue_epilogue(mf, layout)
+    return layout

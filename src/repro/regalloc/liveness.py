@@ -1,0 +1,75 @@
+"""Backward liveness analysis over machine-IR virtual registers.
+
+Physical registers are ignored: the allocator's pools never overlap the
+pinned physical registers, so only virtual registers need live ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.machine_ir import MachineBlock, MachineFunction
+from repro.isa.registers import FIRST_VREG
+
+
+def _op_uses(op) -> tuple[int, ...]:
+    return tuple(r for r in op.srcs if r >= FIRST_VREG)
+
+
+def _op_def(op) -> int | None:
+    if op.dest is not None and op.dest >= FIRST_VREG:
+        return op.dest
+    return None
+
+
+def _term_uses(block: MachineBlock) -> tuple[int, ...]:
+    term = block.term
+    if term is not None and term.cond is not None and term.cond >= FIRST_VREG:
+        return (term.cond,)
+    return ()
+
+
+@dataclass
+class LivenessInfo:
+    live_in: dict[str, set[int]] = field(default_factory=dict)
+    live_out: dict[str, set[int]] = field(default_factory=dict)
+
+
+def compute_liveness(mf: MachineFunction) -> LivenessInfo:
+    """Per-block live-in/live-out sets of virtual registers."""
+    use: dict[str, set[int]] = {}
+    defined: dict[str, set[int]] = {}
+    for block in mf.blocks:
+        u: set[int] = set()
+        d: set[int] = set()
+        for op in block.ops:
+            for r in _op_uses(op):
+                if r not in d:
+                    u.add(r)
+            dd = _op_def(op)
+            if dd is not None:
+                d.add(dd)
+        for r in _term_uses(block):
+            if r not in d:
+                u.add(r)
+        use[block.label] = u
+        defined[block.label] = d
+
+    info = LivenessInfo(
+        live_in={b.label: set() for b in mf.blocks},
+        live_out={b.label: set() for b in mf.blocks},
+    )
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mf.blocks):
+            label = block.label
+            out: set[int] = set()
+            for succ in block.term.targets() if block.term else ():
+                out |= info.live_in[succ]
+            new_in = use[label] | (out - defined[label])
+            if out != info.live_out[label] or new_in != info.live_in[label]:
+                info.live_out[label] = out
+                info.live_in[label] = new_in
+                changed = True
+    return info

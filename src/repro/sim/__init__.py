@@ -1,0 +1,45 @@
+"""Cycle-level timing simulation.
+
+The simulator is *functional-directed*: the executors in
+:mod:`repro.exec` produce the dynamic fetch-unit stream (with predictor
+interplay) and :mod:`repro.sim.engine` replays it through fetch (icache),
+dispatch (instruction window), dataflow issue (16 uniform FUs, Table-1
+latencies), dcache, misprediction redirects, and in-order retirement.
+See DESIGN.md §6 for the methodology discussion.
+"""
+
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.cache import Cache, PerfectCache
+from repro.sim.engine import TimingEngine, TimingStats
+from repro.sim.run import SimResult, simulate_block_structured, simulate_conventional
+from repro.sim.predictors import (
+    BlockPredictor,
+    GsharePredictor,
+    StaticTakenPredictor,
+)
+from repro.sim.tracecache import (
+    TraceCacheConfig,
+    TraceCacheFetch,
+    simulate_conventional_with_trace_cache,
+)
+from repro.sim.analysis import BottleneckReport, analyze_bottlenecks
+
+__all__ = [
+    "TraceCacheConfig",
+    "TraceCacheFetch",
+    "simulate_conventional_with_trace_cache",
+    "BottleneckReport",
+    "analyze_bottlenecks",
+    "CacheConfig",
+    "MachineConfig",
+    "Cache",
+    "PerfectCache",
+    "TimingEngine",
+    "TimingStats",
+    "SimResult",
+    "simulate_conventional",
+    "simulate_block_structured",
+    "GsharePredictor",
+    "BlockPredictor",
+    "StaticTakenPredictor",
+]

@@ -1,0 +1,84 @@
+"""Set-associative LRU cache model.
+
+Tracks hit/miss only (the simulated L2 is perfect, so contents never
+matter — only presence). LRU is implemented with a per-set move-to-front
+list, which is exact and fast at the paper's associativities.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import CacheConfig
+
+
+class Cache:
+    """A set-associative cache of line tags with LRU replacement."""
+
+    __slots__ = ("config", "num_sets", "sets", "accesses", "misses")
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Access the line containing *addr*; returns True on hit."""
+        line = addr // self.config.line_bytes
+        return self.access_line(line)
+
+    def access_line(self, line: int) -> bool:
+        """Access by line number; returns True on hit."""
+        self.accesses += 1
+        ways = self.sets[line % self.num_sets]
+        try:
+            ways.remove(line)
+        except ValueError:
+            self.misses += 1
+            if len(ways) >= self.config.assoc:
+                ways.pop()
+            ways.insert(0, line)
+            return False
+        ways.insert(0, line)
+        return True
+
+    def contains_line(self, line: int) -> bool:
+        """Non-destructive presence check (no LRU update, no counters)."""
+        return line in self.sets[line % self.num_sets]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+
+class PerfectCache:
+    """Always hits; keeps the access count for reporting."""
+
+    __slots__ = ("accesses", "misses")
+
+    def __init__(self, _config: CacheConfig | None = None):
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        self.accesses += 1
+        return True
+
+    def access_line(self, line: int) -> bool:
+        self.accesses += 1
+        return True
+
+    def contains_line(self, line: int) -> bool:
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        return 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0

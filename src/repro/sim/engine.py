@@ -1,0 +1,259 @@
+"""The timing engine: replays a dynamic fetch-unit stream through the
+machine model and produces a cycle count.
+
+One forward pass over the stream (DESIGN.md §6). Per unit:
+
+* **fetch** — one unit per cycle, at most ``fetch_lines`` contiguous
+  icache lines; spanning more lines costs extra cycles; an icache miss
+  stalls for the L2 latency; a prior misprediction/fault delays the fetch
+  until the resolving op completed plus the refill penalty;
+* **dispatch** — ``frontend_depth`` cycles after fetch, gated by the
+  instruction window (512 ops conventional, 32 blocks BS);
+* **issue/execute** — an op starts when its operands are ready (producer
+  completion times, carried by the trace's dataflow edges) and a function
+  unit is free that cycle (16 uniform FUs); loads probe the dcache at
+  issue and pay the L2 latency on a miss;
+* **retire** — in order, ``retire_width`` ops per cycle; atomic units
+  retire whole blocks; squashed units release their window slots when
+  the fault resolves and never retire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.exec.trace import FetchUnit
+from repro.sim.cache import Cache, PerfectCache
+from repro.sim.config import MachineConfig
+
+
+@dataclass
+class TimingStats:
+    """Cycle-level counters from one timed run."""
+
+    cycles: int = 0
+    fetched_units: int = 0
+    fetched_ops: int = 0
+    retired_ops: int = 0
+    squashed_ops: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    redirects: int = 0
+    fetch_stall_cycles: int = 0
+    #: cycles dispatch waited on a full window (sum over units)
+    window_stall_cycles: int = 0
+    #: cycles fetch waited on misprediction/fault redirects
+    redirect_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.retired_ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def icache_miss_rate(self) -> float:
+        if not self.icache_accesses:
+            return 0.0
+        return self.icache_misses / self.icache_accesses
+
+
+class TimingEngine:
+    """Consumes a fetch-unit stream; produces :class:`TimingStats`."""
+
+    def __init__(self, config: MachineConfig, atomic_window: bool = False):
+        self.config = config
+        self.atomic_window = atomic_window
+        self.icache = (
+            Cache(config.icache) if config.icache is not None else PerfectCache()
+        )
+        self.dcache = (
+            Cache(config.dcache) if config.dcache is not None else PerfectCache()
+        )
+        self.stats = TimingStats()
+
+    def run(self, units: Iterable[FetchUnit]) -> TimingStats:
+        config = self.config
+        stats = self.stats
+        icache = self.icache
+        dcache = self.dcache
+        line_bytes = (
+            config.icache.line_bytes if config.icache is not None else 64
+        )
+        fu_count = config.fu_count
+        l2 = config.l2_latency
+        depth = config.frontend_depth
+        penalty = config.mispredict_penalty
+        retire_width = config.retire_width
+
+        completion: dict[int, int] = {}
+        fu_sched: dict[int, int] = {}
+        #: min-heap of window-slot release cycles (ops or blocks)
+        window: list[int] = []
+        window_capacity = (
+            config.window_blocks if self.atomic_window else config.window_ops
+        )
+        # Both machines are "identically configured" (paper §5): the
+        # conventional core also tracks at most window_blocks in-flight
+        # fetch units (HPS checkpoints one unit per fetched block), in
+        # addition to its op-granular window.
+        unit_window: list[int] = []
+        unit_capacity = config.window_blocks
+
+        next_fetch = 0
+        redirect_at = 0
+        # retirement bookkeeping: (cycle, ops retired that cycle)
+        retire_cycle = 0
+        retire_count = 0
+        max_cycle = 0
+
+        for unit in units:
+            stats.fetched_units += 1
+            nops = len(unit.ops)
+            stats.fetched_ops += nops
+
+            # ---- fetch -------------------------------------------------
+            fetch = max(next_fetch, redirect_at)
+            if redirect_at > next_fetch:
+                stats.redirect_stall_cycles += redirect_at - next_fetch
+            first_line = unit.addr // line_bytes
+            last_line = (unit.addr + max(unit.size_bytes, 1) - 1) // line_bytes
+            nlines = last_line - first_line + 1
+            fetch_cycles = (nlines + config.fetch_lines - 1) // config.fetch_lines
+            stall = 0
+            for line in range(first_line, last_line + 1):
+                stats.icache_accesses += 1
+                if not icache.access_line(line):
+                    stats.icache_misses += 1
+                    stall = l2
+            stats.fetch_stall_cycles += stall + (fetch_cycles - 1)
+            fetch_end = fetch + fetch_cycles - 1 + stall
+            next_fetch = fetch_end + 1
+
+            # ---- dispatch (window gating) --------------------------------
+            dispatch = fetch_end + depth
+            if self.atomic_window:
+                if len(window) >= window_capacity:
+                    released = heapq.heappop(window)
+                    if released > dispatch:
+                        stats.window_stall_cycles += released - dispatch
+                        dispatch = released
+            else:
+                if len(unit_window) >= unit_capacity:
+                    released = heapq.heappop(unit_window)
+                    if released > dispatch:
+                        stats.window_stall_cycles += released - dispatch
+                        dispatch = released
+
+            # ---- issue / execute / retire --------------------------------
+            unit_completes: list[int] = []
+            resolve_complete = -1
+            for i, op in enumerate(unit.ops):
+                if not self.atomic_window:
+                    if len(window) >= window_capacity:
+                        released = heapq.heappop(window)
+                        if released > dispatch:
+                            dispatch = released
+                ready = dispatch + 1
+                for dep in op.deps:
+                    t = completion.get(dep, 0)
+                    if t > ready:
+                        ready = t
+                start = ready
+                while fu_sched.get(start, 0) >= fu_count:
+                    start += 1
+                fu_sched[start] = fu_sched.get(start, 0) + 1
+                lat = op.lat
+                if op.mem_addr >= 0:
+                    stats.dcache_accesses += 1
+                    if not dcache.access(op.mem_addr):
+                        stats.dcache_misses += 1
+                        if op.is_load:
+                            lat += l2
+                complete = start + lat
+                completion[op.uid] = complete
+                unit_completes.append(complete)
+                if i == unit.resolve_index:
+                    resolve_complete = complete
+                if not unit.atomic and not unit.squashed:
+                    # In-order per-op retirement.
+                    r = max(complete + 1, retire_cycle)
+                    if r == retire_cycle and retire_count >= retire_width:
+                        r += 1
+                    if r > retire_cycle:
+                        retire_cycle = r
+                        retire_count = 0
+                    retire_count += 1
+                if not self.atomic_window and not unit.squashed:
+                    # Op-granular window slot frees at (estimated) retire.
+                    heapq.heappush(
+                        window,
+                        retire_cycle if not unit.atomic else complete + 1,
+                    )
+            if not self.atomic_window:
+                # The whole fetch unit's checkpoint frees when its last op
+                # retires (or, for a squashed unit, at resolve — below).
+                if not unit.squashed:
+                    heapq.heappush(unit_window, retire_cycle)
+
+            # ---- resolution / redirect ----------------------------------
+            if unit.squashed:
+                if resolve_complete < 0:
+                    raise SimulationError("squashed unit without resolve op")
+                stats.redirects += 1
+                stats.squashed_ops += nops
+                # A firing fault redirects to the (architecturally
+                # specified) target in the fault op itself — no front-end
+                # re-steer through prediction structures, so no extra
+                # refill penalty beyond resolution.
+                redirect_at = resolve_complete + 1
+                release = resolve_complete + 1
+                if self.atomic_window:
+                    heapq.heappush(window, release)
+                else:
+                    for _ in range(nops):
+                        heapq.heappush(window, release)
+                    heapq.heappush(unit_window, release)
+                if release > max_cycle:
+                    max_cycle = release
+                continue
+            if unit.mispredict:
+                if resolve_complete < 0:
+                    raise SimulationError("mispredict without resolve op")
+                stats.redirects += 1
+                redirect_at = resolve_complete + 1 + penalty
+
+            # ---- retire (atomic blocks commit together) -------------------
+            if unit.atomic:
+                # All of the block's ops become eligible to retire once the
+                # whole block has completed (atomic commit); the retire
+                # stage still moves at most retire_width ops per cycle.
+                block_done = max(unit_completes, default=dispatch) + 1
+                for _ in range(nops):
+                    r = max(block_done, retire_cycle)
+                    if r == retire_cycle and retire_count >= retire_width:
+                        r += 1
+                    if r > retire_cycle:
+                        retire_cycle = r
+                        retire_count = 0
+                    retire_count += 1
+            if self.atomic_window:
+                # Block-granular window slot frees when the unit retires.
+                heapq.heappush(window, retire_cycle)
+            stats.retired_ops += nops
+            if retire_cycle > max_cycle:
+                max_cycle = retire_cycle
+
+            if next_fetch - 1 > max_cycle:
+                max_cycle = next_fetch - 1
+
+            # Keep the FU schedule from growing without bound.
+            if len(fu_sched) > 1_000_000:
+                floor = min(retire_cycle, next_fetch) - 64
+                fu_sched = {c: n for c, n in fu_sched.items() if c >= floor}
+
+        stats.cycles = max_cycle + 1
+        return stats

@@ -1,0 +1,16 @@
+"""Dynamic branch predictors.
+
+* :class:`GsharePredictor` — Two-Level Adaptive (Yeh & Patt) global-
+  history predictor for the conventional ISA's conditional branches;
+* :class:`BlockPredictor` — the paper's modified Two-Level predictor for
+  the BS-ISA (§4.3): 8-successor BTB entries, PHT entries with a trap
+  counter plus two fault counters (a 3-bit prediction), and
+  variable-length history insertion driven by the trap's
+  log-successor-count field;
+* :class:`StaticTakenPredictor` — a static baseline for ablations.
+"""
+
+from repro.sim.predictors.twolevel import GsharePredictor, StaticTakenPredictor
+from repro.sim.predictors.blockpred import BlockPredictor
+
+__all__ = ["GsharePredictor", "StaticTakenPredictor", "BlockPredictor"]

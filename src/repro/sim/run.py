@@ -1,0 +1,105 @@
+"""Glue: compile-level program → executor → timing engine → SimResult."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exec.block import BlockExecutor
+from repro.exec.conventional import ConventionalExecutor
+from repro.isa.program import BlockProgram, ConventionalProgram
+from repro.sim.config import MachineConfig
+from repro.sim.engine import TimingEngine, TimingStats
+from repro.sim.predictors import BlockPredictor, GsharePredictor
+
+
+@dataclass
+class SimResult:
+    """Uniform result record for one timed simulation."""
+
+    name: str
+    isa: str  # "conventional" | "block"
+    cycles: int
+    #: committed architectural op count (Table 2's metric for conventional)
+    committed_ops: int
+    #: committed fetch units / atomic blocks
+    committed_units: int
+    #: average retired unit/block size (Figure 5's metric)
+    avg_block_size: float
+    mispredicts: int
+    branch_events: int
+    bp_accuracy: float
+    timing: TimingStats = field(repr=False)
+    outputs: list = field(repr=False, default_factory=list)
+    squashed_blocks: int = 0
+    fault_mispredicts: int = 0
+    trap_mispredicts: int = 0
+    static_code_bytes: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed_ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def icache_miss_rate(self) -> float:
+        return self.timing.icache_miss_rate
+
+
+def simulate_conventional(
+    prog: ConventionalProgram, config: MachineConfig | None = None
+) -> SimResult:
+    """Run a timed simulation of a conventional-ISA program."""
+    config = config or MachineConfig()
+    predictor = None
+    if not config.perfect_bp:
+        predictor = GsharePredictor(config.bp_history_bits, config.bp_table_bits)
+    executor = ConventionalExecutor(prog, predictor=predictor, trace=True)
+    engine = TimingEngine(config, atomic_window=False)
+    timing = engine.run(executor.units())
+    stats = executor.stats
+    return SimResult(
+        name=prog.name,
+        isa="conventional",
+        cycles=timing.cycles,
+        committed_ops=stats.dyn_ops,
+        committed_units=stats.units,
+        avg_block_size=stats.avg_unit_size,
+        mispredicts=stats.mispredicts,
+        branch_events=stats.branches,
+        bp_accuracy=predictor.accuracy if predictor is not None else 1.0,
+        timing=timing,
+        outputs=stats.outputs,
+        static_code_bytes=prog.code_bytes,
+    )
+
+
+def simulate_block_structured(
+    prog: BlockProgram, config: MachineConfig | None = None
+) -> SimResult:
+    """Run a timed simulation of a block-structured ISA program."""
+    config = config or MachineConfig()
+    predictor = None
+    if not config.perfect_bp:
+        predictor = BlockPredictor(
+            prog, config.bp_history_bits, config.bp_table_bits
+        )
+    executor = BlockExecutor(prog, predictor=predictor, trace=True)
+    engine = TimingEngine(config, atomic_window=True)
+    timing = engine.run(executor.units())
+    stats = executor.stats
+    return SimResult(
+        name=prog.name,
+        isa="block",
+        cycles=timing.cycles,
+        committed_ops=stats.committed_ops,
+        committed_units=stats.blocks_committed,
+        avg_block_size=stats.avg_block_size,
+        mispredicts=stats.total_mispredicts,
+        branch_events=stats.trap_predictions,
+        bp_accuracy=predictor.accuracy if predictor is not None else 1.0,
+        timing=timing,
+        outputs=stats.outputs,
+        squashed_blocks=stats.blocks_squashed,
+        fault_mispredicts=stats.fault_mispredicts,
+        trap_mispredicts=stats.trap_mispredicts,
+        static_code_bytes=prog.code_bytes,
+    )

@@ -1,0 +1,126 @@
+"""``gcc`` stand-in: a token-driven state machine over many small functions.
+
+SPEC's 126.gcc is a compiler: a very large, flat code footprint of small
+functions full of short basic blocks and *unbiased* data-dependent
+branches. The paper calls out gcc (with go) as the benchmark where block
+enlargement duplicates the most code — conventional gcc already misses
+in a 16 KB icache, and the BS-ISA executable misses much harder (Figs.
+6/7) — while the unpredictable branches keep the pipeline gain small
+(7.2%, the paper's minimum).
+
+This stand-in generates dozens of distinct "semantic action" functions
+(deterministically, from a seeded permutation) and drives them with a
+pseudo-random token stream through a state-dispatch if-chain, giving a
+flat profile over a large static footprint with unbiased branching.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import LCG, RNG_FILL, Workload, iterations
+
+_NUM_ACTIONS = 56
+_NUM_STATES = 8
+
+
+def _gen_action(rng: random.Random, index: int) -> str:
+    """One generated action function: if-chains + global-state updates."""
+    lines = [f"int act{index}(int x, int st) {{"]
+    lines.append(f"    int v = x ^ {rng.randrange(1, 1 << 20)};")
+    lines.append(f"    int w = st * {rng.choice([3, 5, 7, 9, 11])} + x;")
+    n_branches = rng.randrange(4, 7)
+    for b in range(n_branches):
+        threshold = rng.randrange(8, 56)
+        op = rng.choice(["<", ">", "=="])
+        mod = rng.choice([61, 64, 67, 71, 73])
+        arith = rng.choice(
+            [
+                f"v = v + w * {rng.randrange(2, 9)};",
+                f"v = (v >> 1) ^ {rng.randrange(1, 255)};",
+                f"w = w + (v & {rng.choice([15, 31, 63])});",
+                f"v = v * 3 + {rng.randrange(1, 99)};",
+                f"w = (w << 1) % 65536;",
+            ]
+        )
+        other = rng.choice(
+            [
+                f"w = w ^ {rng.randrange(1, 511)};",
+                f"v = v - {rng.randrange(1, 40)};",
+                f"v = v + (w >> 2);",
+            ]
+        )
+        lines.append(f"    if ((v % {mod}) {op} {threshold}) {{ {arith} }}")
+        lines.append(f"    else {{ {other} }}")
+    lines.append(f"    nodes = nodes + 1;")
+    lines.append(f"    pool[nodes % 512] = v;")
+    lines.append(f"    return (v + w) % 100000;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def source(scale: float) -> str:
+    rng = random.Random(0x6CC)  # deterministic program text
+    n_tokens = iterations(1500, scale, minimum=32)
+    actions = [_gen_action(rng, i) for i in range(_NUM_ACTIONS)]
+
+    # The dispatch: nested if-chain over (state, token class) pairs —
+    # a compiler's grammar-action dispatch, with a flat distribution.
+    dispatch_lines = ["int dispatch(int state, int tok, int x) {"]
+    per_state = _NUM_ACTIONS // _NUM_STATES
+    for st in range(_NUM_STATES):
+        head = "if" if st == 0 else "else if"
+        dispatch_lines.append(f"    {head} (state == {st}) {{")
+        for k in range(per_state):
+            idx = st * per_state + k
+            cmp_head = "if" if k == 0 else "else if"
+            dispatch_lines.append(
+                f"        {cmp_head} (tok < {(k + 1) * (100 // per_state)}) "
+                f"{{ return act{idx}(x, state); }}"
+            )
+        dispatch_lines.append(f"        return act{st}(x, state);")
+        dispatch_lines.append("    }")
+    dispatch_lines.append("    return x % 100000;")
+    dispatch_lines.append("}")
+    dispatch = "\n".join(dispatch_lines)
+
+    return f"""
+// gcc stand-in: token-driven semantic-action state machine.
+int pool[512];
+int tokens[4096];
+int nodes = 0;
+
+{LCG}
+{RNG_FILL}
+
+{chr(10).join(actions)}
+
+{dispatch}
+
+void main() {{
+    int state = 0;
+    int acc = 0;
+    int i;
+    // Pregenerate the token stream (gcc reads its source file up front).
+    rng_fill(tokens, 4096, 99991);
+    for (i = 0; i < {n_tokens}; i = i + 1) {{
+        int r0 = tokens[i & 4095];
+        int tok = r0 % 100;
+        int x = (r0 >> 7) % 4096;
+        int r = dispatch(state, tok, x);
+        acc = (acc + r) & 1048575;
+        state = (state + tok + (r & 3)) % {_NUM_STATES};
+    }}
+    print_int(acc);
+    print_int(nodes);
+    print_int(state);
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="gcc",
+    description="token state machine, large flat code, unbiased branches",
+    paper_input="jump.i",
+    source_fn=source,
+)

@@ -1,0 +1,168 @@
+"""``ijpeg`` stand-in: 8x8 integer DCT, quantization, and zigzag coding.
+
+SPEC's 132.ijpeg is JPEG compression: long straight-line integer
+arithmetic (the DCT butterflies), highly predictable loop branches, high
+ILP, and a small code footprint. The paper shows ijpeg nearly
+icache-insensitive; its large basic blocks mean even the conventional
+machine fetches well, so the BS gain comes mostly from fusing the loop
+control into the arithmetic blocks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LCG, RNG_FILL, Workload, iterations
+
+
+def source(scale: float) -> str:
+    n_blocks = iterations(26, scale, minimum=2)
+    return f"""
+// ijpeg stand-in: blocked integer DCT pipeline.
+int image[4096];
+int work[64];
+int coef[64];
+int quant[64];
+int zig[64];
+
+{LCG}
+{RNG_FILL}
+
+void dct_rows() {{
+    int r;
+    for (r = 0; r < 8; r = r + 1) {{
+        int b = r * 8;
+        int s0 = work[b + 0] + work[b + 7];
+        int s1 = work[b + 1] + work[b + 6];
+        int s2 = work[b + 2] + work[b + 5];
+        int s3 = work[b + 3] + work[b + 4];
+        int d0 = work[b + 0] - work[b + 7];
+        int d1 = work[b + 1] - work[b + 6];
+        int d2 = work[b + 2] - work[b + 5];
+        int d3 = work[b + 3] - work[b + 4];
+        // Saturating butterflies: the overflow clamps are essentially
+        // never taken (biased branches, as in a real fixed-point codec).
+        int t0 = s0 + s3 + s1 + s2;
+        if (t0 > 16777215) {{ t0 = 16777215; }}
+        work[b + 0] = t0;
+        int t4 = s0 + s3 - s1 - s2;
+        if (t4 < -16777216) {{ t4 = -16777216; }}
+        work[b + 4] = t4;
+        int t2 = (s0 - s3) * 17 + (s1 - s2) * 7;
+        if (t2 > 16777215) {{ t2 = 16777215; }}
+        work[b + 2] = t2;
+        int t6 = (s0 - s3) * 7 - (s1 - s2) * 17;
+        if (t6 < -16777216) {{ t6 = -16777216; }}
+        work[b + 6] = t6;
+        int t1 = d0 * 23 + d1 * 19 + d2 * 13 + d3 * 5;
+        if (t1 > 16777215) {{ t1 = 16777215; }}
+        work[b + 1] = t1;
+        int t3 = d0 * 19 - d1 * 5 - d2 * 23 - d3 * 13;
+        if (t3 < -16777216) {{ t3 = -16777216; }}
+        work[b + 3] = t3;
+        int t5 = d0 * 13 - d1 * 23 + d2 * 5 + d3 * 19;
+        if (t5 > 16777215) {{ t5 = 16777215; }}
+        work[b + 5] = t5;
+        int t7 = d0 * 5 - d1 * 13 + d2 * 19 - d3 * 23;
+        if (t7 < -16777216) {{ t7 = -16777216; }}
+        work[b + 7] = t7;
+    }}
+}}
+
+void dct_cols() {{
+    int c;
+    for (c = 0; c < 8; c = c + 1) {{
+        int s0 = work[c + 0] + work[c + 56];
+        int s1 = work[c + 8] + work[c + 48];
+        int s2 = work[c + 16] + work[c + 40];
+        int s3 = work[c + 24] + work[c + 32];
+        int d0 = work[c + 0] - work[c + 56];
+        int d1 = work[c + 8] - work[c + 48];
+        int d2 = work[c + 16] - work[c + 40];
+        int d3 = work[c + 24] - work[c + 32];
+        coef[c + 0] = (s0 + s3 + s1 + s2) >> 3;
+        coef[c + 32] = (s0 + s3 - s1 - s2) >> 3;
+        coef[c + 16] = ((s0 - s3) * 17 + (s1 - s2) * 7) >> 8;
+        coef[c + 48] = ((s0 - s3) * 7 - (s1 - s2) * 17) >> 8;
+        coef[c + 8] = (d0 * 23 + d1 * 19 + d2 * 13 + d3 * 5) >> 8;
+        coef[c + 24] = (d0 * 19 - d1 * 5 - d2 * 23 - d3 * 13) >> 8;
+        coef[c + 40] = (d0 * 13 - d1 * 23 + d2 * 5 + d3 * 19) >> 8;
+        coef[c + 56] = (d0 * 5 - d1 * 13 + d2 * 19 - d3 * 23) >> 8;
+    }}
+}}
+
+int quantize_and_scan2() {{
+    // Second-quality pass: coarser quantization, same scan structure.
+    int i;
+    int out0 = 0;
+    int out1 = 0;
+    int zeros = 0;
+    for (i = 0; i < 64; i = i + 2) {{
+        int z0 = zig[i];
+        int z1 = zig[i + 1];
+        int q0 = coef[z0] >> (quant[z0] + 2);
+        int q1 = coef[z1] >> (quant[z1] + 2);
+        zeros = zeros + (q0 == 0) + (q1 == 0);
+        if (q0 != 0) {{ out0 = (out0 + q0 * (i + 5)) & 1048575; }}
+        if (q1 != 0) {{ out1 = (out1 + q1 * (i + 11)) & 1048575; }}
+    }}
+    return (out0 + out1 * 3 + zeros) & 1048575;
+}}
+
+int quantize_and_scan() {{
+    // Two independent accumulator lanes (even/odd coefficients): the
+    // coding stage has ILP across coefficients, like a real entropy
+    // coder's bit-budget accounting.
+    int i;
+    int out0 = 0;
+    int out1 = 0;
+    int zeros = 0;
+    for (i = 0; i < 64; i = i + 2) {{
+        int z0 = zig[i];
+        int z1 = zig[i + 1];
+        int q0 = coef[z0] >> quant[z0];
+        int q1 = coef[z1] >> quant[z1];
+        zeros = zeros + (q0 == 0) + (q1 == 0);
+        if (q0 != 0) {{ out0 = (out0 + q0 * (i + 3)) & 1048575; }}
+        if (q1 != 0) {{ out1 = (out1 + q1 * (i + 7)) & 1048575; }}
+    }}
+    return (out0 + out1 * 5 + zeros) & 1048575;
+}}
+
+void main() {{
+    int i;
+    rng_fill(image, 4096, 424243);
+    for (i = 0; i < 4096; i = i + 4) {{
+        image[i] = (image[i] % 256) - 128;
+        image[i + 1] = (image[i + 1] % 256) - 128;
+        image[i + 2] = (image[i + 2] % 256) - 128;
+        image[i + 3] = (image[i + 3] % 256) - 128;
+    }}
+    for (i = 0; i < 64; i = i + 1) {{
+        quant[i] = 9 + (i / 8) + (i % 8) / 2;
+        // deterministic zigzag-ish permutation
+        zig[i] = (i * 29 + 17) % 64;
+    }}
+    int checksum = 0;
+    int b;
+    for (b = 0; b < {n_blocks}; b = b + 1) {{
+        int base = (b * 64) % 4032;
+        for (i = 0; i < 64; i = i + 4) {{
+            work[i] = image[base + i];
+            work[i + 1] = image[base + i + 1];
+            work[i + 2] = image[base + i + 2];
+            work[i + 3] = image[base + i + 3];
+        }}
+        dct_rows();
+        dct_cols();
+        checksum = (checksum + quantize_and_scan() + quantize_and_scan2()) & 1048575;
+    }}
+    print_int(checksum);
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="ijpeg",
+    description="integer DCT pipeline, large basic blocks, high ILP",
+    paper_input="specmun.ppm*",
+    source_fn=source,
+)

@@ -1,0 +1,95 @@
+"""``li`` stand-in: a small Lisp-style evaluator over cons cells.
+
+SPEC's 130.li is xlisp: recursive expression evaluation over cons cells
+— call/return-dominated control flow with a small hot code footprint.
+Calls and returns are exactly what terminates block enlargement (paper
+§4.2 condition 3 and the §5 discussion of why enlarged blocks stay under
+the issue width), so li exercises the enlargement pass's least-favorable
+control structure while staying icache-friendly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LCG, Workload, iterations
+
+_CELLS = 4096
+
+
+def source(scale: float) -> str:
+    n_exprs = iterations(42, scale, minimum=4)
+    return f"""
+// li stand-in: recursive evaluation of random arithmetic s-expressions.
+int car_[{_CELLS}];
+int cdr_[{_CELLS}];
+int tag_[{_CELLS}];   // 0 = number (car_ holds value), 1..4 = operator
+int free_ptr = 1;     // cell 0 is nil
+
+{LCG}
+
+int cons(int tag, int a, int d) {{
+    int cell = free_ptr;
+    free_ptr = free_ptr + 1;
+    if (free_ptr >= {_CELLS}) {{ free_ptr = 1; }}
+    tag_[cell] = tag;
+    car_[cell] = a;
+    cdr_[cell] = d;
+    return cell;
+}}
+
+// Build a random expression tree of the given depth; returns a cell.
+int build(int depth, int seed) {{
+    int s = lcg(seed + depth * 7919);
+    if (depth <= 0) {{
+        return cons(0, s % 1000, 0);
+    }}
+    int r = s % 100;
+    // branch-free skewed op mix: 88% add, 6% sub, 4% mul, 2% rem
+    int op = 1 + (r >= 88) + (r >= 94) + (r >= 98);
+    int left = build(depth - 1, s);
+    int right = build(depth - 2, s + 1);
+    return cons(op, left, right);
+}}
+
+int eval(int cell) {{
+    int t = tag_[cell];
+    if (t == 0) {{ return car_[cell]; }}
+    int a = eval(car_[cell]);
+    int b = eval(cdr_[cell]);
+    if (t == 1) {{ return (a + b) & 1048575; }}
+    if (t == 2) {{ return (a - b) & 1048575; }}
+    if (t == 3) {{ return (a * ((b & 63) + 1)) & 1048575; }}
+    if (b == 0) {{ return a; }}
+    return a % b;
+}}
+
+int list_len(int cell, int depth) {{
+    if (depth > 30) {{ return 0; }}
+    if (cell == 0) {{ return 0; }}
+    if (tag_[cell] == 0) {{ return 1; }}
+    return 1 + list_len(car_[cell], depth + 1) + list_len(cdr_[cell], depth + 1);
+}}
+
+void main() {{
+    int checksum = 0;
+    int total_cells = 0;
+    int i;
+    int s = 5555;
+    for (i = 0; i < {n_exprs}; i = i + 1) {{
+        s = lcg(s);
+        int depth = 3 + (s % 5);
+        int expr = build(depth, s);
+        checksum = (checksum * 31 + eval(expr)) & 1048575;
+        total_cells = total_cells + list_len(expr, 0);
+    }}
+    print_int(checksum);
+    print_int(total_cells);
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="li",
+    description="recursive s-expression evaluator, call/return dominated",
+    paper_input="train.lsp",
+    source_fn=source,
+)

@@ -1,0 +1,121 @@
+"""``perl`` stand-in: text tokenization, hashing, and pattern scanning.
+
+SPEC's 134.perl runs a Perl interpreter over scripts that mostly hash and
+match strings. Character: character-at-a-time loops (biased branches —
+most characters are not separators), hash-table lookups with short
+chains, and a medium code footprint.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LCG, RNG_FILL, Workload, iterations
+
+_TEXT = 2048
+_HASH = 1024
+
+
+def source(scale: float) -> str:
+    n_text = iterations(_TEXT, min(scale, 1.0), minimum=256)
+    n_passes = iterations(2, scale, minimum=1) if scale > 1 else 1
+    return f"""
+// perl stand-in: tokenize, hash, count, and pattern-scan text.
+int text[{_TEXT}];
+int hkey[{_HASH}];
+int hcount[{_HASH}];
+int word[32];
+
+{LCG}
+{RNG_FILL}
+
+int hash_word(int len) {{
+    int h = 5381;
+    int i;
+    for (i = 0; i < len; i = i + 1) {{
+        h = (h * 33 + word[i]) & 1048575;
+    }}
+    return h & ({_HASH} - 1);
+}}
+
+int word_equals(int slot_key, int h, int len) {{
+    // keys are (hash * 64 + len): cheap, collision-tolerant identity
+    return slot_key == h * 64 + len;
+}}
+
+void bump(int h, int len) {{
+    int slot = h;
+    int probes = 0;
+    while (probes < {_HASH}) {{
+        if (hkey[slot] == 0) {{
+            hkey[slot] = h * 64 + len;
+            hcount[slot] = 1;
+            return;
+        }}
+        if (word_equals(hkey[slot], h, len)) {{
+            hcount[slot] = hcount[slot] + 1;
+            return;
+        }}
+        slot = (slot + 1) & ({_HASH} - 1);
+        probes = probes + 1;
+    }}
+}}
+
+int scan_pattern(int a, int b, int c) {{
+    // count occurrences of the 3-char pattern a,b,c
+    int hits = 0;
+    int i;
+    for (i = 0; i + 2 < {n_text}; i = i + 1) {{
+        if (text[i] == a) {{
+            if (text[i + 1] == b && text[i + 2] == c) {{
+                hits = hits + 1;
+            }}
+        }}
+    }}
+    return hits;
+}}
+
+void main() {{
+    int i;
+    rng_fill(text, {n_text}, 777777);
+    // ~86% letters, ~14% separators: word lengths average ~6
+    for (i = 0; i < {n_text}; i = i + 1) {{
+        int s = text[i];
+        int r = s % 100;
+        if (r < 86) {{ text[i] = 97 + s % 13; }}
+        else {{ text[i] = 32; }}
+    }}
+    int p;
+    int total_words = 0;
+    for (p = 0; p < {n_passes}; p = p + 1) {{
+        int len = 0;
+        for (i = 0; i < {n_text}; i = i + 1) {{
+            int ch = text[i];
+            if (ch != 32) {{
+                if (len < 32) {{ word[len] = ch; len = len + 1; }}
+            }} else {{
+                if (len > 0) {{
+                    bump(hash_word(len), len);
+                    total_words = total_words + 1;
+                    len = 0;
+                }}
+            }}
+        }}
+        if (len > 0) {{ bump(hash_word(len), len); total_words = total_words + 1; }}
+    }}
+    int checksum = 0;
+    for (i = 0; i < {_HASH}; i = i + 1) {{
+        checksum = (checksum * 31 + hcount[i]) & 1048575;
+    }}
+    print_int(checksum);
+    print_int(total_words);
+    print_int(scan_pattern(97, 98, 99));
+    print_int(scan_pattern(104, 105, 97));
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="perl",
+    description="tokenize/hash/scan text, biased character loops",
+    paper_input="scrabbl.pl*",
+    source_fn=source,
+)

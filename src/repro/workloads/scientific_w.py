@@ -1,0 +1,121 @@
+"""Scientific (floating-point) workload — the paper's §6 outlook.
+
+"We also plan to measure the performance gains that can be achieved by
+block-structured ISAs for scientific code. Those performance gains
+should be even greater ... because the branches that occur in scientific
+code are more predictable and the basic blocks are larger."
+
+Not part of the paper's SPECint95 evaluation (Table 2 explicitly omits
+SPECfp95); exposed separately as :data:`repro.workloads.EXTRA` and
+measured by ``benchmarks/test_extensions.py``. Kernels: saxpy, a 5-point
+stencil with boundary clamps (rare, biased branches), a blocked 8x8
+matrix multiply, and a reduction with a convergence test — predictable
+loop control, long FP dependence-free bodies.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LCG, RNG_FILL, Workload, iterations
+
+_N = 512
+
+
+def source(scale: float) -> str:
+    sweeps = iterations(7, scale, minimum=1)
+    return f"""
+// scientific stand-in: saxpy + stencil + matmul + reduction
+int seedbuf[{_N}];
+float x[{_N}];
+float y[{_N}];
+float z[{_N}];
+float a_[64];
+float b_[64];
+float c_[64];
+
+{LCG}
+{RNG_FILL}
+
+void saxpy(float alpha) {{
+    int i;
+    for (i = 0; i + 3 < {_N}; i = i + 4) {{
+        y[i] = y[i] + alpha * x[i];
+        y[i + 1] = y[i + 1] + alpha * x[i + 1];
+        y[i + 2] = y[i + 2] + alpha * x[i + 2];
+        y[i + 3] = y[i + 3] + alpha * x[i + 3];
+    }}
+}}
+
+void stencil() {{
+    int i;
+    for (i = 0; i < {_N}; i = i + 1) {{
+        int lo = i - 1;
+        int hi = i + 1;
+        if (lo < 0) {{ lo = 0; }}               // biased: once per sweep
+        if (hi >= {_N}) {{ hi = {_N} - 1; }}    // biased: once per sweep
+        z[i] = 0.25 * y[lo] + 0.5 * y[i] + 0.25 * y[hi];
+    }}
+}}
+
+void matmul8() {{
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < 8; i = i + 1) {{
+        for (j = 0; j < 8; j = j + 1) {{
+            float acc = 0.0;
+            for (k = 0; k < 8; k = k + 1) {{
+                acc = acc + a_[i * 8 + k] * b_[k * 8 + j];
+            }}
+            c_[i * 8 + j] = acc;
+        }}
+    }}
+}}
+
+float reduce_max() {{
+    float best = z[0];
+    int i;
+    for (i = 1; i < {_N}; i = i + 1) {{
+        if (z[i] > best) {{ best = z[i]; }}     // biased after warmup
+    }}
+    return best;
+}}
+
+void main() {{
+    int i;
+    rng_fill(seedbuf, {_N}, 20260706);
+    for (i = 0; i < {_N}; i = i + 1) {{
+        x[i] = float(seedbuf[i] % 1000) / 500.0 - 1.0;
+        y[i] = float((seedbuf[i] >> 7) % 1000) / 500.0 - 1.0;
+    }}
+    for (i = 0; i < 64; i = i + 1) {{
+        a_[i] = float((seedbuf[i] >> 3) % 100) / 50.0;
+        b_[i] = float((seedbuf[i + 64] >> 5) % 100) / 50.0;
+    }}
+
+    float alpha = 0.8;
+    int s;
+    float peak = 0.0;
+    for (s = 0; s < {sweeps}; s = s + 1) {{
+        saxpy(alpha);
+        stencil();
+        matmul8();
+        float m = reduce_max();
+        if (m > peak) {{ peak = m; }}
+        alpha = alpha * 0.95;
+    }}
+
+    float checksum = 0.0;
+    for (i = 0; i < {_N}; i = i + 1) {{ checksum = checksum + z[i]; }}
+    for (i = 0; i < 64; i = i + 1) {{ checksum = checksum + c_[i]; }}
+    print_int(int(checksum * 1000.0));
+    print_int(int(peak * 1000.0));
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="scientific",
+    description="FP kernels: saxpy/stencil/matmul, predictable branches",
+    paper_input="(SPECfp95 omitted by the paper; §6 outlook)",
+    source_fn=source,
+)

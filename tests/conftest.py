@@ -1,0 +1,73 @@
+"""Shared fixtures: small programs and cached compilations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.toolchain import CompiledPair, Toolchain
+from repro.exec import interpret_module
+
+#: A small program exercising most language features; used by many tests.
+FEATURE_PROGRAM = """
+int acc = 0;
+int tbl[16];
+
+library int lcg(int s) { return (s * 1103515245 + 12345) & 2147483647; }
+
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+int classify(int v) {
+    if (v < 10) { return 0; }
+    if (v < 55) { return 1; }
+    return 2;
+}
+
+void main() {
+    int s = 42;
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        s = lcg(s);
+        tbl[i] = s % 100;
+    }
+    int sum = 0;
+    for (i = 0; i < 16; i = i + 1) {
+        if (tbl[i] > 50 && (tbl[i] % 2) == 0) { sum = sum + tbl[i]; }
+        else { sum = sum - classify(tbl[i]); }
+    }
+    acc = sum;
+    print_int(acc);
+    print_int(fib(9));
+    float x = 1.5;
+    float y = x * 2.0 + float(sum);
+    print_float(y);
+    print_char(10);
+}
+"""
+
+_pair_cache: dict[tuple[str, int], CompiledPair] = {}
+
+
+def compile_cached(source: str, name: str = "test") -> CompiledPair:
+    """Compile once per (source, default toolchain) across the test run."""
+    key = (source, 2)
+    if key not in _pair_cache:
+        _pair_cache[key] = Toolchain().compile(source, name)
+    return _pair_cache[key]
+
+
+@pytest.fixture(scope="session")
+def toolchain() -> Toolchain:
+    return Toolchain()
+
+
+@pytest.fixture(scope="session")
+def feature_pair() -> CompiledPair:
+    return compile_cached(FEATURE_PROGRAM, "feature")
+
+
+@pytest.fixture(scope="session")
+def feature_golden(feature_pair) -> list:
+    return interpret_module(feature_pair.module)

@@ -1,0 +1,51 @@
+"""Bottleneck-analysis utility tests."""
+
+from repro.exec.block import BlockExecutor
+from repro.exec.conventional import ConventionalExecutor
+from repro.sim.analysis import analyze_bottlenecks
+from repro.sim.config import MachineConfig
+from repro.sim.engine import TimingEngine
+from repro.sim.predictors import BlockPredictor, GsharePredictor
+
+
+def test_analysis_matches_engine_cycles_conventional(feature_pair):
+    config = MachineConfig()
+    ex1 = ConventionalExecutor(
+        feature_pair.conventional, predictor=GsharePredictor(), trace=True
+    )
+    engine_cycles = TimingEngine(config, atomic_window=False).run(
+        ex1.units()
+    ).cycles
+    ex2 = ConventionalExecutor(
+        feature_pair.conventional, predictor=GsharePredictor(), trace=True
+    )
+    report = analyze_bottlenecks(ex2.units(), config, atomic_window=False)
+    assert abs(report.cycles - engine_cycles) <= engine_cycles * 0.02
+    assert report.ops == ex2.stats.dyn_ops
+
+
+def test_analysis_limiter_distribution(feature_pair):
+    config = MachineConfig()
+    ex = BlockExecutor(
+        feature_pair.block,
+        predictor=BlockPredictor(feature_pair.block),
+        trace=True,
+    )
+    report = analyze_bottlenecks(ex.units(), config, atomic_window=True)
+    total = sum(report.limiters.values())
+    assert total == report.ops
+    assert set(report.limiters) <= {"dep", "fetch", "window", "fu"}
+    summary = report.summary()
+    assert "issue-limiters" in summary and "cycles=" in summary
+
+
+def test_analysis_fetch_bound_stream_attributed_to_fetch():
+    from repro.exec.trace import DynOp, FetchUnit
+
+    units = [
+        FetchUnit(0x1000 + i * 16, 16, [DynOp(1, (), uid=i)])
+        for i in range(200)
+    ]
+    config = MachineConfig().with_icache_kb(None)
+    report = analyze_bottlenecks(units, config, atomic_window=False)
+    assert report.limiters["fetch"] > report.ops * 0.9

@@ -1,0 +1,175 @@
+"""Assembler tests: hand-written programs and disassembly round-trips."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.exec import run_block_structured, run_conventional
+from repro.isa.asm import (
+    assemble_block_structured,
+    assemble_conventional,
+    parse_op,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import FP_BASE
+
+
+# ---------------------------------------------------------------------------
+# operand parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_three_register_op():
+    op = parse_op("add r3, r4, r5")
+    assert op.opcode is Opcode.ADD
+    assert op.dest == 3 and op.srcs == (4, 5) and op.imm is None
+
+
+def test_parse_immediate_form():
+    op = parse_op("add r3, r4, 42")
+    assert op.srcs == (4,) and op.imm == 42
+    op = parse_op("movi r14, -7")
+    assert op.dest == 14 and op.imm == -7
+
+
+def test_parse_float_registers_and_imm():
+    op = parse_op("fadd f2, f3, f4")
+    assert op.dest == FP_BASE + 2
+    assert op.srcs == (FP_BASE + 3, FP_BASE + 4)
+    op = parse_op("fmovi f1, 2.5")
+    assert op.imm == 2.5
+
+
+def test_parse_memory_forms():
+    op = parse_op("ld r3, r29, 16")
+    assert op.opcode is Opcode.LD and op.srcs == (29,) and op.imm == 16
+    op = parse_op("stx r3, r4, r5, 0")
+    assert op.opcode is Opcode.STX and op.srcs == (3, 4, 5)
+
+
+def test_parse_control_ops():
+    op = parse_op("br r14, 1, loop")
+    assert op.opcode is Opcode.BR
+    assert op.srcs == (14,) and op.imm == 1 and op.target == "loop"
+    op = parse_op("trap r14, yes, no, nbits=2")
+    assert (op.target, op.target2, op.nbits) == ("yes", "no", 2)
+    op = parse_op("fault r3, 1, sibling")
+    assert op.target == "sibling" and op.imm == 1
+    op = parse_op("call main, cont")
+    assert op.target == "main" and op.target2 == "cont"
+
+
+def test_parse_strips_addresses_and_comments():
+    op = parse_op("  0x001040  add r3, r3, 1  ; bump")
+    assert op.opcode is Opcode.ADD and op.imm == 1
+
+
+@pytest.mark.parametrize(
+    "bad", ["", "bogus r1", "add", "add x9, r1, r2", "frameaddr r3, s",
+            "add r3, 5, r4"]  # immediate must be the final operand
+)
+def test_parse_errors(bad):
+    with pytest.raises(CompileError):
+        parse_op(bad)
+
+
+# ---------------------------------------------------------------------------
+# whole programs
+# ---------------------------------------------------------------------------
+
+COUNTDOWN = """
+_start:
+    call main
+    halt
+main:
+    movi r14, 5
+    movi r15, 0
+loop:
+    add r15, r15, r14
+    sub r14, r14, 1
+    slt r3, r0, r14
+    br r3, 1, loop
+    putint r15
+    ret r31
+"""
+
+
+def test_assemble_and_run_conventional():
+    prog = assemble_conventional(COUNTDOWN)
+    stats = run_conventional(prog)
+    assert stats.outputs == [("i", 15)]
+    assert stats.branches == 5
+
+
+BLOCKY = """
+_start:
+    call main, _halt
+_halt:
+    halt
+main:
+    movi r14, 7
+    slt r15, r14, 10
+    trap r15, small, big, nbits=1
+small:
+    putint r14
+    ret r31
+big:
+    putint r0
+    ret r31
+"""
+
+
+def test_assemble_and_run_block_structured():
+    prog = assemble_block_structured(BLOCKY)
+    stats = run_block_structured(prog)
+    assert stats.outputs == [("i", 7)]
+    assert prog.num_blocks == 5
+
+
+def test_block_requires_terminator():
+    with pytest.raises(CompileError, match="control op"):
+        assemble_block_structured("_start:\n  movi r3, 1\n")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(CompileError, match="duplicate"):
+        assemble_conventional("_start:\n_start:\n  halt\n")
+
+
+def test_missing_entry_rejected():
+    with pytest.raises(CompileError, match="entry"):
+        assemble_conventional("other:\n  halt\n")
+
+
+# ---------------------------------------------------------------------------
+# disassembly round trips
+# ---------------------------------------------------------------------------
+
+
+def test_conventional_disassembly_round_trip(feature_pair, feature_golden):
+    original = feature_pair.conventional
+    text = original.disassemble()
+    again = assemble_conventional(text, data=original.data)
+    assert run_conventional(again).outputs == feature_golden
+    assert len(again.ops) == len(original.ops)
+
+
+def test_block_disassembly_round_trip(feature_pair, feature_golden):
+    original = feature_pair.block
+    text = original.disassemble()
+    again = assemble_block_structured(text, data=original.data)
+    assert run_block_structured(again).outputs == feature_golden
+    assert again.num_blocks == original.num_blocks
+    # path metadata survives: predictor signatures stay intact
+    for block in original.blocks:
+        clone = again.by_label[block.label]
+        assert clone.path == block.path
+        assert clone.path_dirs == block.path_dirs
+
+
+def test_round_trip_under_real_predictor(feature_pair, feature_golden):
+    from repro.sim.predictors import BlockPredictor
+
+    text = feature_pair.block.disassemble()
+    again = assemble_block_structured(text, data=feature_pair.block.data)
+    stats = run_block_structured(again, predictor=BlockPredictor(again))
+    assert stats.outputs == feature_golden

@@ -1,0 +1,182 @@
+"""Code-generation tests for both back ends (layout, targets, structure)."""
+
+from repro.backend import generate_block_structured, generate_conventional
+from repro.backend.enlarge import EnlargeConfig
+from repro.core.toolchain import compile_pair
+from repro.exec import interpret_module, run_block_structured, run_conventional
+from repro.frontend import compile_to_ir
+from repro.isa.opcodes import BLOCK_ONLY, CONVENTIONAL_ONLY, Opcode
+from repro.isa.program import CODE_BASE, LINE_BYTES, OP_BYTES
+from repro.opt import optimize_module
+from tests.conftest import FEATURE_PROGRAM
+
+
+def build(source, name="t"):
+    module = compile_to_ir(source)
+    optimize_module(module)
+    return module
+
+
+SMALL = """
+int g = 5;
+int twice(int x) { return x * 2; }
+void main() {
+    if (g > 3) { g = twice(g); } else { g = 0; }
+    print_int(g);
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# conventional back end
+# ---------------------------------------------------------------------------
+
+
+def test_conventional_addresses_contiguous():
+    prog = generate_conventional(build(SMALL), "t")
+    for i, op in enumerate(prog.ops):
+        assert op.addr == CODE_BASE + i * OP_BYTES
+
+
+def test_conventional_targets_resolved():
+    prog = generate_conventional(build(SMALL), "t")
+    for op in prog.ops:
+        if op.target is not None:
+            assert op.taddr == prog.label_addrs[op.target]
+
+
+def test_conventional_starts_with_call_main_halt():
+    prog = generate_conventional(build(SMALL), "t")
+    assert prog.ops[0].opcode is Opcode.CALL
+    assert prog.ops[0].taddr == prog.label_addrs["main"]
+    assert prog.ops[1].opcode is Opcode.HALT
+    assert prog.entry_addr == CODE_BASE
+
+
+def test_conventional_has_no_block_only_opcodes():
+    prog = generate_conventional(build(FEATURE_PROGRAM), "t")
+    for op in prog.ops:
+        assert op.opcode not in BLOCK_ONLY
+        assert op.opcode is not Opcode.FRAMEADDR
+
+
+def test_conventional_br_has_polarity():
+    prog = generate_conventional(build(SMALL), "t")
+    brs = [op for op in prog.ops if op.opcode is Opcode.BR]
+    assert brs
+    assert all(op.imm in (0, 1) for op in brs)
+
+
+def test_conventional_executes_correctly():
+    module = build(SMALL)
+    golden = interpret_module(module)
+    prog = generate_conventional(module, "t")
+    assert run_conventional(prog).outputs == golden == [("i", 10)]
+
+
+def test_fallthrough_minimizes_jumps():
+    # A simple if/else should need at most one JMP after layout.
+    prog = generate_conventional(build(SMALL), "t")
+    jmps = [op for op in prog.ops if op.opcode is Opcode.JMP]
+    assert len(jmps) <= 2
+
+
+def test_library_functions_recorded():
+    src = "library int f(int x) { return x; } void main() { print_int(f(1)); }"
+    conv = generate_conventional(build(src), "t")
+    assert conv.library_functions == {"f"}
+
+
+# ---------------------------------------------------------------------------
+# block-structured back end
+# ---------------------------------------------------------------------------
+
+
+def test_block_program_structure():
+    prog = generate_block_structured(build(FEATURE_PROGRAM), "t")
+    assert prog.num_blocks > 4
+    addr = CODE_BASE
+    for block in prog.blocks:
+        assert block.addr == addr
+        addr += block.size_bytes
+        assert 1 <= block.num_ops <= 16
+        assert block.ops[-1].is_control
+        assert block.ops[-1].opcode is not Opcode.BR  # conventional-only
+        for op in block.ops[:-1]:
+            assert (not op.is_control) or op.opcode in (
+                Opcode.FAULT,
+            ), op.asm()
+
+
+def test_block_targets_are_block_addresses():
+    prog = generate_block_structured(build(FEATURE_PROGRAM), "t")
+    for block in prog.blocks:
+        for op in block.ops:
+            if op.opcode in (Opcode.TRAP, Opcode.FAULT, Opcode.JMP, Opcode.CALL):
+                assert op.taddr in prog.by_addr
+            if op.opcode in (Opcode.TRAP, Opcode.CALL):
+                assert op.taddr2 in prog.by_addr
+
+
+def test_trap_is_always_final_op():
+    prog = generate_block_structured(build(FEATURE_PROGRAM), "t")
+    for block in prog.blocks:
+        for op in block.ops[:-1]:
+            assert op.opcode is not Opcode.TRAP
+
+
+def test_blocks_span_at_most_two_lines():
+    prog = generate_block_structured(build(FEATURE_PROGRAM), "t")
+    for block in prog.blocks:
+        assert len(block.lines_touched(LINE_BYTES)) <= 2
+
+
+def test_block_executes_correctly():
+    module = build(SMALL)
+    golden = interpret_module(module)
+    prog = generate_block_structured(module, "t")
+    assert run_block_structured(prog).outputs == golden
+
+
+def test_enlargement_disabled_produces_singleton_blocks():
+    module = build(FEATURE_PROGRAM)
+    prog = generate_block_structured(
+        module, "t", EnlargeConfig(enabled=False)
+    )
+    assert all(len(block.path) == 1 for block in prog.blocks)
+    golden = interpret_module(module)
+    assert run_block_structured(prog).outputs == golden
+
+
+def test_enlargement_expands_code(feature_pair):
+    assert feature_pair.code_expansion > 1.0
+    # and the static average block is larger than without enlargement
+    module = build(FEATURE_PROGRAM)
+    plain = generate_block_structured(module, "t", EnlargeConfig(enabled=False))
+    assert (
+        feature_pair.block.static_block_size_avg()
+        > plain.static_block_size_avg()
+    )
+
+
+def test_max_ops_config_respected():
+    module = build(FEATURE_PROGRAM)
+    prog = generate_block_structured(module, "t", EnlargeConfig(max_ops=8))
+    assert all(block.num_ops <= 8 for block in prog.blocks)
+    golden = interpret_module(module)
+    assert run_block_structured(prog).outputs == golden
+
+
+def test_max_faults_config_respected():
+    module = build(FEATURE_PROGRAM)
+    prog = generate_block_structured(module, "t", EnlargeConfig(max_faults=1))
+    assert all(block.num_faults <= 1 for block in prog.blocks)
+    golden = interpret_module(module)
+    assert run_block_structured(prog).outputs == golden
+
+
+def test_disassembly_round_trips_labels(feature_pair):
+    text = feature_pair.block.disassemble()
+    assert "trap" in text and "fault" in text
+    text2 = feature_pair.conventional.disassemble()
+    assert "main:" in text2

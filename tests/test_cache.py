@@ -1,0 +1,122 @@
+"""Cache model tests: LRU behaviour, geometry, property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.cache import Cache, PerfectCache
+from repro.sim.config import CacheConfig
+
+
+def small_cache(sets=2, assoc=2, line=64):
+    return Cache(CacheConfig(sets * assoc * line, assoc, line))
+
+
+def test_geometry():
+    config = CacheConfig(64 * 1024, 4, 64)
+    assert config.num_sets == 256
+    with pytest.raises(ConfigError):
+        CacheConfig(1000, 3, 64)
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    assert cache.access(0) is False
+    assert cache.access(0) is True
+    assert cache.access(63) is True  # same line
+    assert cache.access(64) is False  # next line
+    assert cache.miss_rate == 0.5
+
+
+def test_lru_eviction_order():
+    cache = small_cache(sets=1, assoc=2)
+    cache.access_line(0)
+    cache.access_line(1)
+    cache.access_line(0)  # 0 is now MRU
+    cache.access_line(2)  # evicts 1
+    assert cache.contains_line(0)
+    assert not cache.contains_line(1)
+    assert cache.contains_line(2)
+
+
+def test_sets_are_independent():
+    cache = small_cache(sets=2, assoc=1)
+    cache.access_line(0)  # set 0
+    cache.access_line(1)  # set 1
+    assert cache.contains_line(0)
+    assert cache.contains_line(1)
+    cache.access_line(2)  # set 0: evicts line 0
+    assert not cache.contains_line(0)
+    assert cache.contains_line(1)
+
+
+def test_contains_does_not_disturb_lru():
+    cache = small_cache(sets=1, assoc=2)
+    cache.access_line(0)
+    cache.access_line(1)
+    assert cache.contains_line(0)  # peek must not promote 0
+    cache.access_line(2)  # evicts LRU, which is still 0
+    assert not cache.contains_line(0)
+
+
+def test_working_set_within_capacity_never_misses_after_warmup():
+    cache = small_cache(sets=4, assoc=4)
+    lines = list(range(16))
+    for line in lines:
+        cache.access_line(line)
+    cache.reset_stats()
+    for _ in range(10):
+        for line in lines:
+            assert cache.access_line(line)
+    assert cache.misses == 0
+
+
+def test_streaming_larger_than_capacity_always_misses():
+    cache = small_cache(sets=4, assoc=2)  # 8 lines capacity
+    for _ in range(3):
+        for line in range(0, 64):
+            cache.access_line(line)
+    # pure streaming with LRU: every access misses
+    assert cache.misses == cache.accesses
+
+
+def test_perfect_cache_always_hits():
+    cache = PerfectCache()
+    assert cache.access(12345)
+    assert cache.access_line(99)
+    assert cache.miss_rate == 0.0
+    assert cache.accesses == 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=200))
+def test_occupancy_never_exceeds_ways(lines):
+    cache = small_cache(sets=4, assoc=2)
+    for line in lines:
+        cache.access_line(line)
+    for ways in cache.sets:
+        assert len(ways) <= 2
+        assert len(set(ways)) == len(ways)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1,
+                max_size=300))
+def test_deterministic_replay(lines):
+    a = small_cache(sets=8, assoc=4)
+    b = small_cache(sets=8, assoc=4)
+    results_a = [a.access_line(line) for line in lines]
+    results_b = [b.access_line(line) for line in lines]
+    assert results_a == results_b
+    assert a.misses == b.misses
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=300))
+def test_bigger_assoc_never_increases_misses_same_sets(lines):
+    """With the same number of sets, adding ways can only help LRU."""
+    small = Cache(CacheConfig(8 * 2 * 64, 2, 64))   # 8 sets, 2 ways
+    large = Cache(CacheConfig(8 * 4 * 64, 4, 64))   # 8 sets, 4 ways
+    for line in lines:
+        small.access_line(line)
+        large.access_line(line)
+    assert large.misses <= small.misses

@@ -1,0 +1,257 @@
+"""Block-enlargement pass tests: the five termination conditions, fault
+targets, canonical variants, and successor-count history bits."""
+
+import pytest
+
+from repro.backend.enlarge import (
+    EnlargeConfig,
+    PreBlock,
+    PreTerm,
+    enlarge_function,
+)
+from repro.backend.blockstructured import build_preblocks, generate_block_structured
+from repro.backend.machine_ir import lower_module
+from repro.core.toolchain import compile_pair
+from repro.frontend import compile_to_ir
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import MachineOp
+from repro.opt import optimize_module
+from repro.regalloc import allocate_function
+
+
+def ops(n: int) -> list:
+    """n filler non-control ops."""
+    return [MachineOp(Opcode.ADD, dest=3, srcs=(3,), imm=1) for _ in range(n)]
+
+
+def trap(cond, t, f) -> PreTerm:
+    return PreTerm("trap", cond=cond, if_true=t, if_false=f)
+
+
+def simple_diamond(sizes=(3, 3, 3, 3)):
+    """A -> (B | C) -> D (via jmp)."""
+    a, b, c, d = sizes
+    return {
+        "A": PreBlock("A", ops(a), trap(3, "B", "C")),
+        "B": PreBlock("B", ops(b), PreTerm("jmp", if_true="D")),
+        "C": PreBlock("C", ops(c), PreTerm("jmp", if_true="D")),
+        "D": PreBlock("D", ops(d), PreTerm("ret")),
+    }
+
+
+def test_diamond_produces_both_variants():
+    result = enlarge_function(simple_diamond(), "A", EnlargeConfig())
+    families = result.families["A"]
+    assert len(families) == 2
+    variants = [result.variants[label] for label in families]
+    paths = sorted(tuple(v.path_for_test()) if False else tuple(b.label for b in v.blocks)
+                   for v in variants)
+    # A merges with both successors, each continuing through D via jmp.
+    assert ("A", "B", "D") in paths
+    assert ("A", "C", "D") in paths
+
+
+def test_canonical_variant_follows_false_edge():
+    result = enlarge_function(simple_diamond(), "A", EnlargeConfig())
+    canonical = result.variants[result.canonical["A"]]
+    assert [b.label for b in canonical.blocks][:2] == ["A", "C"]
+    assert canonical.dirs[0] == 0
+
+
+def test_fault_targets_point_to_siblings():
+    result = enlarge_function(simple_diamond(), "A", EnlargeConfig())
+    for label in result.families["A"]:
+        variant = result.variants[label]
+        assert len(variant.fault_targets) == len(variant.dirs)
+        for i, target in enumerate(variant.fault_targets):
+            sibling = result.variants[target]
+            assert sibling.root == variant.root
+            assert sibling.dirs[: i] == variant.dirs[: i]
+            assert sibling.dirs[i] == 1 - variant.dirs[i]
+
+
+def test_condition1_size_limit():
+    # B and C are large: merging A(10) with either (8) exceeds 16 ops.
+    blocks = simple_diamond(sizes=(9, 7, 7, 3))
+    result = enlarge_function(blocks, "A", EnlargeConfig(max_ops=16))
+    assert result.families["A"] == ["A"]  # no fork possible
+    for variant in result.variants.values():
+        assert variant.count <= 16
+
+
+def test_condition1_asymmetric_sizes_block_fork():
+    # One successor fits, the other does not: both-or-neither.
+    blocks = simple_diamond(sizes=(6, 3, 12, 1))
+    result = enlarge_function(blocks, "A", EnlargeConfig(max_ops=16))
+    assert result.families["A"] == ["A"]
+
+
+def test_condition2_max_faults():
+    # A chain of diamonds deep enough to exceed two faults.
+    blocks = {
+        "A": PreBlock("A", ops(1), trap(3, "B1", "B2")),
+        "B1": PreBlock("B1", ops(1), trap(3, "C1", "C2")),
+        "B2": PreBlock("B2", ops(1), trap(3, "C1", "C2")),
+        "C1": PreBlock("C1", ops(1), trap(3, "D1", "D2")),
+        "C2": PreBlock("C2", ops(1), trap(3, "D1", "D2")),
+        "D1": PreBlock("D1", ops(1), trap(3, "E", "E2")),
+        "D2": PreBlock("D2", ops(1), PreTerm("ret")),
+        "E": PreBlock("E", ops(1), PreTerm("ret")),
+        "E2": PreBlock("E2", ops(1), PreTerm("ret")),
+    }
+    result = enlarge_function(blocks, "A", EnlargeConfig(max_faults=2))
+    for variant in result.variants.values():
+        assert len(variant.dirs) <= 2
+    # The A family forks at A and at B*, then must stop: 4 variants max.
+    assert len(result.families["A"]) == 4
+
+
+def test_condition3_calls_terminate():
+    blocks = {
+        "A": PreBlock("A", ops(2), PreTerm("call", callee="f", if_true="K")),
+        "K": PreBlock("K", ops(2), PreTerm("ret")),
+    }
+    result = enlarge_function(blocks, "A", EnlargeConfig(), restricted={"A", "K"})
+    assert result.families["A"] == ["A"]
+    assert result.families["K"] == ["K"]
+
+
+def test_condition4_loop_back_edges_not_crossed():
+    blocks = {
+        "H": PreBlock("H", ops(2), trap(3, "B", "X")),
+        "B": PreBlock("B", ops(2), PreTerm("jmp", if_true="H")),  # back edge
+        "X": PreBlock("X", ops(2), PreTerm("ret")),
+    }
+    result = enlarge_function(blocks, "H", EnlargeConfig())
+    # H may fork into [H,B] and [H,X], but B must NOT merge back into H.
+    for variant in result.variants.values():
+        labels = [b.label for b in variant.blocks]
+        assert labels.count("H") <= 1
+    b_variants = result.families.get("B")
+    if b_variants:
+        assert all(
+            [blk.label for blk in result.variants[v].blocks] == ["B"]
+            for v in b_variants
+        )
+
+
+def test_condition4_can_be_disabled():
+    # H cannot fork (X too large), so B becomes its own root; B's jump to
+    # H is a loop back edge (H dominates B). respect_loops gates exactly
+    # that merge.
+    def blocks():
+        return {
+            "H": PreBlock("H", ops(3), trap(3, "B", "X")),
+            "B": PreBlock("B", ops(4), PreTerm("jmp", if_true="H")),
+            "X": PreBlock("X", ops(14), PreTerm("ret")),
+        }
+
+    strict = enlarge_function(blocks(), "H", EnlargeConfig())
+    assert [b.label for b in strict.variants[strict.canonical["B"]].blocks] == ["B"]
+
+    relaxed = enlarge_function(
+        blocks(), "H", EnlargeConfig(respect_loops=False)
+    )
+    merged = relaxed.variants[relaxed.canonical["B"]]
+    assert [b.label for b in merged.blocks] == ["B", "H"]
+
+
+def test_condition5_library_functions_not_enlarged():
+    blocks = simple_diamond()
+    result = enlarge_function(blocks, "A", EnlargeConfig(), is_library=True)
+    assert all(len(v.blocks) == 1 for v in result.variants.values())
+
+
+def test_jmp_merge_drops_the_jump_op():
+    blocks = {
+        "A": PreBlock("A", ops(3), PreTerm("jmp", if_true="B")),
+        "B": PreBlock("B", ops(3), PreTerm("ret")),
+    }
+    result = enlarge_function(blocks, "A", EnlargeConfig())
+    variant = result.variants[result.canonical["A"]]
+    # 3 + 3 body ops + 1 terminator: the interior jmp disappears.
+    assert variant.count == 7
+
+
+def test_nbits_matches_successor_counts():
+    result = enlarge_function(simple_diamond(), "A", EnlargeConfig())
+    for label in result.families["A"]:
+        variant = result.variants[label]
+        if variant.term.kind == "trap":
+            t, f = variant.term.if_true, variant.term.if_false
+            total = len(result.families.get(t, [t])) + len(
+                result.families.get(f, [f])
+            )
+            import math
+
+            assert variant.nbits == max(1, math.ceil(math.log2(max(2, total))))
+
+
+def test_restricted_roots_do_not_fork_but_still_absorb_jumps():
+    blocks = {
+        "A": PreBlock("A", ops(2), PreTerm("jmp", if_true="B")),
+        "B": PreBlock("B", ops(2), trap(3, "C", "D")),
+        "C": PreBlock("C", ops(2), PreTerm("ret")),
+        "D": PreBlock("D", ops(2), PreTerm("ret")),
+    }
+    result = enlarge_function(blocks, "A", EnlargeConfig(), restricted={"A"})
+    assert result.families["A"] == ["A"]
+    variant = result.variants["A"]
+    assert [b.label for b in variant.blocks] == ["A", "B"]
+    assert variant.dirs == ()
+
+
+# ---------------------------------------------------------------------------
+# pre-block construction
+# ---------------------------------------------------------------------------
+
+
+def _preblocks_for(source, fn="main"):
+    module = compile_to_ir(source)
+    optimize_module(module)
+    functions, _ = lower_module(module)
+    allocate_function(functions[fn])
+    return build_preblocks(functions[fn])
+
+
+def test_preblocks_split_at_calls():
+    blocks, entry, continuations = _preblocks_for(
+        """
+        int f(int x) { return x; }
+        void main() { int a = f(1); int b = f(2); print_int(a + b); }
+        """
+    )
+    call_terms = [b for b in blocks.values() if b.term.kind == "call"]
+    assert len(call_terms) == 2
+    assert len(continuations) == 2
+    for cont in continuations:
+        assert cont in blocks
+
+
+def test_preblocks_split_oversized_blocks():
+    assigns = "\n".join(f"        g = g * 3 + {i};" for i in range(30))
+    blocks, entry, _ = _preblocks_for(
+        f"""
+        int g;
+        void main() {{
+{assigns}
+            print_int(g);
+        }}
+        """
+    )
+    assert all(b.count <= 16 for b in blocks.values())
+    assert any(b.term.kind == "jmp" and ".s" in b.term.if_true
+               for b in blocks.values())
+
+
+def test_atomic_block_invariants_on_feature_program(feature_pair):
+    prog = feature_pair.block
+    for block in prog.blocks:
+        assert 1 <= block.num_ops <= 16
+        assert block.num_faults <= 2
+        assert block.ops[-1].is_control  # terminator last
+        # faults strictly before the terminator
+        assert all(i < block.num_ops - 1 for i in block.fault_indices)
+        # fault targets resolve to real blocks
+        for i in block.fault_indices:
+            assert block.ops[i].taddr in prog.by_addr

@@ -1,0 +1,171 @@
+"""BS-ISA architectural semantics: atomicity, faults, calls, streams."""
+
+from repro.backend import generate_block_structured
+from repro.backend.enlarge import EnlargeConfig
+from repro.exec import interpret_module
+from repro.exec.block import BlockExecutor
+from repro.frontend import compile_to_ir
+from repro.isa.opcodes import Opcode
+from repro.opt import optimize_module
+from tests.conftest import compile_cached
+
+
+class ScriptedPredictor:
+    """Always predicts a fixed (or worst-case) successor variant."""
+
+    def __init__(self, prog, choose):
+        self.prog = prog
+        self.choose = choose  # fn(block, explicit_candidates) -> addr
+        self.notifications = []
+
+    def predict(self, block):
+        return self.choose(self.prog, block)
+
+    def predict_with_outcome(self, block, outcome):
+        term = block.terminator
+        if term.target2 is not None and not outcome:
+            return term.taddr2
+        return term.taddr
+
+    def notify_actual(self, block, outcome, successor):
+        self.notifications.append((block.label, outcome, successor.label))
+
+
+def always_first_successor(prog, block):
+    """Deliberately poor: always predict the trap's true target."""
+    return block.terminator.taddr
+
+
+def build(source):
+    module = compile_to_ir(source)
+    optimize_module(module)
+    return module
+
+
+FAULTY = """
+int data[32];
+int out_ = 0;
+void main() {
+    int i;
+    for (i = 0; i < 32; i = i + 1) { data[i] = (i * 7) % 5; }
+    for (i = 0; i < 32; i = i + 1) {
+        if (data[i] > 2) { out_ = out_ + data[i]; }
+        else { out_ = out_ - 1; }
+    }
+    print_int(out_);
+}
+"""
+
+
+def test_bad_prediction_cannot_change_architecture():
+    module = build(FAULTY)
+    golden = interpret_module(module)
+    prog = generate_block_structured(module, "t")
+    predictor = ScriptedPredictor(prog, always_first_successor)
+    executor = BlockExecutor(prog, predictor=predictor, trace=False)
+    stats = executor.run()
+    assert stats.outputs == golden
+    # the scripted predictor must have caused real squashes
+    assert stats.blocks_squashed > 0 or stats.trap_mispredicts > 0
+
+
+def test_squashed_blocks_produce_no_output_or_state():
+    module = build(FAULTY)
+    prog = generate_block_structured(module, "t")
+    predictor = ScriptedPredictor(prog, always_first_successor)
+    executor = BlockExecutor(prog, predictor=predictor, trace=True)
+    squashed_units = []
+    committed_units = []
+    for unit in executor.units():
+        (squashed_units if unit.squashed else committed_units).append(unit)
+    stats = executor.stats
+    assert len(squashed_units) == stats.blocks_squashed
+    assert len(committed_units) == stats.blocks_committed
+    # committed ops exclude squashed work
+    assert stats.committed_ops == sum(len(u.ops) for u in committed_units)
+    assert stats.fetched_ops == stats.committed_ops + sum(
+        len(u.ops) for u in squashed_units
+    )
+
+
+def test_squashed_unit_resolves_at_its_fault():
+    module = build(FAULTY)
+    prog = generate_block_structured(module, "t")
+    predictor = ScriptedPredictor(prog, always_first_successor)
+    executor = BlockExecutor(prog, predictor=predictor, trace=True)
+    seen = False
+    for unit in executor.units():
+        if unit.squashed:
+            seen = True
+            block = prog.block_at(unit.addr)
+            assert unit.resolve_index in block.fault_indices
+    assert seen
+
+
+def test_fault_redirects_to_sibling_with_shared_prefix():
+    module = build(FAULTY)
+    prog = generate_block_structured(module, "t")
+    predictor = ScriptedPredictor(prog, always_first_successor)
+    executor = BlockExecutor(prog, predictor=predictor, trace=True)
+    units = list(executor.units())
+    for i, unit in enumerate(units[:-1]):
+        if unit.squashed:
+            block = prog.block_at(unit.addr)
+            target = prog.block_at(units[i + 1].addr)
+            fault_op = block.ops[unit.resolve_index]
+            assert target.addr == fault_op.taddr
+            assert target.path[0] == block.path[0]  # same family root
+
+
+def test_predictor_notified_with_actual_successors():
+    module = build(FAULTY)
+    prog = generate_block_structured(module, "t")
+    predictor = ScriptedPredictor(prog, always_first_successor)
+    executor = BlockExecutor(prog, predictor=predictor, trace=False)
+    executor.run()
+    assert predictor.notifications
+    for block_label, outcome, successor_label in predictor.notifications:
+        block = prog.by_label[block_label]
+        successor = prog.by_label[successor_label]
+        term = block.terminator
+        if term.opcode is Opcode.TRAP:
+            explicit = term.taddr if outcome else term.taddr2
+            assert successor.path[0] == prog.block_at(explicit).path[0]
+
+
+def test_call_writes_continuation_block_address():
+    src = """
+    int f(int x) { return x + 1; }
+    void main() { print_int(f(41)); }
+    """
+    module = build(src)
+    prog = generate_block_structured(module, "t")
+    executor = BlockExecutor(prog, predictor=None, trace=False)
+    stats = executor.run()
+    assert stats.outputs == [("i", 42)]
+    assert stats.calls >= 2  # _start->main, main->f
+    assert stats.returns >= 2
+
+
+def test_perfect_mode_never_emits_squashed_units(feature_pair):
+    executor = BlockExecutor(feature_pair.block, predictor=None, trace=True)
+    units = list(executor.units())
+    assert all(not u.squashed and not u.mispredict for u in units)
+    assert executor.stats.blocks_squashed == 0
+    assert executor.stats.fault_mispredicts == 0
+
+
+def test_stream_addresses_follow_program_blocks(feature_pair):
+    prog = feature_pair.block
+    executor = BlockExecutor(prog, predictor=None, trace=True)
+    for unit in executor.units():
+        block = prog.block_at(unit.addr)
+        assert len(unit.ops) == block.num_ops
+        assert unit.size_bytes == block.size_bytes
+        assert unit.atomic
+
+
+def test_avg_block_size_counts_only_retired(feature_pair):
+    executor = BlockExecutor(feature_pair.block, predictor=None, trace=False)
+    stats = executor.run()
+    assert stats.avg_block_size * stats.blocks_committed == stats.committed_ops

@@ -1,0 +1,199 @@
+"""Executor equivalence: IR interpreter vs conventional vs BS, across a
+battery of language/compiler feature programs."""
+
+import pytest
+
+from repro.core.toolchain import Toolchain
+from repro.exec import interpret_module, run_block_structured, run_conventional
+from repro.sim.predictors import BlockPredictor, GsharePredictor
+from tests.conftest import compile_cached
+
+PROGRAMS = {
+    "arith": """
+        void main() {
+            print_int(7 / 2);
+            print_int(-7 / 2);
+            print_int(7 % 3);
+            print_int(-7 % 3);
+            print_int(1 << 10);
+            print_int(-16 >> 2);
+            print_int(5 & 3);
+            print_int(5 | 3);
+            print_int(5 ^ 3);
+        }
+    """,
+    "floats": """
+        void main() {
+            float a = 1.5;
+            float b = a * 4.0 - 1.0;
+            print_float(b / 2.0);
+            print_int(int(b));
+            print_float(float(7) + 0.25);
+            print_int(b > a);
+            print_int(b == b);
+        }
+    """,
+    "short_circuit": """
+        int count = 0;
+        int bump() { count = count + 1; return 1; }
+        void main() {
+            int a = 0;
+            if (a && bump()) { print_int(99); }
+            print_int(count);
+            if (a || bump()) { print_int(count); }
+            int c = (bump() && bump()) || bump();
+            print_int(count);
+            print_int(c);
+        }
+    """,
+    "loops": """
+        void main() {
+            int total = 0;
+            int i = 0;
+            while (i < 10) {
+                if (i == 3) { i = i + 2; continue; }
+                if (i == 8) { break; }
+                total = total + i;
+                i = i + 1;
+            }
+            print_int(total);
+            for (i = 10; i > 0; i = i - 3) { total = total + 1; }
+            print_int(total);
+        }
+    """,
+    "recursion": """
+        int ack(int m, int n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        void main() { print_int(ack(2, 3)); }
+    """,
+    "arrays": """
+        int g[10];
+        void rev(int a[], int n) {
+            int i;
+            for (i = 0; i < n / 2; i = i + 1) {
+                int t = a[i];
+                a[i] = a[n - 1 - i];
+                a[n - 1 - i] = t;
+            }
+        }
+        void main() {
+            int i;
+            for (i = 0; i < 10; i = i + 1) { g[i] = i * i; }
+            rev(g, 10);
+            for (i = 0; i < 10; i = i + 1) { print_int(g[i]); }
+            int local[5];
+            for (i = 0; i < 5; i = i + 1) { local[i] = g[i] + 1; }
+            rev(local, 5);
+            print_int(local[0] + local[4]);
+        }
+    """,
+    "globals": """
+        int a = 3;
+        float f = 0.5;
+        int arr[4];
+        void main() {
+            arr[0] = a;
+            a = a + arr[0];
+            f = f * float(a);
+            print_int(a);
+            print_float(f);
+        }
+    """,
+    "deep_calls": """
+        int l4(int x) { return x + 4; }
+        int l3(int x) { return l4(x) + 3; }
+        int l2(int x) { return l3(x) + 2; }
+        int l1(int x) { return l2(x) + 1; }
+        void main() { print_int(l1(l1(0))); }
+    """,
+    "wraparound": """
+        void main() {
+            int big = 1;
+            int i;
+            for (i = 0; i < 63; i = i + 1) { big = big * 2; }
+            print_int(big);          // wraps to INT64_MIN
+            print_int(big - 1);      // INT64_MAX
+            print_int(big * 2);      // wraps to 0
+        }
+    """,
+    "library_calls": """
+        library int mix(int a, int b) { return (a * 31 + b) & 65535; }
+        void main() {
+            int h = 7;
+            int i;
+            for (i = 0; i < 20; i = i + 1) { h = mix(h, i); }
+            print_int(h);
+        }
+    """,
+    "branchy": """
+        int sel(int x) {
+            if (x < 4) {
+                if (x < 2) { if (x < 1) { return 0; } return 1; }
+                if (x < 3) { return 2; }
+                return 3;
+            }
+            if (x < 6) { if (x < 5) { return 4; } return 5; }
+            return 6;
+        }
+        void main() {
+            int i;
+            int acc = 0;
+            for (i = 0; i < 14; i = i + 1) { acc = acc * 7 + sel(i % 7); }
+            print_int(acc);
+        }
+    """,
+    "char_output": """
+        void main() {
+            print_char(72);
+            print_char(105);
+            print_char(10);
+            print_char(266);  // masked to 8 bits
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_three_executors_agree(name):
+    pair = compile_cached(PROGRAMS[name], name)
+    golden = interpret_module(pair.module)
+    assert golden, f"{name} produced no output"
+    conv = run_conventional(pair.conventional)
+    assert conv.outputs == golden, f"{name}: conventional diverged"
+    block = run_block_structured(pair.block)
+    assert block.outputs == golden, f"{name}: block-structured diverged"
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_real_predictors_do_not_change_outputs(name):
+    """Prediction (and the fault/squash machinery it triggers) must be
+    invisible architecturally."""
+    pair = compile_cached(PROGRAMS[name], name)
+    golden = interpret_module(pair.module)
+    conv = run_conventional(pair.conventional, predictor=GsharePredictor())
+    assert conv.outputs == golden
+    block = run_block_structured(
+        pair.block, predictor=BlockPredictor(pair.block)
+    )
+    assert block.outputs == golden
+
+
+def test_unoptimized_code_equivalent_too():
+    toolchain = Toolchain(opt_level=0)
+    for name, source in PROGRAMS.items():
+        pair = toolchain.compile(source, name)
+        golden = interpret_module(pair.module)
+        assert run_conventional(pair.conventional).outputs == golden, name
+        assert run_block_structured(pair.block).outputs == golden, name
+
+
+def test_dynamic_op_counts_comparable(feature_pair):
+    conv = run_conventional(feature_pair.conventional)
+    block = run_block_structured(feature_pair.block)
+    # Committed work should be nearly identical (BS drops merged jumps,
+    # conventional executes them).
+    ratio = block.committed_ops / conv.dyn_ops
+    assert 0.9 < ratio < 1.1

@@ -1,0 +1,113 @@
+"""Dynamic-trace invariants: dep edges point backwards, uids are unique,
+unit shapes match the fetch rules."""
+
+from repro.exec.block import BlockExecutor
+from repro.exec.conventional import ConventionalExecutor
+from repro.sim.predictors import BlockPredictor, GsharePredictor
+from tests.conftest import compile_cached, FEATURE_PROGRAM
+
+
+def conv_units(pair, predictor=None):
+    return list(ConventionalExecutor(pair.conventional, predictor=predictor).units())
+
+
+def block_units(pair, predictor=None):
+    return list(BlockExecutor(pair.block, predictor=predictor).units())
+
+
+def test_conventional_units_end_at_control_or_16(feature_pair):
+    prog = feature_pair.conventional
+    for unit in conv_units(feature_pair):
+        assert 1 <= len(unit.ops) <= 16
+        # Reconstruct static ops: control op only at the end, or a full
+        # 16-op run with no control op at all.
+        last_static = prog.op_at(unit.addr + (len(unit.ops) - 1) * 4)
+        if len(unit.ops) < 16:
+            assert last_static.is_control
+        # no control op in the middle
+        for i in range(len(unit.ops) - 1):
+            assert not prog.op_at(unit.addr + i * 4).is_control
+
+
+def _check_deps(units):
+    seen = set()
+    for unit in units:
+        for op in unit.ops:
+            assert op.uid not in seen, "duplicate uid"
+            for dep in op.deps:
+                assert dep < op.uid, "dependence must point backwards"
+            seen.add(op.uid)
+    assert seen
+
+
+def test_conventional_dep_edges_point_backwards(feature_pair):
+    _check_deps(conv_units(feature_pair, predictor=GsharePredictor()))
+
+
+def test_block_dep_edges_point_backwards(feature_pair):
+    _check_deps(
+        block_units(feature_pair, predictor=BlockPredictor(feature_pair.block))
+    )
+
+
+def test_loads_and_stores_carry_addresses(feature_pair):
+    units = conv_units(feature_pair)
+    mem_ops = [op for u in units for op in u.ops if op.is_load or op.is_store]
+    assert mem_ops
+    assert all(op.mem_addr >= 0 and op.mem_addr % 8 == 0 for op in mem_ops)
+    others = [
+        op for u in units for op in u.ops if not (op.is_load or op.is_store)
+    ]
+    assert all(op.mem_addr == -1 for op in others)
+
+
+def test_latencies_match_table1(feature_pair):
+    from repro.isa.latencies import LATENCY, InstrClass
+
+    legal = set(LATENCY.values())
+    dcache_miss_extra = set()
+    for unit in conv_units(feature_pair):
+        for op in unit.ops:
+            assert op.lat in legal
+
+
+def test_mispredicted_units_point_at_their_branch(feature_pair):
+    units = conv_units(feature_pair, predictor=GsharePredictor())
+    flagged = [u for u in units if u.mispredict]
+    assert flagged, "expected at least one misprediction"
+    for unit in flagged:
+        assert unit.resolve_index == len(unit.ops) - 1
+
+
+def test_trace_vs_notrace_same_architecture(feature_pair, feature_golden):
+    traced = ConventionalExecutor(feature_pair.conventional, trace=True)
+    list(traced.units())
+    untraced = ConventionalExecutor(feature_pair.conventional, trace=False)
+    untraced.run()
+    assert traced.outputs == untraced.outputs == feature_golden
+    assert traced.stats.dyn_ops == untraced.stats.dyn_ops
+
+
+def test_block_trace_vs_notrace_same_architecture(feature_pair, feature_golden):
+    traced = BlockExecutor(feature_pair.block, trace=True)
+    list(traced.units())
+    untraced = BlockExecutor(feature_pair.block, trace=False)
+    untraced.run()
+    assert traced.outputs == untraced.outputs == feature_golden
+    assert traced.stats.committed_ops == untraced.stats.committed_ops
+
+
+def test_store_to_load_dependences_present():
+    src = """
+    int g;
+    void main() {
+        g = 41;
+        print_int(g + 1);
+    }
+    """
+    pair = compile_cached(src, "stld")
+    units = conv_units(pair)
+    ops = [op for u in units for op in u.ops]
+    stores = {op.uid for op in ops if op.is_store}
+    loads = [op for op in ops if op.is_load]
+    assert any(set(op.deps) & stores for op in loads)

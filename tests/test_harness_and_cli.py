@@ -1,0 +1,140 @@
+"""Harness (SuiteRunner, experiments) and CLI tests at tiny scales."""
+
+import pytest
+
+from repro.harness import (
+    ALL_EXPERIMENTS,
+    SuiteRunner,
+    fig3_performance,
+    fig5_block_sizes,
+    table1_latencies,
+    table2_benchmarks,
+)
+from repro.harness.cli import main
+from repro.harness.render import ascii_bars, ascii_table, grouped_bars
+from repro.sim.config import MachineConfig
+
+_BENCHES = ["compress", "m88ksim"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(scale=0.06, benchmarks=_BENCHES)
+
+
+def test_runner_caches_pairs_and_runs(runner):
+    pair1 = runner.pair("compress")
+    pair2 = runner.pair("compress")
+    assert pair1 is pair2
+    config = MachineConfig()
+    r1 = runner.run("compress", "conventional", config)
+    r2 = runner.run("compress", "conventional", MachineConfig())
+    assert r1 is r2  # equal configs share the cache slot
+
+
+def test_runner_distinguishes_configs(runner):
+    real = runner.run("compress", "block", MachineConfig())
+    perfect = runner.run("compress", "block", MachineConfig(perfect_bp=True))
+    assert real is not perfect
+    assert perfect.mispredicts == 0
+
+
+def test_table1_matches_paper():
+    result = table1_latencies()
+    values = dict(
+        (row[0], row[1]) for row in result.rows
+    )
+    assert values == {
+        "Integer": 1, "FP Add": 3, "FP/INT Mul": 3, "FP/INT Div": 8,
+        "Load": 2, "Store": 1, "Bit Field": 1, "Branch": 1,
+    }
+    assert "Table 1" in result.render()
+
+
+def test_table2_reports_dynamic_counts(runner):
+    result = table2_benchmarks(runner)
+    assert [row[0] for row in result.rows] == _BENCHES
+    assert all(row[2] > 1000 for row in result.rows)
+
+
+def test_fig3_rows_and_summary(runner):
+    result = fig3_performance(runner)
+    assert set(result.summary["reductions"]) == set(_BENCHES)
+    rendered = result.render()
+    assert "m88ksim" in rendered and "Reduction" in rendered
+    # m88ksim must show a solid BS win even at tiny scale
+    assert result.summary["reductions"]["m88ksim"] > 5.0
+
+
+def test_fig5_block_size_growth(runner):
+    result = fig5_block_sizes(runner)
+    assert result.summary["mean_block"] > result.summary["mean_conventional"]
+
+
+def test_experiment_registry_complete():
+    assert set(ALL_EXPERIMENTS) == {
+        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def test_ascii_table_alignment():
+    text = ascii_table(["name", "n"], [["a", 1], ["bb", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert set(lines[2]) <= {"-", " "}
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_ascii_bars_scale():
+    text = ascii_bars([("x", 10.0), ("y", 5.0)], width=10)
+    x_line, y_line = text.splitlines()
+    assert x_line.count("#") == 10
+    assert y_line.count("#") == 5
+
+
+def test_grouped_bars_handles_negative_values():
+    text = grouped_bars([("g", [("a", -2.0), ("b", 4.0)])], width=8)
+    assert "-" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "compress" in out and "fig7" in out
+
+
+def test_cli_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    assert "Instruction Class" in capsys.readouterr().out
+
+
+def test_cli_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+
+
+def test_cli_compile(capsys):
+    assert main(["compile", "compress", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "atomic blocks" in out and "expansion" in out
+
+
+def test_cli_compile_dump(capsys):
+    assert main(["compile", "compress", "--scale", "0.05", "--dump"]) == 0
+    assert "trap" in capsys.readouterr().out
+
+
+def test_cli_simulate(capsys):
+    assert main(["simulate", "m88ksim", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "reduction" in out and "conventional" in out

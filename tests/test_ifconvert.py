@@ -1,0 +1,216 @@
+"""If-conversion (predicated execution) tests."""
+
+import pytest
+
+from repro.core.toolchain import Toolchain
+from repro.exec import interpret_module, run_block_structured, run_conventional
+from repro.frontend import compile_to_ir
+from repro.ir.instructions import CondBr, Select
+from repro.ir.verify import verify_module
+from repro.opt import IfConvertConfig, if_convert_module, optimize_module
+
+
+def prepared(source):
+    module = compile_to_ir(source)
+    optimize_module(module)
+    return module
+
+
+def count_terms(module, kind):
+    return sum(
+        1
+        for fn in module.functions.values()
+        for block in fn.blocks
+        if isinstance(block.term, kind)
+    )
+
+
+def count_selects(module):
+    return sum(
+        1
+        for fn in module.functions.values()
+        for block in fn.blocks
+        for instr in block.instrs
+        if isinstance(instr, Select)
+    )
+
+
+DIAMOND = """
+int g;
+void main() {
+    int x = g;
+    int y;
+    if (x > 10) { y = x * 2; } else { y = x + 100; }
+    print_int(y);
+}
+"""
+
+TRIANGLE = """
+int g;
+void main() {
+    int v = g * 3;
+    if (v > 50) { v = 50; }
+    print_int(v);
+}
+"""
+
+
+def test_diamond_converted():
+    module = prepared(DIAMOND)
+    golden = interpret_module(module)
+    branches_before = count_terms(module, CondBr)
+    assert if_convert_module(module) >= 1
+    verify_module(module)
+    optimize_module(module)
+    assert count_terms(module, CondBr) < branches_before
+    assert count_selects(module) >= 1
+    assert interpret_module(module) == golden
+
+
+def test_triangle_converted():
+    module = prepared(TRIANGLE)
+    golden = interpret_module(module)
+    assert if_convert_module(module) >= 1
+    verify_module(module)
+    assert interpret_module(module) == golden == [("i", 0)]
+
+
+def test_both_select_paths_execute_correctly():
+    src = """
+    int pick(int x) {
+        int r;
+        if (x > 0) { r = 1; } else { r = -1; }
+        return r;
+    }
+    void main() { print_int(pick(7)); print_int(pick(-7)); }
+    """
+    module = prepared(src)
+    assert if_convert_module(module) >= 1
+    verify_module(module)
+    assert interpret_module(module) == [("i", 1), ("i", -1)]
+
+
+def test_side_effects_block_conversion():
+    src = """
+    int g;
+    void main() {
+        if (g > 0) { g = 1; }   // store: not hoistable
+        print_int(g);
+    }
+    """
+    module = prepared(src)
+    assert if_convert_module(module) == 0
+
+
+def test_calls_block_conversion():
+    src = """
+    int f(int x) { return x; }
+    void main() {
+        int y;
+        if (1) { y = f(1); } else { y = 2; }
+        print_int(y);
+    }
+    """
+    module = prepared(src)
+    # the call arm is not hoistable; constant folding may have already
+    # removed the branch entirely, either way no select speculation of calls
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            for instr in block.instrs:
+                assert not isinstance(instr, Select)
+
+
+def test_arm_size_threshold():
+    big_arm = " ".join(f"y = y + {i};" for i in range(10))
+    src = f"""
+    int g;
+    void main() {{
+        int y = g;
+        if (g > 0) {{ {big_arm} }} else {{ y = 0; }}
+        print_int(y);
+    }}
+    """
+    module = prepared(src)
+    assert if_convert_module(module, IfConvertConfig(max_arm_instrs=3)) == 0
+    module2 = prepared(src)
+    # each MiniC statement lowers to ~3 IR instrs; 40 covers the arm
+    converted = if_convert_module(module2, IfConvertConfig(max_arm_instrs=40))
+    assert converted >= 1
+    assert interpret_module(module2) == interpret_module(prepared(src))
+
+
+def test_nested_ifs_convert_inside_out():
+    src = """
+    int g;
+    void main() {
+        int y = g;
+        if (g > 0) {
+            if (g > 10) { y = 2; } else { y = 1; }
+        } else { y = 0; }
+        print_int(y);
+    }
+    """
+    module = prepared(src)
+    golden = interpret_module(module)
+    converted = if_convert_module(module)
+    verify_module(module)
+    assert converted >= 1
+    assert interpret_module(module) == golden
+
+
+def test_float_selects():
+    src = """
+    float g;
+    void main() {
+        float y;
+        if (g < 1.0) { y = 2.5; } else { y = 3.5; }
+        print_float(y);
+    }
+    """
+    module = prepared(src)
+    assert if_convert_module(module) >= 1
+    verify_module(module)
+    assert interpret_module(module) == [("f", 2.5)]
+
+
+def test_end_to_end_equivalence_with_both_backends():
+    src = """
+    int data[32];
+    int lo = 0;
+    int hi = 0;
+    void main() {
+        int i;
+        for (i = 0; i < 32; i = i + 1) { data[i] = (i * 17) % 40; }
+        for (i = 0; i < 32; i = i + 1) {
+            int v = data[i];
+            if (v < 20) { lo = lo + v; } else { hi = hi + v; }
+            if (v > 35) { v = 35; }
+            lo = lo + (v >> 4);
+        }
+        print_int(lo);
+        print_int(hi);
+    }
+    """
+    plain = Toolchain().compile(src, "ifc")
+    converted = Toolchain(if_convert=IfConvertConfig(enabled=True)).compile(
+        src, "ifc"
+    )
+    golden = interpret_module(plain.module)
+    assert interpret_module(converted.module) == golden
+    assert run_conventional(converted.conventional).outputs == golden
+    assert run_block_structured(converted.block).outputs == golden
+    assert count_selects(converted.module) >= 1
+
+
+def test_if_conversion_reduces_dynamic_branches():
+    from repro.workloads import SUITE
+
+    src = SUITE["ijpeg"].source(0.15)
+    plain = Toolchain().compile(src, "ijpeg")
+    converted = Toolchain(if_convert=IfConvertConfig(enabled=True)).compile(
+        src, "ijpeg"
+    )
+    base = run_conventional(plain.conventional)
+    pred = run_conventional(converted.conventional)
+    assert pred.outputs == base.outputs
+    assert pred.branches < base.branches

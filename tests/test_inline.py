@@ -1,0 +1,199 @@
+"""Function-inlining tests (paper §6 extension)."""
+
+import pytest
+
+from repro.core.toolchain import Toolchain
+from repro.exec import interpret_module, run_block_structured, run_conventional
+from repro.frontend import compile_to_ir
+from repro.ir.instructions import CallInstr
+from repro.ir.verify import verify_module
+from repro.opt import InlineConfig, inline_module, remove_uncalled_functions
+from repro.opt import optimize_module
+
+
+def calls_in(module, caller):
+    return [
+        instr.func
+        for block in module.functions[caller].blocks
+        for instr in block.instrs
+        if isinstance(instr, CallInstr)
+    ]
+
+
+def prepared(source):
+    module = compile_to_ir(source)
+    optimize_module(module)
+    return module
+
+
+SIMPLE = """
+int add3(int x) { return x + 3; }
+void main() { print_int(add3(add3(10))); }
+"""
+
+
+def test_inlines_simple_callee():
+    module = prepared(SIMPLE)
+    golden = interpret_module(module)
+    assert inline_module(module) == 2
+    verify_module(module)
+    assert "add3" not in calls_in(module, "main")
+    assert interpret_module(module) == golden == [("i", 16)]
+
+
+def test_remove_uncalled_functions():
+    module = prepared(SIMPLE)
+    inline_module(module)
+    removed = remove_uncalled_functions(module)
+    assert removed == 1
+    assert set(module.functions) == {"main"}
+    verify_module(module)
+
+
+def test_recursive_functions_not_inlined():
+    src = """
+    int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+    void main() { print_int(fact(5)); }
+    """
+    module = prepared(src)
+    assert inline_module(module) == 0
+    assert interpret_module(module) == [("i", 120)]
+
+
+def test_mutually_recursive_functions_not_inlined():
+    src = """
+    int is_odd(int n);
+    int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+    int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+    void main() { print_int(is_even(10)); }
+    """
+    # MiniC has no forward declarations; restructure via a driver table
+    src = """
+    int step(int n, int want_even) {
+        if (n == 0) { return want_even; }
+        return step(n - 1, 1 - want_even);
+    }
+    void main() { print_int(step(10, 1)); }
+    """
+    module = prepared(src)
+    assert inline_module(module) == 0
+
+
+def test_library_functions_respected():
+    src = """
+    library int mix(int x) { return x * 3 + 1; }
+    void main() { print_int(mix(5)); }
+    """
+    module = prepared(src)
+    assert inline_module(module) == 0
+    relaxed = prepared(src)
+    assert inline_module(relaxed, InlineConfig(respect_libraries=False)) == 1
+    assert interpret_module(relaxed) == [("i", 16)]
+
+
+def test_size_threshold_respected():
+    big_body = " ".join(f"x = x + {i};" for i in range(30))
+    src = f"""
+    int big(int x) {{ {big_body} return x; }}
+    void main() {{ print_int(big(1)); }}
+    """
+    module = prepared(src)
+    assert inline_module(module, InlineConfig(max_callee_instrs=10)) == 0
+    module2 = prepared(src)
+    assert inline_module(module2, InlineConfig(max_callee_instrs=100)) == 1
+    assert interpret_module(module2) == interpret_module(prepared(src))
+
+
+def test_inlined_callee_with_branches_and_arrays():
+    src = """
+    int buf[4];
+    int pick(int i, int fallback) {
+        if (i < 0) { return fallback; }
+        if (i >= 4) { return fallback; }
+        return buf[i];
+    }
+    void main() {
+        buf[2] = 42;
+        print_int(pick(2, -1));
+        print_int(pick(9, -1));
+    }
+    """
+    module = prepared(src)
+    golden = interpret_module(module)
+    assert inline_module(module) >= 2
+    verify_module(module)
+    assert interpret_module(module) == golden == [("i", 42), ("i", -1)]
+
+
+def test_inlined_callee_with_local_array_gets_fresh_slots():
+    src = """
+    int scratch(int x) {
+        int tmp[2];
+        tmp[0] = x;
+        tmp[1] = x * 2;
+        return tmp[0] + tmp[1];
+    }
+    void main() { print_int(scratch(3) + scratch(4)); }
+    """
+    module = prepared(src)
+    golden = interpret_module(module)
+    assert inline_module(module) == 2
+    verify_module(module)
+    assert interpret_module(module) == golden == [("i", 21)]
+    assert len(module.functions["main"].frame_slots) == 2
+
+
+def test_void_callee_inlined():
+    src = """
+    int counter = 0;
+    void bump() { counter = counter + 1; }
+    void main() { bump(); bump(); print_int(counter); }
+    """
+    module = prepared(src)
+    assert inline_module(module) == 2
+    verify_module(module)
+    assert interpret_module(module) == [("i", 2)]
+
+
+def test_end_to_end_with_both_backends():
+    toolchain = Toolchain(inline=InlineConfig(enabled=True))
+    pair = toolchain.compile(SIMPLE, "inl")
+    golden = interpret_module(pair.module)
+    assert run_conventional(pair.conventional).outputs == golden
+    assert run_block_structured(pair.block).outputs == golden
+
+
+def test_inlining_enables_further_enlargement():
+    src = """
+    int clamp(int v) {
+        if (v > 100) { return 100; }
+        return v;
+    }
+    int total = 0;
+    void main() {
+        int i;
+        for (i = 0; i < 30; i = i + 1) {
+            total = total + clamp(i * 9);
+        }
+        print_int(total);
+    }
+    """
+    plain = Toolchain().compile(src, "plain")
+    inlined = Toolchain(inline=InlineConfig(enabled=True)).compile(src, "inl")
+    assert interpret_module(plain.module) == interpret_module(inlined.module)
+    assert (
+        inlined.block.static_block_size_avg()
+        > plain.block.static_block_size_avg()
+    )
+
+
+def test_sites_per_caller_budget():
+    calls = " ".join("s = tiny(s);" for _ in range(12))
+    src = f"""
+    int tiny(int x) {{ return x + 1; }}
+    void main() {{ int s = 0; {calls} print_int(s); }}
+    """
+    module = prepared(src)
+    n = inline_module(module, InlineConfig(max_sites_per_caller=3))
+    assert n == 3
+    assert interpret_module(module) == [("i", 12)]

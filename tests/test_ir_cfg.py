@@ -1,0 +1,135 @@
+"""CFG analysis tests (reverse postorder, dominators, back edges)."""
+
+from repro.ir.cfg import (
+    back_edges,
+    dominates,
+    dominators,
+    generic_back_edges,
+    generic_dominators,
+    generic_reverse_postorder,
+    natural_loop,
+    predecessors,
+    reachable,
+    reverse_postorder,
+)
+from repro.ir.instructions import CondBr, Const, Jump, Ret, VReg
+from repro.ir.structure import Function
+
+
+def make_diamond() -> Function:
+    """entry -> (left | right) -> join -> exit."""
+    fn = Function("f", [])
+    entry = fn.new_block("entry")
+    left = fn.new_block("left")
+    right = fn.new_block("right")
+    join = fn.new_block("join")
+    cond = fn.new_vreg()
+    entry.append(Const(cond, 1))
+    entry.terminate(CondBr(cond, left.label, right.label))
+    left.terminate(Jump(join.label))
+    right.terminate(Jump(join.label))
+    join.terminate(Ret(None))
+    return fn
+
+
+def make_loop() -> Function:
+    """entry -> head <-> body; head -> exit."""
+    fn = Function("g", [])
+    entry = fn.new_block("entry")
+    head = fn.new_block("head")
+    body = fn.new_block("body")
+    exit_ = fn.new_block("exit")
+    cond = fn.new_vreg()
+    entry.append(Const(cond, 1))
+    entry.terminate(Jump(head.label))
+    head.terminate(CondBr(cond, body.label, exit_.label))
+    body.terminate(Jump(head.label))
+    exit_.terminate(Ret(None))
+    return fn
+
+
+def test_reverse_postorder_starts_at_entry():
+    fn = make_diamond()
+    order = reverse_postorder(fn)
+    assert order[0] == fn.entry.label
+    assert order[-1] == fn.blocks[3].label  # join last
+    assert len(order) == 4
+
+
+def test_reachable_excludes_orphans():
+    fn = make_diamond()
+    orphan = fn.new_block("orphan")
+    orphan.terminate(Ret(None))
+    assert orphan.label not in reachable(fn)
+    assert len(reachable(fn)) == 4
+
+
+def test_predecessors():
+    fn = make_diamond()
+    preds = predecessors(fn)
+    join = fn.blocks[3].label
+    assert sorted(preds[join]) == sorted([fn.blocks[1].label, fn.blocks[2].label])
+    assert preds[fn.entry.label] == []
+
+
+def test_dominators_diamond():
+    fn = make_diamond()
+    idom = dominators(fn)
+    entry, left, right, join = (b.label for b in fn.blocks)
+    assert idom[left] == entry
+    assert idom[right] == entry
+    assert idom[join] == entry  # neither branch dominates the join
+    assert dominates(idom, entry, join)
+    assert not dominates(idom, left, join)
+
+
+def test_back_edges_loop():
+    fn = make_loop()
+    edges = back_edges(fn)
+    head = fn.blocks[1].label
+    body = fn.blocks[2].label
+    assert edges == {(body, head)}
+
+
+def test_no_back_edges_in_dag():
+    assert back_edges(make_diamond()) == set()
+
+
+def test_natural_loop_membership():
+    fn = make_loop()
+    head = fn.blocks[1].label
+    body = fn.blocks[2].label
+    loop = natural_loop(fn, (body, head))
+    assert loop == {head, body}
+
+
+def test_generic_graph_interface():
+    graph = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": ["b"]}
+    order = generic_reverse_postorder("a", lambda n: graph.get(n, []))
+    assert order[0] == "a" and set(order) == {"a", "b", "c", "d"}
+    idom = generic_dominators("a", lambda n: graph.get(n, []))
+    assert idom["d"] == "a"
+    edges = generic_back_edges("a", lambda n: graph.get(n, []))
+    # d -> b: b does not dominate d (c path), so not a back edge
+    assert edges == set()
+
+
+def test_self_loop_is_back_edge():
+    graph = {"a": ["b"], "b": ["b", "c"], "c": []}
+    edges = generic_back_edges("a", lambda n: graph.get(n, []))
+    assert ("b", "b") in edges
+
+
+def test_nested_loops():
+    graph = {
+        "entry": ["outer"],
+        "outer": ["inner", "exit"],
+        "inner": ["inner_body"],
+        "inner_body": ["inner", "outer_latch"],
+        "outer_latch": ["outer"],
+        "exit": [],
+    }
+    edges = generic_back_edges("entry", lambda n: graph.get(n, []))
+    assert ("inner_body", "inner") in edges
+    assert ("outer_latch", "outer") in edges
+    assert len(edges) == 2

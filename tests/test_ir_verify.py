@@ -1,0 +1,157 @@
+"""IR verifier tests: every class of malformation is caught."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend import compile_to_ir
+from repro.ir.instructions import (
+    Bin,
+    CallInstr,
+    CondBr,
+    Const,
+    IrOp,
+    Jump,
+    Ret,
+    VReg,
+)
+from repro.ir.structure import Function, Module
+from repro.ir.verify import verify_function, verify_module
+
+
+def minimal_fn() -> Function:
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    block.terminate(Ret(None))
+    return fn
+
+
+def test_valid_function_passes():
+    verify_function(minimal_fn())
+
+
+def test_compiled_program_verifies(feature_pair):
+    verify_module(feature_pair.module)
+
+
+def test_missing_terminator_rejected():
+    fn = Function("f", [])
+    fn.new_block("entry")
+    with pytest.raises(IRError, match="no terminator"):
+        verify_function(fn)
+
+
+def test_unknown_branch_target_rejected():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    block.terminate(Jump("nowhere"))
+    with pytest.raises(IRError, match="unknown"):
+        verify_function(fn)
+
+
+def test_float_condition_rejected():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    other = fn.new_block("other")
+    other.terminate(Ret(None))
+    cond = fn.new_vreg("f")
+    block.append(Const(cond, 1.0))
+    block.terminate(CondBr(cond, other.label, other.label))
+    with pytest.raises(IRError, match="int"):
+        verify_function(fn)
+
+
+def test_operand_type_mismatch_rejected():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    i = fn.new_vreg("i")
+    f = fn.new_vreg("f")
+    d = fn.new_vreg("i")
+    block.append(Const(i, 1))
+    block.append(Const(f, 1.0))
+    block.append(Bin(IrOp.ADD, d, i, f))
+    block.terminate(Ret(None))
+    with pytest.raises(IRError, match="type"):
+        verify_function(fn)
+
+
+def test_float_result_into_int_register_rejected():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a = fn.new_vreg("f")
+    d = fn.new_vreg("i")  # wrong: FADD produces a float
+    block.append(Const(a, 1.0))
+    block.append(Bin(IrOp.FADD, d, a, a))
+    block.terminate(Ret(None))
+    with pytest.raises(IRError, match="result type"):
+        verify_function(fn)
+
+
+def test_use_before_definition_rejected():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    ghost = VReg(99, "i")
+    d = fn.new_vreg("i")
+    block.append(Bin(IrOp.ADD, d, ghost, ghost))
+    block.terminate(Ret(None))
+    with pytest.raises(IRError, match="before any definition"):
+        verify_function(fn)
+
+
+def test_use_defined_on_one_path_accepted():
+    # 'maybe defined' analysis: defined along one predecessor suffices
+    fn = Function("f", [])
+    entry = fn.new_block("entry")
+    deff = fn.new_block("def")
+    join = fn.new_block("join")
+    cond = fn.new_vreg("i")
+    value = fn.new_vreg("i")
+    result = fn.new_vreg("i")
+    entry.append(Const(cond, 1))
+    entry.append(Const(value, 0))
+    entry.terminate(CondBr(cond, deff.label, join.label))
+    deff.append(Const(value, 5))
+    deff.terminate(Jump(join.label))
+    join.append(Bin(IrOp.ADD, result, value, value))
+    join.terminate(Ret(result))
+    verify_function(fn)
+
+
+def test_duplicate_labels_rejected():
+    fn = minimal_fn()
+    rogue = type(fn.blocks[0])(fn.entry.label)  # same label as the entry
+    rogue.terminate(Ret(None))
+    fn.blocks.append(rogue)
+    with pytest.raises(IRError, match="duplicate"):
+        verify_function(fn)
+
+
+def test_block_map_desync_rejected():
+    fn = minimal_fn()
+    rogue = type(fn.blocks[0])("rogue")
+    rogue.terminate(Ret(None))
+    fn.blocks.append(rogue)  # bypasses new_block: map not updated
+    with pytest.raises(IRError, match="out of sync"):
+        verify_function(fn)
+
+
+def test_call_to_unknown_function_rejected():
+    module = Module("m")
+    fn = Function("main", [])
+    block = fn.new_block("entry")
+    block.append(CallInstr(None, "missing", []))
+    block.terminate(Ret(None))
+    module.add_function(fn)
+    with pytest.raises(IRError, match="unknown function"):
+        verify_module(module)
+
+
+def test_unreachable_block_with_undefined_use_is_ignored():
+    source = """
+    void main() {
+        int x = 1;
+        return;
+        print_int(x);
+    }
+    """
+    module = compile_to_ir(source)
+    verify_module(module)

@@ -1,0 +1,210 @@
+"""AST → IR lowering tests (behavioral, via the IR interpreter)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.exec import interpret_module
+from repro.frontend import compile_to_ir
+from repro.ir.instructions import CondBr
+from repro.ir.verify import verify_module
+
+
+def run(source):
+    module = compile_to_ir(source)
+    verify_module(module)
+    return interpret_module(module)
+
+
+def ints(*values):
+    return [("i", v) for v in values]
+
+
+def test_arithmetic_and_precedence():
+    assert run("void main() { print_int(2 + 3 * 4 - 10 / 5); }") == ints(12)
+
+
+def test_unary_minus_and_not():
+    assert run("void main() { print_int(-5); print_int(!0); print_int(!7); }") \
+        == ints(-5, 1, 0)
+
+
+def test_comparisons_yield_01():
+    out = run(
+        "void main() { print_int(3 < 4); print_int(4 <= 3); "
+        "print_int(3 > 2); print_int(2 >= 3); }"
+    )
+    assert out == ints(1, 0, 1, 0)
+
+
+def test_if_else_both_paths():
+    src = """
+    int pick(int x) { if (x > 0) { return 1; } else { return -1; } }
+    void main() { print_int(pick(5)); print_int(pick(-5)); }
+    """
+    assert run(src) == ints(1, -1)
+
+
+def test_while_and_for_equivalent():
+    src = """
+    void main() {
+        int a = 0;
+        int i = 0;
+        while (i < 5) { a = a + i; i = i + 1; }
+        int b = 0;
+        for (int j = 0; j < 5; j = j + 1) { b = b + j; }
+        print_int(a == b);
+    }
+    """
+    assert run(src) == ints(1)
+
+
+def test_break_exits_only_innermost_loop():
+    src = """
+    void main() {
+        int hits = 0;
+        int i;
+        for (i = 0; i < 3; i = i + 1) {
+            int j;
+            for (j = 0; j < 10; j = j + 1) {
+                if (j == 2) { break; }
+                hits = hits + 1;
+            }
+        }
+        print_int(hits);
+    }
+    """
+    assert run(src) == ints(6)
+
+
+def test_continue_skips_step_correctly():
+    src = """
+    void main() {
+        int total = 0;
+        int i;
+        for (i = 0; i < 6; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            total = total + i;
+        }
+        print_int(total);
+    }
+    """
+    assert run(src) == ints(9)
+
+
+def test_short_circuit_evaluation_order():
+    src = """
+    int calls = 0;
+    int probe(int r) { calls = calls + 1; return r; }
+    void main() {
+        if (probe(0) && probe(1)) { }
+        print_int(calls);
+        if (probe(1) || probe(1)) { }
+        print_int(calls);
+    }
+    """
+    assert run(src) == ints(1, 2)
+
+
+def test_short_circuit_as_value():
+    src = """
+    void main() {
+        int a = (1 && 2);
+        int b = (0 || 0);
+        int c = (0 && 1) + (3 || 0);
+        print_int(a); print_int(b); print_int(c);
+    }
+    """
+    assert run(src) == ints(1, 0, 1)
+
+
+def test_implicit_return_zero_for_int_function():
+    src = """
+    int maybe(int x) { if (x > 0) { return 7; } }
+    void main() { print_int(maybe(1)); print_int(maybe(-1)); }
+    """
+    assert run(src) == ints(7, 0)
+
+
+def test_global_scalar_init_and_mutation():
+    src = """
+    int g = 40;
+    float h = 0.5;
+    void main() { g = g + 2; print_int(g); print_float(h + h); }
+    """
+    assert run(src) == [("i", 42), ("f", 1.0)]
+
+
+def test_array_constant_vs_dynamic_index():
+    src = """
+    int a[4];
+    void main() {
+        a[2] = 9;
+        int i = 2;
+        print_int(a[i]);
+        a[i + 1] = a[2] + 1;
+        print_int(a[3]);
+    }
+    """
+    assert run(src) == ints(9, 10)
+
+
+def test_array_params_are_by_reference():
+    src = """
+    void set(int a[], int i, int v) { a[i] = v; }
+    int buf[3];
+    void main() {
+        set(buf, 1, 77);
+        print_int(buf[1]);
+        int local[3];
+        set(local, 0, 5);
+        print_int(local[0]);
+    }
+    """
+    assert run(src) == ints(77, 5)
+
+
+def test_casts_round_trip():
+    src = """
+    void main() {
+        print_int(int(3.75));
+        print_int(int(-3.75));
+        print_float(float(7) / 2.0);
+    }
+    """
+    assert run(src) == [("i", 3), ("i", -3), ("f", 3.5)]
+
+
+def test_nested_calls_and_mixed_types():
+    src = """
+    float scale(float x, int k) { return x * float(k); }
+    int round_down(float x) { return int(x); }
+    void main() { print_int(round_down(scale(1.5, 3))); }
+    """
+    assert run(src) == ints(4)
+
+
+def test_statement_after_return_is_unreachable_not_fatal():
+    src = """
+    int f() { return 1; print_int(999); }
+    void main() { print_int(f()); }
+    """
+    assert run(src) == ints(1)
+
+
+def test_condbr_conditions_are_int(feature_pair):
+    for fn in feature_pair.module.functions.values():
+        for block in fn.blocks:
+            if isinstance(block.term, CondBr):
+                assert not block.term.cond.is_float
+
+
+def test_too_many_parameters_rejected():
+    params = ", ".join(f"int p{i}" for i in range(9))
+    src = f"int f({params}) {{ return p0; }} void main() {{ }}"
+    from repro.backend.machine_ir import lower_module
+    from repro.opt import optimize_module
+
+    module = compile_to_ir(src)
+    optimize_module(module)
+    with pytest.raises(CompileError, match="parameters"):
+        lower_module(module)

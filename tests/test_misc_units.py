@@ -1,0 +1,161 @@
+"""Unit tests for smaller supporting modules: memory, printers, errors,
+machine-IR containers, workload base helpers."""
+
+import pytest
+
+from repro.backend.machine_ir import MachineBlock, MachineFunction, MTerm
+from repro.errors import (
+    CompileError,
+    ExecutionError,
+    LexError,
+    ParseError,
+    ReproError,
+    SourceError,
+    TypeCheckError,
+)
+from repro.exec.memory import Memory, STACK_BASE
+from repro.frontend import compile_to_ir
+from repro.ir.printer import print_function, print_module
+from repro.isa.program import DataSegment
+from repro.workloads.base import iterations
+
+
+# ---------------------------------------------------------------------------
+# memory
+# ---------------------------------------------------------------------------
+
+
+def test_memory_zero_initialized():
+    memory = Memory()
+    assert memory.load(0) == 0
+    assert memory.load(0x123450) == 0
+
+
+def test_memory_store_load_round_trip():
+    memory = Memory()
+    memory.store(64, 42)
+    memory.store(72, 2.5)
+    assert memory.load(64) == 42
+    assert memory.load(72) == 2.5
+    assert memory.load(80) == 0
+
+
+def test_memory_rejects_unaligned():
+    memory = Memory()
+    with pytest.raises(ExecutionError, match="unaligned"):
+        memory.load(3)
+    with pytest.raises(ExecutionError, match="unaligned"):
+        memory.store(9, 1)
+
+
+def test_memory_initialized_from_data_segment():
+    data = DataSegment()
+    addr = data.allocate("g", 8)
+    data.init[addr] = 7
+    memory = Memory(data)
+    assert memory.load(addr) == 7
+
+
+def test_stack_base_above_data():
+    data = DataSegment()
+    addr = data.allocate("g", 1 << 20)
+    assert STACK_BASE > addr + (1 << 20)
+
+
+# ---------------------------------------------------------------------------
+# errors
+# ---------------------------------------------------------------------------
+
+
+def test_error_hierarchy():
+    for cls in (LexError, ParseError, TypeCheckError):
+        assert issubclass(cls, SourceError)
+        assert issubclass(cls, ReproError)
+    assert issubclass(CompileError, ReproError)
+
+
+def test_source_error_carries_location():
+    err = ParseError("bad thing", line=3, column=7)
+    assert err.line == 3 and err.column == 7
+    assert "3:7" in str(err)
+
+
+def test_source_error_without_location():
+    err = ParseError("bad thing")
+    assert "bad thing" in str(err)
+    assert err.line == 0
+
+
+# ---------------------------------------------------------------------------
+# IR printer
+# ---------------------------------------------------------------------------
+
+
+def test_print_module_contains_everything():
+    module = compile_to_ir(
+        """
+        int g = 5;
+        float farr[3];
+        library int lib(int x) { return x; }
+        void main() { print_int(lib(g)); }
+        """
+    )
+    text = print_module(module)
+    assert "global int g = 5" in text
+    assert "global float farr[3]" in text
+    assert "library func lib" in text
+    assert "func main" in text
+    assert "call lib" in text
+
+
+def test_print_function_shows_frame_slots():
+    module = compile_to_ir("void main() { int buf[4]; buf[0] = 1; }")
+    text = print_function(module.function("main"))
+    assert "frame" in text and "32 bytes" in text
+
+
+# ---------------------------------------------------------------------------
+# machine IR containers
+# ---------------------------------------------------------------------------
+
+
+def test_machine_function_vreg_typing():
+    mf = MachineFunction("f")
+    a = mf.new_vreg(False)
+    b = mf.new_vreg(True)
+    assert mf.vreg_is_fp[a] is False
+    assert mf.vreg_is_fp[b] is True
+    assert b == a + 1
+
+
+def test_machine_function_duplicate_block_rejected():
+    mf = MachineFunction("f")
+    mf.new_block("x")
+    with pytest.raises(CompileError, match="duplicate"):
+        mf.new_block("x")
+
+
+def test_mterm_targets():
+    assert MTerm("br", cond=3, if_true="a", if_false="b").targets() == ("a", "b")
+    assert MTerm("jmp", if_true="a").targets() == ("a",)
+    assert MTerm("ret").targets() == ()
+
+
+def test_machine_block_successors():
+    mf = MachineFunction("f")
+    a = mf.new_block("a")
+    mf.new_block("b")
+    a.term = MTerm("jmp", if_true="b")
+    assert mf.successors("a") == ("b",)
+
+
+# ---------------------------------------------------------------------------
+# workload helpers
+# ---------------------------------------------------------------------------
+
+
+def test_iterations_scaling_and_minimum():
+    assert iterations(100, 1.0) == 100
+    assert iterations(100, 0.25) == 25
+    assert iterations(100, 0.001, minimum=5) == 5
+    assert iterations(3, 10.0) == 30

@@ -1,0 +1,376 @@
+"""Unit tests for the individual optimizer passes.
+
+Each pass is checked for (a) the transformation it promises on a
+hand-written IR fragment and (b) semantic preservation on interpreted
+programs.
+"""
+
+from repro.exec import interpret_module
+from repro.frontend import compile_to_ir
+from repro.ir.instructions import (
+    Bin,
+    CondBr,
+    Const,
+    Copy,
+    GlobalAddr,
+    IrOp,
+    Jump,
+    Ret,
+    Store,
+)
+from repro.ir.structure import Function
+from repro.ir.verify import verify_function, verify_module
+from repro.opt import (
+    eliminate_dead_code,
+    fold_constants,
+    local_cse,
+    optimize_module,
+    propagate_copies,
+    simplify_cfg,
+)
+
+
+def run_program(source, level=0):
+    module = compile_to_ir(source)
+    optimize_module(module, level)
+    return interpret_module(module)
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+
+def test_fold_constant_binop():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b, c = fn.new_vreg(), fn.new_vreg(), fn.new_vreg()
+    block.append(Const(a, 6))
+    block.append(Const(b, 7))
+    block.append(Bin(IrOp.MUL, c, a, b))
+    block.terminate(Ret(c))
+    assert fold_constants(fn)
+    assert isinstance(block.instrs[2], Const)
+    assert block.instrs[2].value == 42
+
+
+def test_fold_identity_add_zero():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    x, zero, d = fn.new_vreg(), fn.new_vreg(), fn.new_vreg()
+    block.append(GlobalAddr(x, "g"))  # opaque non-constant value
+    block.append(Const(zero, 0))
+    block.append(Bin(IrOp.ADD, d, x, zero))
+    block.terminate(Ret(d))
+    assert fold_constants(fn)
+    assert isinstance(block.instrs[2], Copy)
+
+
+def test_fold_mul_by_zero():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    x, zero, d = fn.new_vreg(), fn.new_vreg(), fn.new_vreg()
+    block.append(GlobalAddr(x, "g"))
+    block.append(Const(zero, 0))
+    block.append(Bin(IrOp.MUL, d, x, zero))
+    block.terminate(Ret(d))
+    assert fold_constants(fn)
+    assert isinstance(block.instrs[2], Const) and block.instrs[2].value == 0
+
+
+def test_fold_constant_branch_becomes_jump():
+    fn = Function("f", [])
+    entry = fn.new_block("entry")
+    yes = fn.new_block("yes")
+    no = fn.new_block("no")
+    cond = fn.new_vreg()
+    entry.append(Const(cond, 1))
+    entry.terminate(CondBr(cond, yes.label, no.label))
+    yes.terminate(Ret(None))
+    no.terminate(Ret(None))
+    assert fold_constants(fn)
+    assert isinstance(entry.term, Jump)
+    assert entry.term.target == yes.label
+
+
+def test_fold_respects_redefinition():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, d = fn.new_vreg(), fn.new_vreg()
+    block.append(Const(a, 1))
+    block.append(GlobalAddr(a, "g"))  # redefines a: no longer constant
+    block.append(Bin(IrOp.ADD, d, a, a))
+    block.terminate(Ret(d))
+    fold_constants(fn)
+    assert isinstance(block.instrs[2], Bin)
+
+
+def test_fold_preserves_semantics():
+    src = """
+    void main() {
+        int a = 6 * 7 + (3 << 2) - 10 / 3;
+        if (2 < 1) { a = 999; }
+        print_int(a);
+    }
+    """
+    module = compile_to_ir(src)
+    before = interpret_module(module)
+    for fn in module.functions.values():
+        fold_constants(fn)
+        verify_function(fn)
+    assert interpret_module(module) == before
+
+
+# ---------------------------------------------------------------------------
+# copy propagation
+# ---------------------------------------------------------------------------
+
+
+def test_copy_propagation_rewrites_uses():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b, c = fn.new_vreg(), fn.new_vreg(), fn.new_vreg()
+    block.append(Const(a, 5))
+    block.append(Copy(b, a))
+    block.append(Bin(IrOp.ADD, c, b, b))
+    block.terminate(Ret(c))
+    assert propagate_copies(fn)
+    add = block.instrs[2]
+    assert add.a == a and add.b == a
+
+
+def test_copy_propagation_killed_by_source_redefinition():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b, c = fn.new_vreg(), fn.new_vreg(), fn.new_vreg()
+    block.append(Const(a, 5))
+    block.append(Copy(b, a))
+    block.append(Const(a, 9))  # a redefined: b must NOT read new a
+    block.append(Bin(IrOp.ADD, c, b, b))
+    block.terminate(Ret(c))
+    propagate_copies(fn)
+    add = block.instrs[3]
+    assert add.a == b and add.b == b
+
+
+def test_copy_propagation_killed_by_dest_redefinition():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b, c = fn.new_vreg(), fn.new_vreg(), fn.new_vreg()
+    block.append(Const(a, 5))
+    block.append(Copy(b, a))
+    block.append(Const(b, 9))
+    block.append(Bin(IrOp.ADD, c, b, b))
+    block.terminate(Ret(c))
+    propagate_copies(fn)
+    add = block.instrs[3]
+    assert add.a == b
+
+
+# ---------------------------------------------------------------------------
+# local CSE
+# ---------------------------------------------------------------------------
+
+
+def test_cse_reuses_expression():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a = fn.new_vreg()
+    b = fn.new_vreg()
+    x, y = fn.new_vreg(), fn.new_vreg()
+    block.append(GlobalAddr(a, "g"))
+    block.append(GlobalAddr(b, "h"))
+    block.append(Bin(IrOp.ADD, x, a, b))
+    block.append(Bin(IrOp.ADD, y, a, b))
+    block.terminate(Ret(y))
+    assert local_cse(fn)
+    assert isinstance(block.instrs[3], Copy)
+    assert block.instrs[3].src == x
+
+
+def test_cse_commutative_match():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b, x, y = (fn.new_vreg() for _ in range(4))
+    block.append(GlobalAddr(a, "g"))
+    block.append(GlobalAddr(b, "h"))
+    block.append(Bin(IrOp.MUL, x, a, b))
+    block.append(Bin(IrOp.MUL, y, b, a))
+    block.terminate(Ret(y))
+    assert local_cse(fn)
+    assert isinstance(block.instrs[3], Copy)
+
+
+def test_cse_not_applied_across_operand_redefinition():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b, x, y = (fn.new_vreg() for _ in range(4))
+    block.append(GlobalAddr(a, "g"))
+    block.append(GlobalAddr(b, "h"))
+    block.append(Bin(IrOp.ADD, x, a, b))
+    block.append(GlobalAddr(a, "k"))  # kills facts involving a
+    block.append(Bin(IrOp.ADD, y, a, b))
+    block.terminate(Ret(y))
+    local_cse(fn)
+    assert isinstance(block.instrs[4], Bin)
+
+
+def test_cse_self_referencing_def_not_registered():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b, y = (fn.new_vreg() for _ in range(3))
+    block.append(GlobalAddr(a, "g"))
+    block.append(GlobalAddr(b, "h"))
+    block.append(Bin(IrOp.ADD, a, a, b))  # a = a + b
+    block.append(Bin(IrOp.ADD, y, a, b))  # different value!
+    block.terminate(Ret(y))
+    local_cse(fn)
+    assert isinstance(block.instrs[3], Bin)
+
+
+def test_cse_does_not_touch_loads():
+    src = """
+    int g;
+    void main() {
+        int a = g + g;
+        g = 5;
+        int b = g + g;
+        print_int(a + b);
+    }
+    """
+    assert run_program(src, level=2) == run_program(src, level=0)
+
+
+# ---------------------------------------------------------------------------
+# dead code elimination
+# ---------------------------------------------------------------------------
+
+
+def test_dce_removes_unused_pure_instr():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b = fn.new_vreg(), fn.new_vreg()
+    block.append(Const(a, 5))
+    block.append(Const(b, 6))  # unused
+    block.terminate(Ret(a))
+    assert eliminate_dead_code(fn)
+    assert len(block.instrs) == 1
+
+
+def test_dce_keeps_side_effects():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    addr, value = fn.new_vreg(), fn.new_vreg()
+    block.append(GlobalAddr(addr, "g"))
+    block.append(Const(value, 1))
+    block.append(Store(value, addr, 0))
+    block.terminate(Ret(None))
+    eliminate_dead_code(fn)
+    assert len(block.instrs) == 3
+
+
+def test_dce_cascades():
+    fn = Function("f", [])
+    block = fn.new_block("entry")
+    a, b, c = fn.new_vreg(), fn.new_vreg(), fn.new_vreg()
+    block.append(Const(a, 1))
+    block.append(Bin(IrOp.ADD, b, a, a))  # only used by c
+    block.append(Bin(IrOp.ADD, c, b, b))  # unused
+    block.terminate(Ret(None))
+    assert eliminate_dead_code(fn)
+    assert block.instrs == []
+
+
+# ---------------------------------------------------------------------------
+# CFG simplification
+# ---------------------------------------------------------------------------
+
+
+def test_simplify_removes_unreachable():
+    fn = Function("f", [])
+    entry = fn.new_block("entry")
+    orphan = fn.new_block("orphan")
+    entry.terminate(Ret(None))
+    orphan.terminate(Ret(None))
+    assert simplify_cfg(fn)
+    assert len(fn.blocks) == 1
+
+
+def test_simplify_threads_empty_jump_blocks():
+    fn = Function("f", [])
+    entry = fn.new_block("entry")
+    hop = fn.new_block("hop")
+    target = fn.new_block("target")
+    entry.terminate(Jump(hop.label))
+    hop.terminate(Jump(target.label))
+    target.terminate(Ret(None))
+    simplify_cfg(fn)
+    # entry should reach target directly and hop should be merged/removed
+    assert len(fn.blocks) == 1 or all(b.label != hop.label for b in fn.blocks)
+
+
+def test_simplify_merges_single_pred_chains():
+    fn = Function("f", [])
+    entry = fn.new_block("entry")
+    tail = fn.new_block("tail")
+    a = fn.new_vreg()
+    entry.append(Const(a, 1))
+    entry.terminate(Jump(tail.label))
+    tail.append(Const(fn.new_vreg(), 2))
+    tail.terminate(Ret(None))
+    assert simplify_cfg(fn)
+    assert len(fn.blocks) == 1
+    assert len(fn.entry.instrs) == 2
+
+
+def test_simplify_folds_same_target_condbr():
+    fn = Function("f", [])
+    entry = fn.new_block("entry")
+    target = fn.new_block("t")
+    cond = fn.new_vreg()
+    entry.append(Const(cond, 1))
+    entry.terminate(CondBr(cond, target.label, target.label))
+    target.terminate(Ret(None))
+    assert simplify_cfg(fn)
+    assert len(fn.blocks) == 1  # folded to jump, then merged
+
+
+def test_simplify_keeps_loops_intact():
+    src = """
+    void main() {
+        int total = 0;
+        int i;
+        for (i = 0; i < 5; i = i + 1) { total = total + i; }
+        print_int(total);
+    }
+    """
+    assert run_program(src, level=2) == [("i", 10)]
+
+
+# ---------------------------------------------------------------------------
+# whole pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_preserves_feature_program(feature_pair, feature_golden):
+    # feature_pair was compiled at level 2; re-lower at level 0 and compare
+    module = compile_to_ir(__import__("tests.conftest", fromlist=["x"]).FEATURE_PROGRAM)
+    assert interpret_module(module) == feature_golden
+
+
+def test_pipeline_shrinks_code():
+    src = """
+    void main() {
+        int a = 1 + 2;
+        int b = a + 0;
+        int unused = 123 * 456;
+        print_int(b * 1);
+    }
+    """
+    module = compile_to_ir(src)
+    before = sum(len(b.instrs) for f in module.functions.values() for b in f.blocks)
+    optimize_module(module, 2)
+    verify_module(module)
+    after = sum(len(b.instrs) for f in module.functions.values() for b in f.blocks)
+    assert after < before
+    assert interpret_module(module) == [("i", 3)]

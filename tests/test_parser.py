@@ -1,0 +1,199 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+def parse_expr(text: str) -> ast.Expr:
+    program = parse("void main() { x = %s; }" % text.replace("%", "%%")
+                    if False else f"int f(int x) {{ return {text}; }}")
+    stmt = program.functions[0].body.stmts[0]
+    assert isinstance(stmt, ast.Return)
+    return stmt.value
+
+
+def test_minimal_program():
+    program = parse("void main() { }")
+    assert len(program.functions) == 1
+    assert program.functions[0].name == "main"
+    assert program.functions[0].ret == ast.VOID
+
+
+def test_globals_scalars_and_arrays():
+    program = parse("int a; float b = 1.5; int c[10]; int d = -3; void main() {}")
+    names = [g.name for g in program.globals]
+    assert names == ["a", "b", "c", "d"]
+    assert program.globals[1].init == 1.5
+    assert program.globals[2].array_size == 10
+    assert program.globals[2].ty.is_array
+    assert program.globals[3].init == -3
+
+
+def test_library_qualifier():
+    program = parse("library int f(int x) { return x; } void main() {}")
+    assert program.functions[0].is_library
+    assert not program.functions[1].is_library
+
+
+def test_library_on_global_rejected():
+    with pytest.raises(ParseError):
+        parse("library int g; void main() {}")
+
+
+def test_parameters_including_arrays():
+    program = parse("int f(int a, float b, int c[]) { return a; } void main() {}")
+    params = program.functions[0].params
+    assert [p.name for p in params] == ["a", "b", "c"]
+    assert params[2].ty.is_array
+    assert params[1].ty == ast.FLOAT
+
+
+def test_precedence_mul_over_add():
+    expr = parse_expr("1 + 2 * 3")
+    assert isinstance(expr, ast.BinOp) and expr.op == "+"
+    assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+
+def test_precedence_shift_below_add():
+    expr = parse_expr("1 << 2 + 3")
+    assert expr.op == "<<"
+    assert isinstance(expr.right, ast.BinOp) and expr.right.op == "+"
+
+
+def test_precedence_comparison_below_bitand():
+    # C-like levels in this grammar: & binds looser than ==
+    expr = parse_expr("a & b == c")
+    assert expr.op == "&"
+    assert isinstance(expr.right, ast.BinOp) and expr.right.op == "=="
+
+
+def test_precedence_logical():
+    expr = parse_expr("a && b || c && d")
+    assert expr.op == "||"
+    assert expr.left.op == "&&"
+    assert expr.right.op == "&&"
+
+
+def test_left_associativity():
+    expr = parse_expr("a - b - c")
+    assert expr.op == "-"
+    assert isinstance(expr.left, ast.BinOp) and expr.left.op == "-"
+    assert isinstance(expr.right, ast.Name) and expr.right.ident == "c"
+
+
+def test_unary_operators():
+    expr = parse_expr("-a + !b")
+    assert expr.op == "+"
+    assert isinstance(expr.left, ast.UnOp) and expr.left.op == "-"
+    assert isinstance(expr.right, ast.UnOp) and expr.right.op == "!"
+
+
+def test_parenthesized_expression():
+    expr = parse_expr("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert isinstance(expr.left, ast.BinOp) and expr.left.op == "+"
+
+
+def test_cast_expressions():
+    expr = parse_expr("int(1.5)")
+    assert isinstance(expr, ast.Cast)
+    assert expr.target == ast.INT
+    expr = parse_expr("float(3)")
+    assert isinstance(expr, ast.Cast)
+    assert expr.target == ast.FLOAT
+
+
+def test_call_and_index():
+    expr = parse_expr("f(a, b[i], 3)")
+    assert isinstance(expr, ast.Call)
+    assert expr.func == "f"
+    assert isinstance(expr.args[1], ast.Index)
+
+
+def test_if_else_chain():
+    program = parse(
+        "void main() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } }"
+    )
+    stmt = program.functions[0].body.stmts[0]
+    assert isinstance(stmt, ast.If)
+    inner = stmt.orelse.stmts[0]
+    assert isinstance(inner, ast.If)
+    assert inner.orelse is not None
+
+
+def test_unbraced_bodies_become_blocks():
+    program = parse("void main() { if (a) x = 1; while (b) y = 2; }")
+    if_stmt, while_stmt = program.functions[0].body.stmts
+    assert isinstance(if_stmt.then, ast.Block)
+    assert isinstance(while_stmt.body, ast.Block)
+
+
+def test_for_loop_full_and_empty():
+    program = parse(
+        "void main() { for (int i = 0; i < 10; i = i + 1) { } for (;;) { break; } }"
+    )
+    full, empty = program.functions[0].body.stmts
+    assert isinstance(full.init, ast.VarDecl)
+    assert full.cond is not None and full.step is not None
+    assert empty.init is None and empty.cond is None and empty.step is None
+
+
+def test_break_continue_return():
+    program = parse(
+        "int f() { while (1) { break; continue; } return 3; } void main() {}"
+    )
+    body = program.functions[0].body.stmts
+    loop_body = body[0].body.stmts
+    assert isinstance(loop_body[0], ast.Break)
+    assert isinstance(loop_body[1], ast.Continue)
+    assert isinstance(body[1], ast.Return)
+
+
+def test_local_declarations():
+    program = parse("void main() { int a = 5; float b; int c[4]; }")
+    stmts = program.functions[0].body.stmts
+    assert stmts[0].init is not None
+    assert stmts[1].ty == ast.FLOAT
+    assert stmts[2].array_size == 4
+
+
+def test_assignment_to_index():
+    program = parse("void main() { a[i + 1] = 2; }")
+    stmt = program.functions[0].body.stmts[0]
+    assert isinstance(stmt, ast.Assign)
+    assert isinstance(stmt.target, ast.Index)
+
+
+def test_array_initializer_rejected():
+    with pytest.raises(ParseError):
+        parse("void main() { int a[3] = 5; }")
+
+
+def test_assignment_to_expression_rejected():
+    with pytest.raises(ParseError):
+        parse("void main() { a + b = 2; }")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "void main() {",  # unterminated block
+        "void main() { x = ; }",  # missing expression
+        "void main() { if a { } }",  # missing parens
+        "int 3x() { }",  # bad identifier
+        "void main() { x = 1 }",  # missing semicolon
+        "void main(void v) { }",  # void parameter
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(ParseError):
+        parse(bad)
+
+
+def test_error_carries_location():
+    with pytest.raises(ParseError) as exc:
+        parse("void main() {\n  x = ;\n}")
+    assert exc.value.line == 2

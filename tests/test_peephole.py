@@ -1,0 +1,164 @@
+"""Machine peephole tests: immediate folding, dead defs, indexed fusion."""
+
+from repro.backend.machine_ir import lower_function, layout_globals
+from repro.backend.peephole import (
+    fold_immediates,
+    fuse_indexed_memory,
+    peephole_function,
+    remove_dead_defs,
+)
+from repro.core.toolchain import compile_pair
+from repro.exec import interpret_module, run_block_structured, run_conventional
+from repro.frontend import compile_to_ir
+from repro.isa.opcodes import Opcode
+from repro.opt import optimize_module
+
+
+def lowered(source, fn_name="main"):
+    module = compile_to_ir(source)
+    optimize_module(module)
+    data = layout_globals(module)
+    return lower_function(module.functions[fn_name], data)
+
+
+def opcodes_of(mf):
+    return [op.opcode for block in mf.blocks for op in block.ops]
+
+
+def test_immediate_folding_replaces_movi_operand():
+    mf = lowered(
+        """
+        int g;
+        void main() { int a = g; print_int(a + 3); }
+        """
+    )
+    fold_immediates(mf)
+    adds = [
+        op
+        for block in mf.blocks
+        for op in block.ops
+        if op.opcode is Opcode.ADD and op.imm == 3
+    ]
+    assert adds and all(len(op.srcs) == 1 for op in adds)
+
+
+def test_dead_defs_removed_after_folding():
+    mf = lowered(
+        """
+        int g;
+        void main() { int a = g; print_int(a + 3); }
+        """
+    )
+    fold_immediates(mf)
+    before = sum(1 for oc in opcodes_of(mf) if oc is Opcode.MOVI)
+    remove_dead_defs(mf)
+    after = sum(1 for oc in opcodes_of(mf) if oc is Opcode.MOVI)
+    assert after < before
+
+
+def test_indexed_load_fusion():
+    mf = lowered(
+        """
+        int arr[8];
+        int g;
+        void main() { print_int(arr[g]); }
+        """
+    )
+    peephole_function(mf)
+    ocs = opcodes_of(mf)
+    assert Opcode.LDX in ocs
+    assert Opcode.SHL not in ocs
+
+
+def test_indexed_store_fusion():
+    mf = lowered(
+        """
+        int arr[8];
+        int g;
+        void main() { arr[g] = 7; }
+        """
+    )
+    peephole_function(mf)
+    assert Opcode.STX in opcodes_of(mf)
+
+
+def test_constant_index_uses_plain_offset_not_fusion():
+    mf = lowered(
+        """
+        int arr[8];
+        void main() { print_int(arr[3]); }
+        """
+    )
+    peephole_function(mf)
+    ocs = opcodes_of(mf)
+    assert Opcode.LDX not in ocs
+    loads = [
+        op for block in mf.blocks for op in block.ops if op.opcode is Opcode.LD
+    ]
+    assert any(op.imm == 24 for op in loads)
+
+
+def test_float_array_fusion():
+    mf = lowered(
+        """
+        float arr[8];
+        int g;
+        void main() { arr[g] = 1.5; print_float(arr[g]); }
+        """
+    )
+    peephole_function(mf)
+    ocs = opcodes_of(mf)
+    assert Opcode.FSTX in ocs and Opcode.FLDX in ocs
+
+
+def test_shared_address_not_fused():
+    # Local CSE commons the address computation: two uses of the ADD
+    # result means the triple must not be fused.
+    mf = lowered(
+        """
+        int arr[8];
+        int g;
+        void main() {
+            arr[g] = arr[g] + 1;
+        }
+        """
+    )
+    count_before = len(opcodes_of(mf))
+    peephole_function(mf)
+    assert len(opcodes_of(mf)) <= count_before  # no corruption, maybe smaller
+
+
+FUSION_PROGRAM = """
+int a[16];
+int b[16];
+float f[16];
+void main() {
+    int i;
+    for (i = 0; i < 16; i = i + 1) { a[i] = i * 3; }
+    for (i = 0; i < 16; i = i + 1) { b[i] = a[15 - i]; }
+    for (i = 0; i < 16; i = i + 1) { f[i] = float(b[i]) * 0.5; }
+    int total = 0;
+    for (i = 0; i < 16; i = i + 1) { total = total + b[i] + int(f[i]); }
+    print_int(total);
+    print_int(a[7]);
+    print_float(f[2]);
+}
+"""
+
+
+def test_peephole_preserves_semantics_end_to_end():
+    pair = compile_pair(FUSION_PROGRAM, "fusion")
+    golden = interpret_module(pair.module)
+    assert run_conventional(pair.conventional).outputs == golden
+    assert run_block_structured(pair.block).outputs == golden
+
+
+def test_peephole_shrinks_code():
+    module = compile_to_ir(FUSION_PROGRAM)
+    optimize_module(module)
+    data = layout_globals(module)
+    mf = lower_function(module.functions["main"], data)
+    before = len(opcodes_of(mf))
+    peephole_function(mf)
+    after = len(opcodes_of(mf))
+    assert after < before

@@ -1,0 +1,190 @@
+"""Branch/block predictor tests."""
+
+import pytest
+
+from repro.core.toolchain import compile_pair
+from repro.exec.block import BlockExecutor
+from repro.sim.predictors import (
+    BlockPredictor,
+    GsharePredictor,
+    StaticTakenPredictor,
+)
+from repro.sim.predictors.blockpred import _pad_dirs
+
+
+# ---------------------------------------------------------------------------
+# gshare
+# ---------------------------------------------------------------------------
+
+
+def drive(predictor, addr, pattern, repeats=50):
+    correct = 0
+    total = 0
+    for _ in range(repeats):
+        for taken in pattern:
+            if predictor.predict_branch(addr) == taken:
+                correct += 1
+            predictor.update_branch(addr, taken)
+            total += 1
+    return correct / total
+
+
+def test_gshare_learns_always_taken():
+    assert drive(GsharePredictor(), 0x1000, [True]) > 0.98
+
+
+def test_gshare_learns_always_not_taken():
+    assert drive(GsharePredictor(), 0x1000, [False]) > 0.9
+
+
+def test_gshare_learns_alternating_pattern():
+    # TNTN...: global history disambiguates after warmup
+    assert drive(GsharePredictor(), 0x1000, [True, False]) > 0.9
+
+
+def test_gshare_learns_loop_exit_pattern():
+    # taken x7 then not-taken once (8-iteration loop), well within history
+    pattern = [True] * 7 + [False]
+    assert drive(GsharePredictor(), 0x1000, pattern) > 0.95
+
+
+def test_gshare_history_shorter_than_period_struggles():
+    predictor = GsharePredictor(history_bits=4, table_bits=8)
+    pattern = [True] * 40 + [False]  # period 41 >> history 4
+    accuracy = drive(predictor, 0x1000, pattern, repeats=20)
+    assert accuracy < 1.0  # the exit is not perfectly predictable
+
+
+def test_gshare_distinguishes_branches_by_pc():
+    predictor = GsharePredictor()
+    # two branches with opposite fixed behaviour
+    for _ in range(200):
+        predictor.predict_branch(0x1000)
+        predictor.update_branch(0x1000, True)
+        predictor.predict_branch(0x2000)
+        predictor.update_branch(0x2000, False)
+    # probe in the same global-history phase the branches trained in
+    assert predictor.predict_branch(0x1000) is True
+    predictor.update_branch(0x1000, True)
+    assert predictor.predict_branch(0x2000) is False
+
+
+def test_gshare_rejects_oversized_history():
+    with pytest.raises(ValueError):
+        GsharePredictor(history_bits=16, table_bits=8)
+
+
+def test_static_taken_predictor():
+    predictor = StaticTakenPredictor()
+    assert predictor.predict_branch(0x1000) is True
+    predictor.update_branch(0x1000, False)
+    assert predictor.predict_branch(0x1000) is True
+
+
+def test_gshare_accuracy_counter():
+    predictor = GsharePredictor()
+    drive(predictor, 0x1000, [True], repeats=10)
+    assert 0.0 <= predictor.accuracy <= 1.0
+    assert predictor.predictions == 10
+
+
+# ---------------------------------------------------------------------------
+# block predictor
+# ---------------------------------------------------------------------------
+
+BRANCHY = """
+int data[64];
+int acc = 0;
+void main() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) { data[i] = (i * 13) % 8; }
+    for (i = 0; i < 64; i = i + 1) {
+        if (data[i] < 4) { acc = acc + 1; }
+        else { acc = acc + 2; }
+        if (data[i] == 7) { acc = acc * 3; }
+    }
+    print_int(acc);
+}
+"""
+
+
+def make_block_env():
+    pair = compile_pair(BRANCHY, "branchy")
+    predictor = BlockPredictor(pair.block)
+    return pair.block, predictor
+
+
+def test_pad_dirs():
+    assert _pad_dirs(()) == (0, 0)
+    assert _pad_dirs((1,)) == (1, 0)
+    assert _pad_dirs((1, 0)) == (1, 0)
+
+
+def test_btb_prefills_explicit_targets():
+    prog, predictor = make_block_env()
+    block = next(
+        b for b in prog.blocks if b.terminator.opcode.value == "trap"
+    )
+    predictor.predict(block)
+    entry = predictor.btb[block.addr]
+    targets = set(entry.slots.values())
+    assert block.terminator.taddr in targets
+    assert block.terminator.taddr2 in targets
+    assert entry.nbits == block.terminator.nbits
+
+
+def test_btb_capped_at_eight_successors():
+    prog, predictor = make_block_env()
+    executor = BlockExecutor(prog, predictor=predictor, trace=False)
+    executor.run()
+    for entry in predictor.btb.values():
+        assert len(entry.slots) <= 8
+
+
+def test_prediction_returns_valid_block_addresses():
+    prog, predictor = make_block_env()
+    executor = BlockExecutor(prog, predictor=predictor, trace=False)
+    executor.run()
+    for block in prog.blocks:
+        if block.terminator.opcode.value == "trap":
+            addr = predictor.predict(block)
+            assert addr in prog.by_addr
+
+
+def test_deterministic_replay():
+    prog1, p1 = make_block_env()
+    stats1 = BlockExecutor(prog1, predictor=p1, trace=False).run()
+    prog2, p2 = make_block_env()
+    stats2 = BlockExecutor(prog2, predictor=p2, trace=False).run()
+    assert stats1.trap_mispredicts == stats2.trap_mispredicts
+    assert stats1.blocks_squashed == stats2.blocks_squashed
+    assert p1.accuracy == p2.accuracy
+
+
+def test_block_predictor_learns_biased_program():
+    prog, predictor = make_block_env()
+    # run twice: the second pass should be warmer than the first overall
+    executor = BlockExecutor(prog, predictor=predictor, trace=False)
+    executor.run()
+    assert predictor.accuracy > 0.6
+
+
+def test_history_register_bounded():
+    prog, predictor = make_block_env()
+    BlockExecutor(prog, predictor=predictor, trace=False).run()
+    assert 0 <= predictor._hist < (1 << predictor.history_bits)
+
+
+def test_predict_with_outcome_respects_direction():
+    prog, predictor = make_block_env()
+    block = next(
+        b for b in prog.blocks if b.terminator.opcode.value == "trap"
+    )
+    term = block.terminator
+    true_addr = predictor.predict_with_outcome(block, True)
+    false_addr = predictor.predict_with_outcome(block, False)
+    assert prog.block_at(true_addr).path[0] == prog.block_at(term.taddr).path[0]
+    assert (
+        prog.block_at(false_addr).path[0]
+        == prog.block_at(term.taddr2).path[0]
+    )

@@ -1,0 +1,166 @@
+"""Semantic-analysis (type checker) tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang.parser import parse
+from repro.lang.semantic import analyze
+from repro.lang import ast_nodes as ast
+
+
+def check(source: str):
+    return analyze(parse(source))
+
+
+def test_valid_program_passes():
+    check(
+        """
+        int g = 1;
+        float h = 2.0;
+        int arr[8];
+        int add(int a, int b) { return a + b; }
+        float scale(float x) { return x * 2.0; }
+        void fill(int a[], int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) { a[i] = i; }
+        }
+        void main() {
+            fill(arr, 8);
+            g = add(arr[0], 2);
+            h = scale(float(g));
+            print_int(g);
+            print_float(h);
+        }
+        """
+    )
+
+
+def test_expression_types_annotated():
+    analyzed = check("void main() { int a = 1; float b = 2.0; a = a + 2; }")
+    main = analyzed.program.functions[0]
+    assign = main.body.stmts[2]
+    assert assign.value.ty == ast.INT
+
+
+def test_main_required():
+    with pytest.raises(TypeCheckError, match="main"):
+        check("int f() { return 1; }")
+
+
+def test_main_signature_checked():
+    with pytest.raises(TypeCheckError):
+        check("int main(int x) { return x; }")
+
+
+@pytest.mark.parametrize(
+    "bad,message",
+    [
+        ("void main() { x = 1; }", "undefined variable"),
+        ("void main() { int a = 1.5; }", "initialize"),
+        ("void main() { int a; float b; a = a + b; }", "mismatch"),
+        ("void main() { float f; f = f % 2.0; }", "int operands"),
+        ("void main() { int a; a = a[0]; }", "non-array"),
+        ("void main() { if (1.5) { } }", "must be int"),
+        ("void main() { break; }", "outside a loop"),
+        ("void main() { continue; }", "outside a loop"),
+        ("void main() { int a; int a; }", "redefinition"),
+        ("int f() { return; } void main() {}", "must return"),
+        ("void f() { return 1; } void main() {}", "mismatch"),
+        ("void main() { f(1); }", "undefined function"),
+        ("int f(int a) { return a; } void main() { f(); }", "expects 1"),
+        ("int f(int a) { return a; } void main() { f(1.5); }", "expected int"),
+        ("void main() { print_int(1.5); }", "expected int"),
+        ("int g[4]; void main() { g = g; }", "assign"),
+        ("int g[4]; void main() { int x; x = g + 1; }", "arrays"),
+        ("void f() {} void main() { int x = f(); }", "initialize|void"),
+        ("int f() { return 1; } int f() { return 2; } void main() {}",
+         "redefinition"),
+        ("void main() { int v; v = void; }", None),
+    ],
+)
+def test_type_errors(bad, message):
+    with pytest.raises((TypeCheckError, Exception)):
+        check(bad)
+
+
+def test_shadowing_in_nested_scopes_allowed():
+    check(
+        """
+        void main() {
+            int a = 1;
+            if (a) { int a = 2; print_int(a); }
+            print_int(a);
+        }
+        """
+    )
+
+
+def test_array_param_rejects_scalar_expression():
+    with pytest.raises(TypeCheckError, match=r"int\[\]"):
+        check(
+            """
+            void f(int a[]) { }
+            void main() { f(1 + 2); }
+            """
+        )
+
+
+def test_global_array_passed_to_array_param():
+    check(
+        """
+        int data[4];
+        int sum(int a[]) { return a[0] + a[1]; }
+        void main() { print_int(sum(data)); }
+        """
+    )
+
+
+def test_local_array_passed_to_array_param():
+    check(
+        """
+        int sum(int a[]) { return a[0]; }
+        void main() { int local[4]; local[0] = 7; print_int(sum(local)); }
+        """
+    )
+
+
+def test_float_array_vs_int_array_mismatch():
+    with pytest.raises(TypeCheckError):
+        check(
+            """
+            float data[4];
+            int sum(int a[]) { return a[0]; }
+            void main() { print_int(sum(data)); }
+            """
+        )
+
+
+def test_comparison_produces_int():
+    analyzed = check("void main() { float a; int b; b = a < 2.0; }")
+    main = analyzed.program.functions[0]
+    assign = main.body.stmts[2]
+    assert assign.value.ty == ast.INT
+
+
+def test_bindings_attached_to_names():
+    analyzed = check("int g; void main() { int l; l = g; }")
+    main = analyzed.program.functions[0]
+    assign = main.body.stmts[1]
+    binding = getattr(assign.value, "binding")
+    assert binding.kind == "global"
+    assert binding.name == "g"
+
+
+def test_locals_recorded_per_function():
+    analyzed = check(
+        "int f() { int a; int b; return 0; } void main() { int c; }"
+    )
+    assert len(analyzed.locals_of["f"]) == 2
+    assert len(analyzed.locals_of["main"]) == 1
+
+
+def test_global_initializer_type_must_match():
+    with pytest.raises(TypeCheckError):
+        check("int g = 1.5; void main() {}")
+    with pytest.raises(TypeCheckError):
+        check("float g = 2; void main() {}")
