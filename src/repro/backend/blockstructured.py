@@ -182,13 +182,21 @@ def generate_block_structured(
     module: Module,
     name: str = "",
     config: EnlargeConfig | None = None,
+    telemetry=None,
 ) -> BlockProgram:
     """Compile an (already optimized) IR module to a BS-ISA image."""
+    from repro.obs.telemetry import get_telemetry
+
     config = config or EnlargeConfig()
-    functions, data = lower_module(module)
-    for mf in functions.values():
-        allocate_function(mf)
-    return emit_block_structured(functions, data, name or module.name, config)
+    tel = telemetry if telemetry is not None else get_telemetry()
+    with tel.span("backend.lower", isa="block"):
+        functions, data = lower_module(module)
+    with tel.span("backend.regalloc", isa="block"):
+        for mf in functions.values():
+            allocate_function(mf)
+    return emit_block_structured(
+        functions, data, name or module.name, config, telemetry=tel
+    )
 
 
 def emit_block_structured(
@@ -196,58 +204,76 @@ def emit_block_structured(
     data,
     name: str = "",
     config: EnlargeConfig | None = None,
+    telemetry=None,
 ) -> BlockProgram:
+    from repro.obs.telemetry import get_telemetry
+
     config = config or EnlargeConfig()
+    tel = telemetry if telemetry is not None else get_telemetry()
     prog = BlockProgram(data, "_start", name)
 
     results: dict[str, FamilyResult] = {}
     entry_pre: dict[str, str] = {}
-    for fname, mf in functions.items():
-        pre_blocks, entry, continuations = build_preblocks(mf, config.max_ops)
-        entry_pre[fname] = entry
-        results[fname] = enlarge_function(
-            pre_blocks,
-            entry,
-            config,
-            is_library=mf.is_library,
-            restricted=continuations | {entry},
+    with tel.span("backend.enlarge", isa="block"):
+        for fname, mf in functions.items():
+            pre_blocks, entry, continuations = build_preblocks(
+                mf, config.max_ops
+            )
+            entry_pre[fname] = entry
+            results[fname] = enlarge_function(
+                pre_blocks,
+                entry,
+                config,
+                is_library=mf.is_library,
+                restricted=continuations | {entry},
+            )
+            if mf.is_library:
+                prog.library_functions.add(fname)
+    if tel.enabled:
+        for fname, result in results.items():
+            tel.metrics.inc(
+                "enlarge.variants", len(result.variants), module=name
+            )
+            tel.metrics.inc(
+                "enlarge.families", len(result.families), module=name
+            )
+
+    with tel.span("backend.encode", isa="block"):
+        # Function name -> canonical entry variant label.
+        entry_of = {
+            fname: results[fname].canonical[entry_pre[fname]]
+            for fname in functions
+        }
+
+        # The program entry: `_start` calls main and halts.
+        canonical_all: dict[str, str] = {"_halt": "_halt"}
+        for result in results.values():
+            canonical_all.update(result.canonical)
+
+        start = AtomicBlock(
+            "_start",
+            [MachineOp(Opcode.CALL, target=entry_of["main"], target2="_halt")],
+            ("_start",),
+            (),
         )
-        if mf.is_library:
-            prog.library_functions.add(fname)
+        halt = AtomicBlock("_halt", [MachineOp(Opcode.HALT)], ("_halt",), ())
+        prog.add_block(start)
+        prog.add_block(halt)
 
-    # Function name -> canonical entry variant label.
-    entry_of = {
-        fname: results[fname].canonical[entry_pre[fname]]
-        for fname in functions
-    }
-
-    # The program entry: `_start` calls main and halts.
-    canonical_all: dict[str, str] = {"_halt": "_halt"}
-    for result in results.values():
-        canonical_all.update(result.canonical)
-
-    start = AtomicBlock(
-        "_start",
-        [MachineOp(Opcode.CALL, target=entry_of["main"], target2="_halt")],
-        ("_start",),
-        (),
-    )
-    halt = AtomicBlock("_halt", [MachineOp(Opcode.HALT)], ("_halt",), ())
-    prog.add_block(start)
-    prog.add_block(halt)
-
-    for fname, result in results.items():
-        # Emit the canonical entry variant first for each family so code
-        # layout keeps hot paths contiguous.
-        for root, family in result.families.items():
-            for label in family:
-                prog.add_block(
-                    _assemble_variant(
-                        result.variants[label], canonical_all, entry_of
+        for fname, result in results.items():
+            # Emit the canonical entry variant first for each family so
+            # code layout keeps hot paths contiguous.
+            for root, family in result.families.items():
+                for label in family:
+                    prog.add_block(
+                        _assemble_variant(
+                            result.variants[label], canonical_all, entry_of
+                        )
                     )
-                )
 
-    prog.finalize()
-    for fname in functions:
-        prog.label_addrs.setdefault(fname, prog.label_addrs[entry_of[fname]])
+        prog.finalize()
+        for fname in functions:
+            prog.label_addrs.setdefault(
+                fname, prog.label_addrs[entry_of[fname]]
+            )
     return prog

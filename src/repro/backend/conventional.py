@@ -84,9 +84,17 @@ def emit_conventional(
     return prog
 
 
-def generate_conventional(module: Module, name: str = "") -> ConventionalProgram:
+def generate_conventional(
+    module: Module, name: str = "", telemetry=None
+) -> ConventionalProgram:
     """Compile an (already optimized) IR module to a conventional image."""
-    functions, data = lower_module(module)
-    for mf in functions.values():
-        allocate_function(mf)
-    return emit_conventional(functions, data, name or module.name)
+    from repro.obs.telemetry import get_telemetry
+
+    tel = telemetry if telemetry is not None else get_telemetry()
+    with tel.span("backend.lower", isa="conventional"):
+        functions, data = lower_module(module)
+    with tel.span("backend.regalloc", isa="conventional"):
+        for mf in functions.values():
+            allocate_function(mf)
+    with tel.span("backend.encode", isa="conventional"):
+        return emit_conventional(functions, data, name or module.name)

@@ -15,6 +15,7 @@ from repro.frontend import compile_to_ir
 from repro.ir.structure import Module
 from repro.ir.verify import verify_module
 from repro.isa.program import BlockProgram, ConventionalProgram
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.opt import (
     IfConvertConfig,
     InlineConfig,
@@ -79,33 +80,73 @@ class Toolchain:
         enlarge: EnlargeConfig | None = None,
         inline: InlineConfig | None = None,
         if_convert: IfConvertConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.opt_level = opt_level
         self.enlarge = enlarge or EnlargeConfig()
         #: paper §6 future work; both off by default to match the paper
         self.inline = inline or InlineConfig(enabled=False)
         self.if_convert = if_convert or IfConvertConfig(enabled=False)
+        #: None = use the process-wide session (repro.obs.get_telemetry)
+        self.telemetry = telemetry
+
+    def _tel(self) -> Telemetry:
+        return self.telemetry if self.telemetry is not None else get_telemetry()
 
     def compile_ir(self, source: str, name: str = "program") -> Module:
         """Front end + optimizer (+ optional inlining) only."""
-        module = compile_to_ir(source, name=name)
-        verify_module(module)
-        optimize_module(module, self.opt_level)
+        tel = self._tel()
+        with tel.span("compile.frontend", module=name):
+            module = compile_to_ir(source, name=name, telemetry=tel)
+        with tel.span("compile.verify", module=name):
+            verify_module(module)
+        optimize_module(module, self.opt_level, telemetry=tel)
         if self.inline.enabled:
-            inline_module(module, self.inline)
-            remove_uncalled_functions(module)
-            optimize_module(module, self.opt_level)
+            with tel.span("compile.inline", module=name):
+                inlined = inline_module(module, self.inline)
+                removed = remove_uncalled_functions(module)
+            if tel.enabled:
+                tel.metrics.inc("opt.inline_decisions", inlined, module=name)
+                tel.metrics.inc(
+                    "opt.uncalled_functions_removed", removed, module=name
+                )
+            optimize_module(module, self.opt_level, telemetry=tel)
         if self.if_convert.enabled:
-            if_convert_module(module, self.if_convert)
-            optimize_module(module, self.opt_level)
-        verify_module(module)
+            with tel.span("compile.if_convert", module=name):
+                if_convert_module(module, self.if_convert)
+            optimize_module(module, self.opt_level, telemetry=tel)
+        with tel.span("compile.verify", module=name):
+            verify_module(module)
         return module
 
     def compile(self, source: str, name: str = "program") -> CompiledPair:
         """Compile *source* for both ISAs."""
-        module = self.compile_ir(source, name)
-        conventional = generate_conventional(module, name)
-        block = generate_block_structured(module, name, self.enlarge)
+        tel = self._tel()
+        with tel.span("compile", module=name):
+            module = self.compile_ir(source, name)
+            with tel.span("compile.backend", module=name, isa="conventional"):
+                conventional = generate_conventional(
+                    module, name, telemetry=tel
+                )
+            with tel.span("compile.backend", module=name, isa="block"):
+                block = generate_block_structured(
+                    module, name, self.enlarge, telemetry=tel
+                )
+        if tel.enabled:
+            tel.metrics.gauge(
+                "compile.code_bytes", conventional.code_bytes,
+                module=name, isa="conventional",
+            )
+            tel.metrics.gauge(
+                "compile.code_bytes", block.code_bytes,
+                module=name, isa="block",
+            )
+            tel.metrics.gauge(
+                "compile.code_expansion",
+                block.code_bytes / conventional.code_bytes
+                if conventional.code_bytes else 0.0,
+                module=name,
+            )
         return CompiledPair(name, module, conventional, block)
 
     def compile_profile_guided(
@@ -121,11 +162,13 @@ class Toolchain:
 
         from repro.profile import collect_branch_profile
 
+        tel = self._tel()
         module = self.compile_ir(source, name)
-        conventional = generate_conventional(module, name)
-        profile = collect_branch_profile(conventional)
+        conventional = generate_conventional(module, name, telemetry=tel)
+        with tel.span("compile.profile", module=name):
+            profile = collect_branch_profile(conventional)
         guided = replace(self.enlarge, profile=profile, min_bias=min_bias)
-        block = generate_block_structured(module, name, guided)
+        block = generate_block_structured(module, name, guided, telemetry=tel)
         return CompiledPair(name, module, conventional, block)
 
     def compare(
@@ -133,9 +176,12 @@ class Toolchain:
     ) -> Comparison:
         """Run timed simulations of both executables."""
         config = config or MachineConfig()
+        tel = self._tel()
         return Comparison(
-            conventional=simulate_conventional(pair.conventional, config),
-            block=simulate_block_structured(pair.block, config),
+            conventional=simulate_conventional(
+                pair.conventional, config, telemetry=tel
+            ),
+            block=simulate_block_structured(pair.block, config, telemetry=tel),
         )
 
 

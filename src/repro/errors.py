@@ -53,3 +53,7 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """An invalid machine or experiment configuration was supplied."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry artifact or metric publication was malformed."""

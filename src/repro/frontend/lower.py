@@ -90,9 +90,25 @@ def lower_program(analyzed: AnalyzedProgram, name: str = "module") -> Module:
     return module
 
 
-def compile_to_ir(source: str, name: str = "module") -> Module:
-    """Parse, type-check and lower MiniC *source*."""
-    return lower_program(analyze(parse(source)), name=name)
+def compile_to_ir(source: str, name: str = "module", telemetry=None) -> Module:
+    """Parse, type-check and lower MiniC *source*.
+
+    Each front-end phase gets its own telemetry span (``frontend.lex``,
+    ``frontend.parse``, ``frontend.semantic``, ``frontend.lower``).
+    """
+    from repro.lang.lexer import tokenize
+    from repro.lang.parser import parse_tokens
+    from repro.obs.telemetry import get_telemetry
+
+    tel = telemetry if telemetry is not None else get_telemetry()
+    with tel.span("frontend.lex", module=name):
+        tokens = tokenize(source)
+    with tel.span("frontend.parse", module=name):
+        program = parse_tokens(tokens)
+    with tel.span("frontend.semantic", module=name):
+        analyzed = analyze(program)
+    with tel.span("frontend.lower", module=name):
+        return lower_program(analyzed, name=name)
 
 
 class _LoopContext:

@@ -4,9 +4,12 @@
 
     bsisa list                          # workloads and experiments
     bsisa run fig3 [--scale 0.5]        # regenerate one figure/table
-    bsisa run all                       # everything (EXPERIMENTS.md data)
+    bsisa run all --metrics-json out.json
     bsisa compile compress --isa block --dump   # inspect generated code
     bsisa simulate compress [--perfect-bp] [--icache-kb 16]
+    bsisa simulate gcc --metrics-json out.json  # unified telemetry artifact
+    bsisa metrics compress              # print the metric series of a run
+    bsisa trace compress --limit 20     # JSONL pipeline events
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import sys
 
 from repro.core.toolchain import Toolchain
 from repro.harness.experiments import ALL_EXPERIMENTS, SuiteRunner
+from repro.obs import Telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.run import simulate_block_structured, simulate_conventional
 from repro.workloads import SUITE
@@ -31,17 +35,43 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _make_telemetry(args) -> Telemetry | None:
+    """An enabled session iff the invocation asked for telemetry output."""
+    if getattr(args, "metrics_json", None):
+        return Telemetry()
+    return None
+
+
+def _write_artifact(tel: Telemetry, path: str, meta: dict) -> int:
+    """Write the telemetry artifact; a clean error beats a traceback
+    after a minutes-long run."""
+    try:
+        tel.write_json(path, meta=meta)
+    except OSError as exc:
+        print(f"cannot write telemetry to {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"telemetry written to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_run(args) -> int:
     names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    runner = SuiteRunner(scale=args.scale)
+    tel = _make_telemetry(args)
+    runner = SuiteRunner(scale=args.scale, telemetry=tel)
     for name in names:
         result = ALL_EXPERIMENTS[name](runner)
         print(result.render())
         print()
+    if tel is not None:
+        return _write_artifact(
+            tel,
+            args.metrics_json,
+            {"command": "run", "experiments": names, "scale": runner.scale},
+        )
     return 0
 
 
@@ -62,19 +92,26 @@ def _cmd_compile(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _simulate_pair(args, tel: Telemetry | None):
+    """Shared compile+simulate path for simulate/metrics/trace."""
     workload = SUITE[args.workload]
-    toolchain = Toolchain()
+    toolchain = Toolchain(telemetry=tel)
     source = workload.source(args.scale)
-    if args.profile_guided:
+    if getattr(args, "profile_guided", False):
         pair = toolchain.compile_profile_guided(source, args.workload)
     else:
         pair = toolchain.compile(source, args.workload)
-    config = MachineConfig(perfect_bp=args.perfect_bp).with_icache_kb(
-        args.icache_kb
-    )
-    conv = simulate_conventional(pair.conventional, config)
-    block = simulate_block_structured(pair.block, config)
+    config = MachineConfig(
+        perfect_bp=getattr(args, "perfect_bp", False)
+    ).with_icache_kb(getattr(args, "icache_kb", 64))
+    conv = simulate_conventional(pair.conventional, config, telemetry=tel)
+    block = simulate_block_structured(pair.block, config, telemetry=tel)
+    return conv, block
+
+
+def _cmd_simulate(args) -> int:
+    tel = _make_telemetry(args)
+    conv, block = _simulate_pair(args, tel)
     reduction = 100.0 * (conv.cycles - block.cycles) / conv.cycles
     for r in (conv, block):
         print(
@@ -83,6 +120,71 @@ def _cmd_simulate(args) -> int:
             f"bp={r.bp_accuracy:.3f} icache_miss={r.timing.icache_misses}"
         )
     print(f"execution-time reduction: {reduction:+.1f}%")
+    if tel is not None:
+        return _write_artifact(
+            tel,
+            args.metrics_json,
+            {
+                "command": "simulate",
+                "workload": args.workload,
+                "scale": args.scale,
+                "icache_kb": args.icache_kb,
+                "perfect_bp": args.perfect_bp,
+            },
+        )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Run one workload with telemetry and print every metric series."""
+    tel = Telemetry()
+    _simulate_pair(args, tel)
+    for series in tel.metrics.series():
+        tags = ",".join(
+            f"{k}={v}" for k, v in sorted(series.labels.items())
+        )
+        if series.kind == "histogram":
+            print(
+                f"{series.name}{{{tags}}} count={series.count} "
+                f"mean={series.mean:.3f}"
+            )
+        else:
+            value = series.value
+            text = f"{value:.4f}" if isinstance(value, float) and value != int(value) else f"{int(value)}"
+            print(f"{series.name}{{{tags}}} {text}")
+    if args.json:
+        return _write_artifact(
+            tel,
+            args.json,
+            {
+                "command": "metrics",
+                "workload": args.workload,
+                "scale": args.scale,
+            },
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one workload with telemetry and dump pipeline events as JSONL."""
+    tel = Telemetry(trace_capacity=args.capacity)
+    _simulate_pair(args, tel)
+    if args.jsonl:
+        try:
+            tel.trace.write_jsonl(args.jsonl)
+        except OSError as exc:
+            print(f"cannot write trace to {args.jsonl}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"{len(tel.trace)} events written to {args.jsonl} "
+            f"({tel.trace.dropped} dropped from a {tel.trace.emitted}-event "
+            f"stream)",
+            file=sys.stderr,
+        )
+    else:
+        text = tel.trace.to_jsonl(args.limit)
+        if text:
+            print(text)
     return 0
 
 
@@ -100,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="table1|table2|fig3..fig7|all")
     run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the unified telemetry artifact (metrics+spans+trace)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     comp = sub.add_parser("compile", help="compile a workload and report sizes")
@@ -119,7 +226,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile-guided enlargement (paper §6 extension)",
     )
     simp.add_argument("--icache-kb", type=int, default=64)
+    simp.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the unified telemetry artifact (metrics+spans+trace)",
+    )
     simp.set_defaults(fn=_cmd_simulate)
+
+    metr = sub.add_parser(
+        "metrics", help="simulate one workload and print its metric series"
+    )
+    metr.add_argument("workload", choices=list(SUITE))
+    metr.add_argument("--scale", type=float, default=1.0)
+    metr.add_argument("--perfect-bp", action="store_true")
+    metr.add_argument("--icache-kb", type=int, default=64)
+    metr.add_argument(
+        "--json", metavar="PATH", help="also write the telemetry artifact"
+    )
+    metr.set_defaults(fn=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="simulate one workload and dump pipeline events (JSONL)"
+    )
+    trace.add_argument("workload", choices=list(SUITE))
+    trace.add_argument("--scale", type=float, default=1.0)
+    trace.add_argument("--perfect-bp", action="store_true")
+    trace.add_argument("--icache-kb", type=int, default=64)
+    trace.add_argument(
+        "--capacity", type=int, default=4096, help="ring-buffer size"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=32,
+        help="print only the last N events (stdout mode)",
+    )
+    trace.add_argument(
+        "--jsonl", metavar="PATH", help="write the full buffer to a file"
+    )
+    trace.set_defaults(fn=_cmd_trace)
     return parser
 
 

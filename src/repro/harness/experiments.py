@@ -8,10 +8,13 @@ where the paper states them explicitly.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 
 from repro.core.toolchain import CompiledPair, Toolchain
+from repro.errors import ConfigError
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.harness.render import ascii_table, grouped_bars
 from repro.isa.latencies import CLASS_DESCRIPTION, LATENCY, InstrClass
 from repro.sim.config import MachineConfig
@@ -38,8 +41,24 @@ ICACHE_SWEEP_KB = (16, 32, 64)
 
 
 def default_scale() -> float:
-    """Workload scale (REPRO_SCALE env var overrides; benches shrink it)."""
-    return float(os.environ.get("REPRO_SCALE", "1.0"))
+    """Workload scale (REPRO_SCALE env var overrides; benches shrink it).
+
+    Raises :class:`ConfigError` (a :class:`~repro.errors.ReproError`) for
+    a non-numeric, non-positive, or non-finite REPRO_SCALE instead of
+    silently producing a nonsense workload.
+    """
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_SCALE must be a number, got {raw!r}"
+        ) from None
+    if not math.isfinite(scale) or scale <= 0:
+        raise ConfigError(
+            f"REPRO_SCALE must be a positive finite number, got {raw!r}"
+        )
+    return scale
 
 
 @dataclass
@@ -68,17 +87,23 @@ class SuiteRunner:
         scale: float | None = None,
         benchmarks: list[str] | None = None,
         toolchain: Toolchain | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.scale = scale if scale is not None else default_scale()
         self.benchmarks = benchmarks or list(SUITE)
-        self.toolchain = toolchain or Toolchain()
+        self.telemetry = telemetry
+        self.toolchain = toolchain or Toolchain(telemetry=telemetry)
         self._pairs: dict[str, CompiledPair] = {}
         self._runs: dict[tuple, SimResult] = {}
+
+    def _tel(self) -> Telemetry:
+        return self.telemetry if self.telemetry is not None else get_telemetry()
 
     def pair(self, name: str) -> CompiledPair:
         if name not in self._pairs:
             source = SUITE[name].source(self.scale)
-            self._pairs[name] = self.toolchain.compile(source, name)
+            with self._tel().span("suite.compile", benchmark=name):
+                self._pairs[name] = self.toolchain.compile(source, name)
         return self._pairs[name]
 
     def run(self, name: str, isa: str, config: MachineConfig) -> SimResult:
@@ -86,10 +111,15 @@ class SuiteRunner:
         key = (name, isa, icache_kb, config.perfect_bp)
         if key not in self._runs:
             pair = self.pair(name)
+            tel = self._tel()
             if isa == "conventional":
-                result = simulate_conventional(pair.conventional, config)
+                result = simulate_conventional(
+                    pair.conventional, config, telemetry=tel
+                )
             else:
-                result = simulate_block_structured(pair.block, config)
+                result = simulate_block_structured(
+                    pair.block, config, telemetry=tel
+                )
             self._runs[key] = result
         return self._runs[key]
 

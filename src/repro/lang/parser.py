@@ -387,6 +387,11 @@ class _Parser:
         )
 
 
+def parse_tokens(tokens) -> ast.Program:
+    """Parse an already-lexed token list into an (un-typed) AST."""
+    return _Parser(tokens).parse_program()
+
+
 def parse(source: str) -> ast.Program:
     """Parse MiniC *source* into an (un-typed) AST."""
-    return _Parser(tokenize(source)).parse_program()
+    return parse_tokens(tokenize(source))

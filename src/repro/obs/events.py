@@ -1,0 +1,84 @@
+"""Bounded simulator event trace (ring buffer) with JSONL export.
+
+The timing engine emits one event per pipeline occurrence — fetch,
+icache miss, redirect, fault squash, retire — tagged with the simulated
+cycle. The buffer is a ``deque(maxlen=capacity)``: a multi-million-cycle
+run keeps only the most recent window, with the total emission count
+retained so exports can report how many events were dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+DEFAULT_TRACE_CAPACITY = 4096
+
+# Event kinds emitted by repro.sim.engine (the documented schema —
+# see docs/observability.md).
+EV_FETCH = "fetch"
+EV_ICACHE_MISS = "icache_miss"
+EV_REDIRECT = "redirect"
+EV_FAULT_SQUASH = "fault_squash"
+EV_RETIRE = "retire"
+
+ALL_EVENT_KINDS = frozenset(
+    {EV_FETCH, EV_ICACHE_MISS, EV_REDIRECT, EV_FAULT_SQUASH, EV_RETIRE}
+)
+
+
+class EventTrace:
+    """Ring buffer of ``(seq, kind, cycle, fields)`` pipeline events."""
+
+    __slots__ = ("capacity", "emitted", "_buf")
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY):
+        self.capacity = capacity
+        self.emitted = 0
+        self._buf: deque[tuple] = deque(maxlen=capacity)
+
+    def emit(self, kind: str, cycle: int, **fields) -> None:
+        """Record one event (hot path: one append + one increment)."""
+        self.emitted += 1
+        self._buf.append((self.emitted, kind, cycle, fields))
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._buf)
+
+    def events(self, limit: int | None = None) -> list[dict]:
+        """The retained events (optionally only the last *limit*) as
+        JSON-ready dicts, oldest first."""
+        buf = list(self._buf)
+        if limit is not None and limit < len(buf):
+            buf = buf[-limit:]
+        return [
+            {"seq": seq, "event": kind, "cycle": cycle, **fields}
+            for seq, kind, cycle, fields in buf
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """Retained-event count per kind (diagnostic summary)."""
+        out: dict[str, int] = {}
+        for _, kind, _, _ in self._buf:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def to_jsonl(self, limit: int | None = None) -> str:
+        """Serialize events as one JSON object per line."""
+        return "\n".join(
+            json.dumps(e, sort_keys=True) for e in self.events(limit)
+        )
+
+    def write_jsonl(self, path: str, limit: int | None = None) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            text = self.to_jsonl(limit)
+            if text:
+                fh.write(text + "\n")
+
+    def clear(self) -> None:
+        self.emitted = 0
+        self._buf.clear()
+
+    def __len__(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,178 @@
+"""Schema validation for the unified telemetry artifact.
+
+The document produced by :meth:`Telemetry.to_document` /
+``--metrics-json`` is validated structurally here (no third-party JSON
+Schema dependency — the environment is offline). CI's smoke job runs::
+
+    python -m repro.obs.schema out.json
+
+which exits non-zero with a readable error list if the artifact drifts
+from the documented shape (docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.errors import TelemetryError
+from repro.obs.events import ALL_EVENT_KINDS
+from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM
+from repro.obs.telemetry import SCHEMA_ID
+
+_NUMBER = (int, float)
+
+
+def _check_labels(labels, where: str, errors: list[str]) -> None:
+    if not isinstance(labels, dict):
+        errors.append(f"{where}: labels must be an object")
+        return
+    for k, v in labels.items():
+        if not isinstance(k, str) or not isinstance(v, str):
+            errors.append(f"{where}: label {k!r}={v!r} must be str->str")
+
+
+def _check_span(span, i: int, errors: list[str]) -> None:
+    where = f"spans[{i}]"
+    if not isinstance(span, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        errors.append(f"{where}: missing/empty name")
+    for field in ("start_s", "duration_s"):
+        if not isinstance(span.get(field), _NUMBER):
+            errors.append(f"{where}: {field} must be a number")
+        elif field == "duration_s" and span[field] < 0:
+            errors.append(f"{where}: negative duration")
+    if not isinstance(span.get("depth"), int) or span.get("depth", 0) < 0:
+        errors.append(f"{where}: depth must be a non-negative int")
+    _check_labels(span.get("labels", {}), where, errors)
+
+
+def _check_metric(metric, i: int, errors: list[str]) -> None:
+    where = f"metrics[{i}]"
+    if not isinstance(metric, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    name = metric.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: missing/empty name")
+    kind = metric.get("kind")
+    if kind not in (COUNTER, GAUGE, HISTOGRAM):
+        errors.append(f"{where}: bad kind {kind!r}")
+        return
+    _check_labels(metric.get("labels", {}), where, errors)
+    if kind == HISTOGRAM:
+        for field in ("count", "sum", "min", "max", "mean"):
+            if not isinstance(metric.get(field), _NUMBER):
+                errors.append(f"{where}: histogram {field} must be a number")
+        buckets = metric.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            errors.append(f"{where}: histogram needs a bucket list")
+        else:
+            for j, bucket in enumerate(buckets):
+                if (
+                    not isinstance(bucket, dict)
+                    or "le" not in bucket
+                    or not isinstance(bucket.get("count"), int)
+                ):
+                    errors.append(f"{where}: bad bucket [{j}]")
+    elif not isinstance(metric.get("value"), _NUMBER):
+        errors.append(f"{where}: {kind} value must be a number")
+
+
+def _check_event(event, i: int, errors: list[str]) -> None:
+    where = f"trace.events[{i}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    if not isinstance(event.get("seq"), int) or event.get("seq", 0) <= 0:
+        errors.append(f"{where}: seq must be a positive int")
+    if event.get("event") not in ALL_EVENT_KINDS:
+        errors.append(f"{where}: unknown event kind {event.get('event')!r}")
+    if not isinstance(event.get("cycle"), int) or event.get("cycle", 0) < 0:
+        errors.append(f"{where}: cycle must be a non-negative int")
+
+
+def document_errors(doc) -> list[str]:
+    """Every schema violation found in *doc* (empty list == valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("schema") != SCHEMA_ID:
+        errors.append(
+            f"schema must be {SCHEMA_ID!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("meta"), dict):
+        errors.append("meta must be an object")
+
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        errors.append("spans must be a list")
+    else:
+        for i, span in enumerate(spans):
+            _check_span(span, i, errors)
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        errors.append("metrics must be a list")
+    else:
+        for i, metric in enumerate(metrics):
+            _check_metric(metric, i, errors)
+
+    trace = doc.get("trace")
+    if not isinstance(trace, dict):
+        errors.append("trace must be an object")
+    else:
+        for field in ("capacity", "emitted", "dropped"):
+            if not isinstance(trace.get(field), int):
+                errors.append(f"trace.{field} must be an int")
+        events = trace.get("events")
+        if not isinstance(events, list):
+            errors.append("trace.events must be a list")
+        else:
+            seqs = []
+            for i, event in enumerate(events):
+                _check_event(event, i, errors)
+                if isinstance(event, dict) and isinstance(
+                    event.get("seq"), int
+                ):
+                    seqs.append(event["seq"])
+            if seqs != sorted(seqs):
+                errors.append("trace.events seq numbers must be increasing")
+    return errors
+
+
+def validate_document(doc) -> None:
+    """Raise :class:`TelemetryError` listing every violation in *doc*."""
+    errors = document_errors(doc)
+    if errors:
+        raise TelemetryError(
+            "invalid telemetry document:\n  " + "\n  ".join(errors)
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.schema FILE`` — validate an artifact."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema FILE", file=sys.stderr)
+        return 2
+    with open(argv[0], "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    errors = document_errors(doc)
+    if errors:
+        print(f"{argv[0]}: INVALID", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(
+        f"{argv[0]}: ok ({len(doc['metrics'])} metric series, "
+        f"{len(doc['spans'])} spans, {len(doc['trace']['events'])} "
+        f"trace events)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

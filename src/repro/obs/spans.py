@@ -1,0 +1,137 @@
+"""Timing spans: a context-manager API around toolchain/sim phases.
+
+A span records wall-clock duration (``time.perf_counter``) plus a name,
+optional labels, and its nesting depth. The recorder is bounded: past
+``capacity`` records the oldest are dropped (FIFO) and counted, so a
+pathological compile cannot grow memory without bound.
+
+The disabled fast path lives in :mod:`repro.obs.telemetry`, which hands
+out a shared no-op context manager without touching the clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+
+DEFAULT_SPAN_CAPACITY = 8192
+
+
+class SpanRecord:
+    """One completed span."""
+
+    __slots__ = ("name", "labels", "start_s", "duration_s", "depth")
+
+    def __init__(self, name: str, labels: dict[str, str],
+                 start_s: float, duration_s: float, depth: int):
+        self.name = name
+        self.labels = labels
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.depth = depth
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} {self.duration_s * 1e3:.3f}ms>"
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """An open span; closes (and records itself) on ``__exit__``."""
+
+    __slots__ = ("_recorder", "name", "labels", "_start")
+
+    def __init__(self, recorder: SpanRecorder, name: str, labels: dict):
+        self._recorder = recorder
+        self.name = name
+        self.labels = labels
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._recorder._depth += 1
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = perf_counter()
+        rec = self._recorder
+        rec._depth -= 1
+        rec._record(
+            SpanRecord(
+                self.name,
+                self.labels,
+                self._start - rec.epoch,
+                end - self._start,
+                rec._depth,
+            )
+        )
+        return False
+
+
+class SpanRecorder:
+    """Bounded store of completed spans for one telemetry session."""
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY):
+        self.capacity = capacity
+        self.epoch = perf_counter()
+        self.records: deque[SpanRecord] = deque(maxlen=capacity)
+        self.recorded = 0
+        self._depth = 0
+
+    def span(self, name: str, labels: dict | None = None) -> Span:
+        return Span(self, name, labels or {})
+
+    def _record(self, record: SpanRecord) -> None:
+        self.recorded += 1
+        self.records.append(record)
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self.records)
+
+    def totals(self) -> dict[str, dict]:
+        """Aggregate by span name: invocation count and summed seconds."""
+        out: dict[str, dict] = {}
+        for record in self.records:
+            agg = out.setdefault(
+                record.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_s"] += record.duration_s
+            if record.duration_s > agg["max_s"]:
+                agg["max_s"] = record.duration_s
+        return out
+
+    def snapshot(self) -> list[dict]:
+        return [r.as_dict() for r in self.records]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.recorded = 0
+        self._depth = 0
+        self.epoch = perf_counter()
+
+    def __len__(self) -> int:
+        return len(self.records)

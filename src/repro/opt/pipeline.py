@@ -1,8 +1,17 @@
-"""Optimizer driver."""
+"""Optimizer driver.
+
+When a telemetry session is active, every pass invocation is wrapped in
+an ``opt.<pass>`` span and publishes per-pass effect counters:
+
+* ``opt.ops_removed{pass=...}`` — IR instructions eliminated by the pass;
+* ``opt.cse_hits{...}`` — redundant computations CSE rewrote to copies;
+* ``opt.pass_changed{pass=...}`` — invocations that changed the function.
+"""
 
 from __future__ import annotations
 
 from repro.ir.structure import Function, Module
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.opt.constant_folding import fold_constants
 from repro.opt.copyprop import propagate_copies
 from repro.opt.cse import local_cse
@@ -11,8 +20,33 @@ from repro.opt.simplify_cfg import simplify_cfg
 
 _MAX_ITERATIONS = 10
 
+#: the fixpoint pipeline, in application order
+PIPELINE = (
+    ("simplify_cfg", simplify_cfg),
+    ("constant_folding", fold_constants),
+    ("copyprop", propagate_copies),
+    ("cse", local_cse),
+    ("dce", eliminate_dead_code),
+)
 
-def optimize_function(fn: Function, level: int = 2) -> None:
+
+def _profile_function(fn: Function) -> tuple[int, int]:
+    """(instruction count, Copy count) — cheap effect attribution."""
+    from repro.ir.instructions import Copy
+
+    n_ops = 0
+    n_copies = 0
+    for block in fn.blocks:
+        n_ops += len(block.instrs)
+        for instr in block.instrs:
+            if isinstance(instr, Copy):
+                n_copies += 1
+    return n_ops, n_copies
+
+
+def optimize_function(
+    fn: Function, level: int = 2, telemetry: Telemetry | None = None
+) -> None:
     """Optimize *fn* in place.
 
     ``level`` 0 = nothing, 1 = CFG cleanup only, 2 = full pipeline run to
@@ -20,21 +54,44 @@ def optimize_function(fn: Function, level: int = 2) -> None:
     """
     if level <= 0:
         return
+    tel = telemetry if telemetry is not None else get_telemetry()
     if level == 1:
-        simplify_cfg(fn)
+        with tel.span("opt.simplify_cfg", function=fn.name):
+            simplify_cfg(fn)
         return
     for _ in range(_MAX_ITERATIONS):
         changed = False
-        changed |= simplify_cfg(fn)
-        changed |= fold_constants(fn)
-        changed |= propagate_copies(fn)
-        changed |= local_cse(fn)
-        changed |= eliminate_dead_code(fn)
+        for pass_name, pass_fn in PIPELINE:
+            if tel.enabled:
+                ops_before, copies_before = _profile_function(fn)
+                with tel.span(f"opt.{pass_name}", function=fn.name):
+                    did = pass_fn(fn)
+                ops_after, copies_after = _profile_function(fn)
+                removed = ops_before - ops_after
+                if removed > 0:
+                    tel.metrics.inc(
+                        "opt.ops_removed", removed, **{"pass": pass_name}
+                    )
+                if pass_name == "cse" and copies_after > copies_before:
+                    tel.metrics.inc(
+                        "opt.cse_hits", copies_after - copies_before
+                    )
+                if did:
+                    tel.metrics.inc(
+                        "opt.pass_changed", 1, **{"pass": pass_name}
+                    )
+            else:
+                did = pass_fn(fn)
+            changed |= did
         if not changed:
             return
 
 
-def optimize_module(module: Module, level: int = 2) -> None:
+def optimize_module(
+    module: Module, level: int = 2, telemetry: Telemetry | None = None
+) -> None:
     """Optimize every function of *module* in place."""
-    for fn in module.functions.values():
-        optimize_function(fn, level)
+    tel = telemetry if telemetry is not None else get_telemetry()
+    with tel.span("opt.pipeline", module=module.name):
+        for fn in module.functions.values():
+            optimize_function(fn, level, telemetry=tel)

@@ -54,6 +54,13 @@ class Cache:
         self.accesses = 0
         self.misses = 0
 
+    def publish(self, metrics, cache: str = "cache", **labels) -> None:
+        """Publish hit/miss counters into a metrics registry under a
+        ``cache=`` label dimension (e.g. ``cache=icache``)."""
+        metrics.inc("cache.accesses", self.accesses, cache=cache, **labels)
+        metrics.inc("cache.misses", self.misses, cache=cache, **labels)
+        metrics.gauge("cache.miss_rate", self.miss_rate, cache=cache, **labels)
+
 
 class PerfectCache:
     """Always hits; keeps the access count for reporting."""
@@ -82,3 +89,8 @@ class PerfectCache:
     def reset_stats(self) -> None:
         self.accesses = 0
         self.misses = 0
+
+    def publish(self, metrics, cache: str = "cache", **labels) -> None:
+        metrics.inc("cache.accesses", self.accesses, cache=cache, **labels)
+        metrics.inc("cache.misses", 0, cache=cache, **labels)
+        metrics.gauge("cache.miss_rate", 0.0, cache=cache, **labels)

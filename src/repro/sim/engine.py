@@ -26,6 +26,14 @@ from typing import Iterable
 
 from repro.errors import SimulationError
 from repro.exec.trace import FetchUnit
+from repro.obs.events import (
+    EV_FAULT_SQUASH,
+    EV_FETCH,
+    EV_ICACHE_MISS,
+    EV_REDIRECT,
+    EV_RETIRE,
+)
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim.cache import Cache, PerfectCache
 from repro.sim.config import MachineConfig
 
@@ -60,13 +68,51 @@ class TimingStats:
             return 0.0
         return self.icache_misses / self.icache_accesses
 
+    @property
+    def dcache_miss_rate(self) -> float:
+        if not self.dcache_accesses:
+            return 0.0
+        return self.dcache_misses / self.dcache_accesses
+
+    @property
+    def squash_rate(self) -> float:
+        """Fraction of fetched ops squashed by a firing fault."""
+        if not self.fetched_ops:
+            return 0.0
+        return self.squashed_ops / self.fetched_ops
+
+    #: counter fields published verbatim into the metrics registry
+    _COUNTER_FIELDS = (
+        "cycles", "fetched_units", "fetched_ops", "retired_ops",
+        "squashed_ops", "icache_accesses", "icache_misses",
+        "dcache_accesses", "dcache_misses", "redirects",
+        "fetch_stall_cycles", "window_stall_cycles",
+        "redirect_stall_cycles",
+    )
+
+    def publish(self, metrics, **labels) -> None:
+        """Publish every counter (and derived ratios as gauges) into a
+        :class:`repro.obs.MetricsRegistry` under ``sim.*``/*labels*."""
+        for name in self._COUNTER_FIELDS:
+            metrics.inc(f"sim.{name}", getattr(self, name), **labels)
+        metrics.gauge("sim.ipc", self.ipc, **labels)
+        metrics.gauge("sim.icache_miss_rate", self.icache_miss_rate, **labels)
+        metrics.gauge("sim.dcache_miss_rate", self.dcache_miss_rate, **labels)
+        metrics.gauge("sim.squash_rate", self.squash_rate, **labels)
+
 
 class TimingEngine:
     """Consumes a fetch-unit stream; produces :class:`TimingStats`."""
 
-    def __init__(self, config: MachineConfig, atomic_window: bool = False):
+    def __init__(
+        self,
+        config: MachineConfig,
+        atomic_window: bool = False,
+        telemetry: Telemetry | None = None,
+    ):
         self.config = config
         self.atomic_window = atomic_window
+        self.telemetry = telemetry
         self.icache = (
             Cache(config.icache) if config.icache is not None else PerfectCache()
         )
@@ -80,6 +126,10 @@ class TimingEngine:
         stats = self.stats
         icache = self.icache
         dcache = self.dcache
+        tel = self.telemetry if self.telemetry is not None else get_telemetry()
+        # Hoisted once: the disabled path costs one None-check per event
+        # site, never a call.
+        events = tel.trace if tel.enabled else None
         line_bytes = (
             config.icache.line_bytes if config.icache is not None else 64
         )
@@ -129,9 +179,20 @@ class TimingEngine:
                 if not icache.access_line(line):
                     stats.icache_misses += 1
                     stall = l2
+                    if events is not None:
+                        events.emit(EV_ICACHE_MISS, fetch, line=line)
             stats.fetch_stall_cycles += stall + (fetch_cycles - 1)
             fetch_end = fetch + fetch_cycles - 1 + stall
             next_fetch = fetch_end + 1
+            if events is not None:
+                events.emit(
+                    EV_FETCH,
+                    fetch,
+                    addr=unit.addr,
+                    ops=nops,
+                    lines=nlines,
+                    unit=stats.fetched_units,
+                )
 
             # ---- dispatch (window gating) --------------------------------
             dispatch = fetch_end + depth
@@ -205,6 +266,14 @@ class TimingEngine:
                     raise SimulationError("squashed unit without resolve op")
                 stats.redirects += 1
                 stats.squashed_ops += nops
+                if events is not None:
+                    events.emit(
+                        EV_FAULT_SQUASH,
+                        resolve_complete + 1,
+                        addr=unit.addr,
+                        ops=nops,
+                        unit=stats.fetched_units,
+                    )
                 # A firing fault redirects to the (architecturally
                 # specified) target in the fault op itself — no front-end
                 # re-steer through prediction structures, so no extra
@@ -225,6 +294,14 @@ class TimingEngine:
                     raise SimulationError("mispredict without resolve op")
                 stats.redirects += 1
                 redirect_at = resolve_complete + 1 + penalty
+                if events is not None:
+                    events.emit(
+                        EV_REDIRECT,
+                        redirect_at,
+                        addr=unit.addr,
+                        penalty=penalty,
+                        unit=stats.fetched_units,
+                    )
 
             # ---- retire (atomic blocks commit together) -------------------
             if unit.atomic:
@@ -244,6 +321,15 @@ class TimingEngine:
                 # Block-granular window slot frees when the unit retires.
                 heapq.heappush(window, retire_cycle)
             stats.retired_ops += nops
+            if events is not None:
+                events.emit(
+                    EV_RETIRE,
+                    retire_cycle,
+                    addr=unit.addr,
+                    ops=nops,
+                    atomic=unit.atomic,
+                    unit=stats.fetched_units,
+                )
             if retire_cycle > max_cycle:
                 max_cycle = retire_cycle
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.exec.block import BlockExecutor
 from repro.exec.conventional import ConventionalExecutor
 from repro.isa.program import BlockProgram, ConventionalProgram
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.engine import TimingEngine, TimingStats
 from repro.sim.predictors import BlockPredictor, GsharePredictor
@@ -41,22 +42,71 @@ class SimResult:
 
     @property
     def icache_miss_rate(self) -> float:
+        # TimingStats guards the zero-access case (returns 0.0).
         return self.timing.icache_miss_rate
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        return self.timing.dcache_miss_rate
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.branch_events:
+            return 0.0
+        return self.mispredicts / self.branch_events
+
+
+def _publish(
+    tel: Telemetry,
+    result: SimResult,
+    engine: TimingEngine,
+    predictor,
+) -> None:
+    """Publish one simulation's counters into the session registry."""
+    labels = {"benchmark": result.name, "isa": result.isa}
+    result.timing.publish(tel.metrics, **labels)
+    engine.icache.publish(tel.metrics, cache="icache", **labels)
+    engine.dcache.publish(tel.metrics, cache="dcache", **labels)
+    if predictor is not None:
+        predictor.publish(tel.metrics, **labels)
+    tel.metrics.inc("sim.committed_ops", result.committed_ops, **labels)
+    tel.metrics.inc("sim.committed_units", result.committed_units, **labels)
+    tel.metrics.inc("sim.mispredicts", result.mispredicts, **labels)
+    tel.metrics.inc("sim.branch_events", result.branch_events, **labels)
+    tel.metrics.gauge("sim.avg_block_size", result.avg_block_size, **labels)
+    tel.metrics.gauge(
+        "sim.static_code_bytes", result.static_code_bytes, **labels
+    )
+    if result.isa == "block":
+        tel.metrics.inc("sim.squashed_blocks", result.squashed_blocks, **labels)
+        tel.metrics.inc(
+            "sim.fault_mispredicts", result.fault_mispredicts, **labels
+        )
+        tel.metrics.inc(
+            "sim.trap_mispredicts", result.trap_mispredicts, **labels
+        )
+    tel.metrics.observe(
+        "sim.unit_size", result.avg_block_size, isa=result.isa
+    )
 
 
 def simulate_conventional(
-    prog: ConventionalProgram, config: MachineConfig | None = None
+    prog: ConventionalProgram,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SimResult:
     """Run a timed simulation of a conventional-ISA program."""
     config = config or MachineConfig()
+    tel = telemetry if telemetry is not None else get_telemetry()
     predictor = None
     if not config.perfect_bp:
         predictor = GsharePredictor(config.bp_history_bits, config.bp_table_bits)
     executor = ConventionalExecutor(prog, predictor=predictor, trace=True)
-    engine = TimingEngine(config, atomic_window=False)
-    timing = engine.run(executor.units())
+    engine = TimingEngine(config, atomic_window=False, telemetry=tel)
+    with tel.span("sim.simulate", benchmark=prog.name, isa="conventional"):
+        timing = engine.run(executor.units())
     stats = executor.stats
-    return SimResult(
+    result = SimResult(
         name=prog.name,
         isa="conventional",
         cycles=timing.cycles,
@@ -70,23 +120,30 @@ def simulate_conventional(
         outputs=stats.outputs,
         static_code_bytes=prog.code_bytes,
     )
+    if tel.enabled:
+        _publish(tel, result, engine, predictor)
+    return result
 
 
 def simulate_block_structured(
-    prog: BlockProgram, config: MachineConfig | None = None
+    prog: BlockProgram,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SimResult:
     """Run a timed simulation of a block-structured ISA program."""
     config = config or MachineConfig()
+    tel = telemetry if telemetry is not None else get_telemetry()
     predictor = None
     if not config.perfect_bp:
         predictor = BlockPredictor(
             prog, config.bp_history_bits, config.bp_table_bits
         )
     executor = BlockExecutor(prog, predictor=predictor, trace=True)
-    engine = TimingEngine(config, atomic_window=True)
-    timing = engine.run(executor.units())
+    engine = TimingEngine(config, atomic_window=True, telemetry=tel)
+    with tel.span("sim.simulate", benchmark=prog.name, isa="block"):
+        timing = engine.run(executor.units())
     stats = executor.stats
-    return SimResult(
+    result = SimResult(
         name=prog.name,
         isa="block",
         cycles=timing.cycles,
@@ -103,3 +160,6 @@ def simulate_block_structured(
         trap_mispredicts=stats.trap_mispredicts,
         static_code_bytes=prog.code_bytes,
     )
+    if tel.enabled:
+        _publish(tel, result, engine, predictor)
+    return result
