@@ -1,11 +1,21 @@
 """Benchmark fixtures.
 
-Every benchmark regenerates one of the paper's tables/figures through the
-shared :class:`SuiteRunner` (compilations and simulations are memoized
-across benchmarks, like the paper's figures share the same runs). The
-workload scale defaults to a reduced 0.35 so the full benchmark suite
-runs in minutes; set ``REPRO_BENCH_SCALE=1.0`` for the EXPERIMENTS.md
-numbers.
+Every benchmark regenerates one of the paper's tables/figures through
+one shared :class:`SuiteRunner`. The session fixture plans and executes
+the union of every experiment's declared runs **once** (deduplicated —
+fig3/fig5 share all default-config runs, fig6/fig7 the perfect-icache
+baselines), so the per-figure benchmarks assemble tables from memoized
+results instead of re-simulating. The workload scale defaults to a
+reduced 0.35 so the full benchmark suite runs in minutes; set
+``REPRO_BENCH_SCALE=1.0`` for the EXPERIMENTS.md numbers.
+
+Environment knobs:
+
+``REPRO_BENCH_JOBS``
+    Process-parallel plan execution width (default 1 = serial).
+``REPRO_BENCH_CACHE_DIR``
+    Enables the on-disk artifact cache at the given directory, so
+    repeated benchmark sessions skip unchanged compiles and runs.
 """
 
 from __future__ import annotations
@@ -14,16 +24,31 @@ import os
 
 import pytest
 
-from repro.harness import SuiteRunner
+from repro.engine import ArtifactCache
+from repro.harness import ALL_EXPERIMENTS, SuiteRunner
 
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_cache() -> ArtifactCache | None:
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    return ArtifactCache(cache_dir) if cache_dir else None
+
+
 @pytest.fixture(scope="session")
 def runner() -> SuiteRunner:
-    return SuiteRunner(scale=bench_scale())
+    shared = SuiteRunner(
+        scale=bench_scale(), jobs=bench_jobs(), cache=bench_cache()
+    )
+    # One plan per session: every figure's declared runs, deduplicated.
+    shared.execute(list(ALL_EXPERIMENTS))
+    return shared
 
 
 def run_once(benchmark, fn, *args):

@@ -57,8 +57,10 @@ class Comparison:
 
     @property
     def speedup(self) -> float:
-        """Conventional cycles / BS cycles (>1 means the BS-ISA wins)."""
-        return self.conventional.cycles / self.block.cycles
+        """Conventional cycles / BS cycles (>1 means the BS-ISA wins);
+        0.0 for a zero-cycle BS run, matching the other ratio guards."""
+        block = self.block.cycles
+        return self.conventional.cycles / block if block else 0.0
 
     @property
     def reduction_pct(self) -> float:

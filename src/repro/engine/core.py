@@ -1,0 +1,196 @@
+"""The experiment engine: memoized compiles + planned, cached runs.
+
+One :class:`ExperimentEngine` owns every artifact of an experiment
+session:
+
+* **compiles** — each benchmark is compiled at most once per session
+  (and at most once *ever* for unchanged source/toolchain when an
+  :class:`~repro.engine.cache.ArtifactCache` is attached);
+* **runs** — simulation results are memoized by full-fidelity
+  :class:`~repro.engine.spec.RunSpec` (the entire machine config
+  participates in the key) and disk-cached by content address;
+* **plans** — :meth:`execute` takes a deduplicated
+  :class:`~repro.engine.plan.RunPlan` and executes the missing runs,
+  serially or across a process pool (``jobs``), merging worker
+  telemetry back into the session in deterministic plan order.
+
+Plan-level telemetry: ``plan.runs_total`` / ``plan.runs_deduped``
+counters per execution, ``plan.cache_hits{kind=run|compile}`` /
+``plan.cache_misses{...}``, and a ``plan.run{benchmark,isa}`` span
+around every simulation (worker-side when parallel).
+"""
+
+from __future__ import annotations
+
+from repro.core.toolchain import CompiledPair, Toolchain
+from repro.engine.cache import ArtifactCache
+from repro.engine.executor import execute_parallel, simulate_spec
+from repro.engine.plan import RunPlan
+from repro.engine.spec import RunSpec, ToolchainSpec, compile_key, run_key
+from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.sim.run import SimResult
+from repro.workloads import SUITE, default_scale
+
+
+class ExperimentEngine:
+    """Compile/simulate orchestrator behind :class:`SuiteRunner`."""
+
+    def __init__(
+        self,
+        scale: float | None = None,
+        benchmarks: list[str] | None = None,
+        toolchain: Toolchain | ToolchainSpec | None = None,
+        telemetry: Telemetry | None = None,
+        cache: ArtifactCache | None = None,
+        jobs: int = 1,
+    ):
+        self.scale = scale if scale is not None else default_scale()
+        self.benchmarks = list(benchmarks) if benchmarks else list(SUITE)
+        self.telemetry = telemetry
+        if isinstance(toolchain, ToolchainSpec):
+            self.toolchain_spec = toolchain
+            self.toolchain = toolchain.build(telemetry)
+        elif toolchain is not None:
+            self.toolchain = toolchain
+            self.toolchain_spec = ToolchainSpec.from_toolchain(toolchain)
+        else:
+            self.toolchain_spec = ToolchainSpec()
+            self.toolchain = self.toolchain_spec.build(telemetry)
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self._sources: dict[str, str] = {}
+        self._pairs: dict[str, CompiledPair] = {}
+        self._compile_keys: dict[str, str] = {}
+        self._results: dict[RunSpec, SimResult] = {}
+
+    # -- session state -------------------------------------------------
+
+    def _tel(self) -> Telemetry:
+        return self.telemetry if self.telemetry is not None else get_telemetry()
+
+    @property
+    def executed_specs(self) -> frozenset[RunSpec]:
+        """Every run this session has produced (memoized or computed)."""
+        return frozenset(self._results)
+
+    def _source(self, name: str) -> str:
+        if name not in self._sources:
+            self._sources[name] = SUITE[name].source(self.scale)
+        return self._sources[name]
+
+    def _compile_key(self, name: str) -> str | None:
+        """Disk-cache key for *name*'s compile, or None if uncacheable."""
+        if self.cache is None or not self.toolchain_spec.cacheable:
+            return None
+        if name not in self._compile_keys:
+            self._compile_keys[name] = compile_key(
+                name, self._source(name), self.toolchain_spec
+            )
+        return self._compile_keys[name]
+
+    # -- compiles ------------------------------------------------------
+
+    def compiled(self, name: str) -> CompiledPair:
+        if name in self._pairs:
+            return self._pairs[name]
+        tel = self._tel()
+        ckey = self._compile_key(name)
+        if ckey is not None:
+            pair = self.cache.load(ckey)
+            if pair is not None:
+                tel.count("plan.cache_hits", kind="compile")
+                self._pairs[name] = pair
+                return pair
+            tel.count("plan.cache_misses", kind="compile")
+        with tel.span("suite.compile", benchmark=name):
+            pair = self.toolchain.compile(self._source(name), name)
+        if ckey is not None:
+            self.cache.store(ckey, pair)
+        self._pairs[name] = pair
+        return pair
+
+    # -- single runs (serial path / facade API) ------------------------
+
+    def _run_key(self, spec: RunSpec) -> str | None:
+        ckey = self._compile_key(spec.benchmark)
+        return run_key(ckey, spec) if ckey is not None else None
+
+    def _load_cached_run(self, spec: RunSpec) -> SimResult | None:
+        rkey = self._run_key(spec)
+        if rkey is None:
+            return None
+        result = self.cache.load(rkey)
+        tel = self._tel()
+        if result is not None:
+            tel.count("plan.cache_hits", kind="run")
+        else:
+            tel.count("plan.cache_misses", kind="run")
+        return result
+
+    def _store_cached_run(self, spec: RunSpec, result: SimResult) -> None:
+        rkey = self._run_key(spec)
+        if rkey is not None:
+            self.cache.store(rkey, result)
+
+    def run(self, spec: RunSpec) -> SimResult:
+        """One simulation, via memo → disk cache → compute (in process)."""
+        if spec in self._results:
+            return self._results[spec]
+        result = self._load_cached_run(spec)
+        if result is None:
+            pair = self.compiled(spec.benchmark)
+            program = (
+                pair.conventional if spec.isa == "conventional" else pair.block
+            )
+            tel = self._tel()
+            with tel.span("plan.run", **spec.labels()):
+                result = simulate_spec(program, spec, tel)
+            self._store_cached_run(spec, result)
+        self._results[spec] = result
+        return result
+
+    # -- plan execution ------------------------------------------------
+
+    def execute(self, plan: RunPlan) -> dict[RunSpec, SimResult]:
+        """Execute every run of *plan* exactly once; returns spec→result."""
+        tel = self._tel()
+        tel.count("plan.runs_total", plan.runs_total)
+        tel.count("plan.runs_deduped", plan.runs_deduped)
+        with tel.span(
+            "plan.execute",
+            experiments=",".join(plan.experiments),
+            jobs=str(self.jobs),
+        ):
+            missing: list[RunSpec] = []
+            for spec in plan.runs:
+                if spec in self._results:
+                    continue
+                cached = self._load_cached_run(spec)
+                if cached is not None:
+                    self._results[spec] = cached
+                else:
+                    missing.append(spec)
+            if self.jobs > 1 and len(missing) > 1:
+                self._execute_pool(missing, tel)
+            else:
+                for spec in missing:
+                    self.run(spec)
+        return {spec: self._results[spec] for spec in plan.runs}
+
+    def _execute_pool(self, missing: list[RunSpec], tel: Telemetry) -> None:
+        # Compile serially up front: the pairs are shared across ISAs
+        # and configs, and workers receive the pickled program only.
+        work = []
+        for spec in missing:
+            pair = self.compiled(spec.benchmark)
+            program = (
+                pair.conventional if spec.isa == "conventional" else pair.block
+            )
+            work.append((spec, program))
+        for spec, result, snapshot in execute_parallel(
+            work, self.jobs, tel.enabled
+        ):
+            if snapshot is not None:
+                tel.merge_snapshot(snapshot)
+            self._store_cached_run(spec, result)
+            self._results[spec] = result

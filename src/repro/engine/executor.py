@@ -1,0 +1,77 @@
+"""Process-parallel plan execution.
+
+Runs are independent and deterministic, so a deduplicated plan can be
+spread across a :class:`concurrent.futures.ProcessPoolExecutor`: the
+parent compiles (or cache-loads) each program once, ships the pickled
+program plus its :class:`~repro.engine.spec.RunSpec` to a worker, and
+the worker simulates under a **fresh** telemetry session, returning the
+:class:`~repro.sim.run.SimResult` together with a telemetry snapshot.
+The parent merges worker snapshots in plan order
+(:meth:`repro.obs.Telemetry.merge_snapshot`), which makes the merged
+counters bit-identical to a serial run — counters add commutatively and
+every per-run gauge carries a unique ``benchmark``/``isa`` label set.
+
+``--jobs 1`` never touches multiprocessing: the engine falls back to
+the in-process serial path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine.spec import RunSpec
+from repro.isa.program import BlockProgram, ConventionalProgram
+from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.sim.run import (
+    SimResult,
+    simulate_block_structured,
+    simulate_conventional,
+)
+
+#: Worker trace buffers stay small: the parent merges one buffer per
+#: run and its own ring already bounds total retention.
+WORKER_TRACE_CAPACITY = 1024
+
+
+def simulate_spec(
+    program: ConventionalProgram | BlockProgram,
+    spec: RunSpec,
+    telemetry: Telemetry,
+) -> SimResult:
+    """Dispatch one spec to the matching simulator."""
+    if spec.isa == "conventional":
+        return simulate_conventional(program, spec.config, telemetry=telemetry)
+    return simulate_block_structured(program, spec.config, telemetry=telemetry)
+
+
+def execute_run(
+    program: ConventionalProgram | BlockProgram,
+    spec: RunSpec,
+    capture: bool,
+) -> tuple[SimResult, dict | None]:
+    """Top-level worker entry point (must stay module-level so the
+    process pool can pickle it). Returns the result plus a telemetry
+    snapshot when *capture* is set, else ``(result, None)``."""
+    if not capture:
+        return simulate_spec(program, spec, get_telemetry()), None
+    tel = Telemetry(trace_capacity=WORKER_TRACE_CAPACITY)
+    with tel.span("plan.run", **spec.labels()):
+        result = simulate_spec(program, spec, tel)
+    return result, tel.worker_snapshot()
+
+
+def execute_parallel(
+    work: list[tuple[RunSpec, ConventionalProgram | BlockProgram]],
+    jobs: int,
+    capture: bool,
+) -> list[tuple[RunSpec, SimResult, dict | None]]:
+    """Execute *work* across a process pool; results in *work* order."""
+    workers = max(1, min(jobs, len(work)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            (spec, pool.submit(execute_run, program, spec, capture))
+            for spec, program in work
+        ]
+        return [
+            (spec, *future.result()) for spec, future in futures
+        ]

@@ -1,13 +1,17 @@
 """Experiment harness: regenerates every table and figure of the paper.
 
-:class:`SuiteRunner` caches compiled workloads and simulation runs so the
-figures share work (Fig. 3 and Figs. 6/7 reuse the same 64 KB runs);
+:class:`SuiteRunner` fronts the plan/execute engine
+(:mod:`repro.engine`): every experiment declares its required runs
+(:data:`EXPERIMENT_RUNS`), the planner deduplicates them (Fig. 3 and
+Figs. 6/7 reuse the same 64 KB runs), and the engine executes the plan
+serially or process-parallel with optional on-disk artifact caching;
 each ``table*``/``fig*`` function returns an :class:`ExperimentResult`
 whose ``render()`` produces the ASCII table/chart recorded in
 EXPERIMENTS.md.
 """
 
 from repro.harness.experiments import (
+    EXPERIMENT_RUNS,
     ExperimentResult,
     SuiteRunner,
     fig3_performance,
@@ -21,6 +25,7 @@ from repro.harness.experiments import (
 )
 
 __all__ = [
+    "EXPERIMENT_RUNS",
     "SuiteRunner",
     "ExperimentResult",
     "table1_latencies",

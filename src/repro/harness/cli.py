@@ -4,7 +4,11 @@
 
     bsisa list                          # workloads and experiments
     bsisa run fig3 [--scale 0.5]        # regenerate one figure/table
+    bsisa run all --jobs 4              # deduped plan, process-parallel
     bsisa run all --metrics-json out.json
+    bsisa run all --no-cache            # bypass the artifact cache
+    bsisa cache stats                   # on-disk artifact cache contents
+    bsisa cache clear
     bsisa compile compress --isa block --dump   # inspect generated code
     bsisa simulate compress [--perfect-bp] [--icache-kb 16]
     bsisa simulate gcc --metrics-json out.json  # unified telemetry artifact
@@ -18,6 +22,7 @@ import argparse
 import sys
 
 from repro.core.toolchain import Toolchain
+from repro.engine import ArtifactCache
 from repro.harness.experiments import ALL_EXPERIMENTS, SuiteRunner
 from repro.obs import Telemetry
 from repro.sim.config import MachineConfig
@@ -61,17 +66,46 @@ def _cmd_run(args) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
     tel = _make_telemetry(args)
-    runner = SuiteRunner(scale=args.scale, telemetry=tel)
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    runner = SuiteRunner(
+        scale=args.scale, telemetry=tel, jobs=args.jobs, cache=cache
+    )
+    plan = runner.execute(names)
     for name in names:
         result = ALL_EXPERIMENTS[name](runner)
         print(result.render())
         print()
+    cache_note = (
+        f"cache hits {cache.hits}, misses {cache.misses}"
+        if cache is not None
+        else "cache disabled"
+    )
+    print(
+        f"plan: {plan.runs_total} declared runs -> {plan.runs_deduped} "
+        f"unique ({plan.runs_saved} deduplicated); {cache_note}; "
+        f"jobs {args.jobs}",
+        file=sys.stderr,
+    )
     if tel is not None:
         return _write_artifact(
             tel,
             args.metrics_json,
             {"command": "run", "experiments": names, "scale": runner.scale},
         )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ArtifactCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifacts from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(
+        f"{stats['root']}: {stats['entries']} artifacts, "
+        f"{stats['bytes']:,d} bytes"
+    )
     return 0
 
 
@@ -203,11 +237,38 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="table1|table2|fig3..fig7|all")
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="execute the deduplicated plan across N processes",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk artifact cache",
+    )
+    run.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="artifact cache location (default: $BSISA_CACHE_DIR "
+        "or ~/.cache/bsisa)",
+    )
+    run.add_argument(
         "--metrics-json",
         metavar="PATH",
         help="write the unified telemetry artifact (metrics+spans+trace)",
     )
     run.set_defaults(fn=_cmd_run)
+
+    cache = sub.add_parser("cache", help="artifact-cache maintenance")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="artifact cache location (default: $BSISA_CACHE_DIR "
+        "or ~/.cache/bsisa)",
+    )
+    cache.set_defaults(fn=_cmd_cache)
 
     comp = sub.add_parser("compile", help="compile a workload and report sizes")
     comp.add_argument("workload", choices=list(SUITE))

@@ -1,29 +1,45 @@
 """Experiment definitions: one function per paper table/figure.
 
 All experiments run the full eight-benchmark suite through the shared
-:class:`SuiteRunner`, which memoizes compiled programs and simulation
-results. The paper's numbers are embedded for side-by-side reporting
-where the paper states them explicitly.
+:class:`SuiteRunner`, a thin facade over the plan/execute
+:class:`~repro.engine.ExperimentEngine`. Each experiment *declares* the
+runs it needs as :class:`~repro.engine.RunSpec` values
+(:data:`EXPERIMENT_RUNS`); the planner deduplicates the declarations of
+every requested experiment into one :class:`~repro.engine.RunPlan`
+(fig3/fig5 share all default-config runs, fig6/fig7 share the
+perfect-icache baselines), which the engine executes serially or across
+a process pool and memoizes, so each unique (benchmark, isa, config)
+simulation happens exactly once per session. The paper's numbers are
+embedded for side-by-side reporting where the paper states them
+explicitly.
 """
 
 from __future__ import annotations
 
-import math
-import os
 from dataclasses import dataclass, field
 
 from repro.core.toolchain import CompiledPair, Toolchain
-from repro.errors import ConfigError
-from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.engine import (
+    ArtifactCache,
+    ExperimentEngine,
+    RunPlan,
+    RunSpec,
+    build_plan,
+)
 from repro.harness.render import ascii_table, grouped_bars
 from repro.isa.latencies import CLASS_DESCRIPTION, LATENCY, InstrClass
+from repro.obs.telemetry import Telemetry
 from repro.sim.config import MachineConfig
-from repro.sim.run import (
-    SimResult,
-    simulate_block_structured,
-    simulate_conventional,
-)
-from repro.workloads import SUITE
+from repro.sim.run import SimResult
+from repro.workloads import SUITE, default_scale
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "EXPERIMENT_RUNS",
+    "ExperimentResult",
+    "SuiteRunner",
+    "default_scale",
+]
 
 #: Paper-reported values for side-by-side comparison (EXPERIMENTS.md).
 PAPER_FIG3_REDUCTION = {
@@ -38,27 +54,6 @@ PAPER_FIG5_AVG_BLOCK = 8.2
 
 #: Icache sizes swept by Figures 6 and 7 (KB).
 ICACHE_SWEEP_KB = (16, 32, 64)
-
-
-def default_scale() -> float:
-    """Workload scale (REPRO_SCALE env var overrides; benches shrink it).
-
-    Raises :class:`ConfigError` (a :class:`~repro.errors.ReproError`) for
-    a non-numeric, non-positive, or non-finite REPRO_SCALE instead of
-    silently producing a nonsense workload.
-    """
-    raw = os.environ.get("REPRO_SCALE", "1.0")
-    try:
-        scale = float(raw)
-    except ValueError:
-        raise ConfigError(
-            f"REPRO_SCALE must be a number, got {raw!r}"
-        ) from None
-    if not math.isfinite(scale) or scale <= 0:
-        raise ConfigError(
-            f"REPRO_SCALE must be a positive finite number, got {raw!r}"
-        )
-    return scale
 
 
 @dataclass
@@ -80,7 +75,15 @@ class ExperimentResult:
 
 
 class SuiteRunner:
-    """Compiles the suite once and memoizes simulation runs."""
+    """Thin facade over :class:`~repro.engine.ExperimentEngine`.
+
+    Kept for API compatibility with the pre-engine harness: ``pair`` /
+    ``run`` / ``run_pair`` behave as before, but runs are memoized by
+    the **full** :class:`MachineConfig` (the old memo keyed only on
+    icache size and perfect-bp, so sweeps of any other field collided),
+    and ``plan``/``execute`` expose the declarative plan path used by
+    the CLI and the benchmark harness.
+    """
 
     def __init__(
         self,
@@ -88,40 +91,39 @@ class SuiteRunner:
         benchmarks: list[str] | None = None,
         toolchain: Toolchain | None = None,
         telemetry: Telemetry | None = None,
+        jobs: int = 1,
+        cache: ArtifactCache | None = None,
     ):
-        self.scale = scale if scale is not None else default_scale()
-        self.benchmarks = benchmarks or list(SUITE)
-        self.telemetry = telemetry
-        self.toolchain = toolchain or Toolchain(telemetry=telemetry)
-        self._pairs: dict[str, CompiledPair] = {}
-        self._runs: dict[tuple, SimResult] = {}
+        self.engine = ExperimentEngine(
+            scale=scale,
+            benchmarks=benchmarks,
+            toolchain=toolchain,
+            telemetry=telemetry,
+            cache=cache,
+            jobs=jobs,
+        )
 
-    def _tel(self) -> Telemetry:
-        return self.telemetry if self.telemetry is not None else get_telemetry()
+    @property
+    def scale(self) -> float:
+        return self.engine.scale
+
+    @property
+    def benchmarks(self) -> list[str]:
+        return self.engine.benchmarks
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        return self.engine.telemetry
+
+    @property
+    def toolchain(self) -> Toolchain:
+        return self.engine.toolchain
 
     def pair(self, name: str) -> CompiledPair:
-        if name not in self._pairs:
-            source = SUITE[name].source(self.scale)
-            with self._tel().span("suite.compile", benchmark=name):
-                self._pairs[name] = self.toolchain.compile(source, name)
-        return self._pairs[name]
+        return self.engine.compiled(name)
 
     def run(self, name: str, isa: str, config: MachineConfig) -> SimResult:
-        icache_kb = config.icache.size_bytes // 1024 if config.icache else None
-        key = (name, isa, icache_kb, config.perfect_bp)
-        if key not in self._runs:
-            pair = self.pair(name)
-            tel = self._tel()
-            if isa == "conventional":
-                result = simulate_conventional(
-                    pair.conventional, config, telemetry=tel
-                )
-            else:
-                result = simulate_block_structured(
-                    pair.block, config, telemetry=tel
-                )
-            self._runs[key] = result
-        return self._runs[key]
+        return self.engine.run(RunSpec(name, isa, config))
 
     def run_pair(
         self, name: str, config: MachineConfig
@@ -130,6 +132,66 @@ class SuiteRunner:
             self.run(name, "conventional", config),
             self.run(name, "block", config),
         )
+
+    def plan(self, experiments: list[str]) -> RunPlan:
+        """One deduplicated plan covering *experiments*' declared runs."""
+        return build_plan(
+            [
+                (name, EXPERIMENT_RUNS[name](self.benchmarks))
+                for name in experiments
+            ],
+            scale=self.scale,
+        )
+
+    def execute(self, experiments: list[str]) -> RunPlan:
+        """Plan and execute every run *experiments* need (the shared
+        per-session entry point of the CLI and benchmark conftest)."""
+        plan = self.plan(experiments)
+        self.engine.execute(plan)
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# Declared runs — the planning layer's input, one entry per experiment
+# ---------------------------------------------------------------------------
+
+
+def _performance_runs(
+    benchmarks: list[str], perfect_bp: bool = False
+) -> list[RunSpec]:
+    config = MachineConfig(perfect_bp=perfect_bp)
+    return [
+        RunSpec(name, isa, config)
+        for name in benchmarks
+        for isa in ("conventional", "block")
+    ]
+
+
+def _icache_runs(benchmarks: list[str], isa: str) -> list[RunSpec]:
+    sweep = [MachineConfig().with_icache_kb(None)] + [
+        MachineConfig().with_icache_kb(kb) for kb in ICACHE_SWEEP_KB
+    ]
+    return [
+        RunSpec(name, isa, config)
+        for name in benchmarks
+        for config in sweep
+    ]
+
+
+#: experiment name -> benchmarks -> the RunSpecs that experiment needs.
+#: This is the declarative contract the planner consumes; a tier-1 test
+#: asserts each builder below performs exactly its declared runs.
+EXPERIMENT_RUNS = {
+    "table1": lambda benchmarks: [],
+    "table2": lambda benchmarks: [
+        RunSpec(name, "conventional", MachineConfig()) for name in benchmarks
+    ],
+    "fig3": _performance_runs,
+    "fig4": lambda benchmarks: _performance_runs(benchmarks, perfect_bp=True),
+    "fig5": _performance_runs,
+    "fig6": lambda benchmarks: _icache_runs(benchmarks, "conventional"),
+    "fig7": lambda benchmarks: _icache_runs(benchmarks, "block"),
+}
 
 
 # ---------------------------------------------------------------------------

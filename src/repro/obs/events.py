@@ -57,6 +57,22 @@ class EventTrace:
             for seq, kind, cycle, fields in buf
         ]
 
+    def merge(self, events, emitted: int | None = None) -> None:
+        """Re-emit snapshotted events (``events()`` shape) from another
+        trace, renumbering ``seq`` into this buffer's stream. When the
+        source's total *emitted* count is given, its already-dropped
+        events are carried into this buffer's ``dropped`` accounting."""
+        retained = 0
+        for e in events:
+            fields = {
+                k: v for k, v in e.items()
+                if k not in ("seq", "event", "cycle")
+            }
+            self.emit(e["event"], e["cycle"], **fields)
+            retained += 1
+        if emitted is not None and emitted > retained:
+            self.emitted += emitted - retained
+
     def counts(self) -> dict[str, int]:
         """Retained-event count per kind (diagnostic summary)."""
         out: dict[str, int] = {}

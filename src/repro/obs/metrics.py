@@ -71,6 +71,25 @@ class Series:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_histogram(self, entry: dict) -> None:
+        """Fold a snapshotted histogram (``as_dict`` shape) into this
+        series — used when merging worker-process registries."""
+        count = entry.get("count", 0)
+        if not count:
+            return
+        buckets = entry.get("buckets", [])
+        if len(buckets) != len(self.buckets):
+            raise TelemetryError(
+                f"histogram {self.name!r}: bucket layout mismatch "
+                f"({len(buckets)} vs {len(self.buckets)})"
+            )
+        self.count += count
+        self.total += entry.get("sum", 0.0)
+        self.vmin = min(self.vmin, entry.get("min", float("inf")))
+        self.vmax = max(self.vmax, entry.get("max", float("-inf")))
+        for i, bucket in enumerate(buckets):
+            self.buckets[i] += bucket["count"]
+
     def as_dict(self) -> dict:
         d: dict = {"name": self.name, "kind": self.kind, "labels": dict(self.labels)}
         if self.kind == HISTOGRAM:
@@ -132,6 +151,28 @@ class MetricsRegistry:
     def observe(self, name: str, value: float, **labels) -> None:
         """Record *value* into the histogram series ``name{labels}``."""
         self._get(name, HISTOGRAM, labels).observe(value)
+
+    def merge(self, snapshot) -> None:
+        """Fold a :meth:`snapshot` from another registry (typically a
+        worker process) into this one.
+
+        Counters accumulate and histograms combine exactly; gauges take
+        the snapshotted value (last write wins), so merging is
+        order-sensitive only for gauge series published by more than
+        one source — per-run gauges carry unique label sets and are
+        unaffected. Kind conflicts raise :class:`TelemetryError`, like
+        any other mismatched publication.
+        """
+        for entry in snapshot:
+            series = self._get(
+                entry["name"], entry["kind"], entry.get("labels", {})
+            )
+            if series.kind == HISTOGRAM:
+                series.merge_histogram(entry)
+            elif series.kind == COUNTER:
+                series.value += entry["value"]
+            else:
+                series.value = entry["value"]
 
     # -- read path -----------------------------------------------------
 

@@ -111,6 +111,22 @@ class SpanRecorder:
     def dropped(self) -> int:
         return self.recorded - len(self.records)
 
+    def merge(self, records) -> None:
+        """Append snapshotted spans (``as_dict`` shape) from another
+        recorder. Merged ``start_s`` values stay relative to the
+        *source* recorder's epoch — durations and totals are exact,
+        cross-process start times are not comparable."""
+        for r in records:
+            self._record(
+                SpanRecord(
+                    r["name"],
+                    dict(r.get("labels", {})),
+                    float(r.get("start_s", 0.0)),
+                    float(r.get("duration_s", 0.0)),
+                    int(r.get("depth", 0)),
+                )
+            )
+
     def totals(self) -> dict[str, dict]:
         """Aggregate by span name: invocation count and summed seconds."""
         out: dict[str, dict] = {}

@@ -69,6 +69,36 @@ class Telemetry:
         if self.enabled:
             self.metrics.observe(name, value, **labels)
 
+    # -- cross-process merge -------------------------------------------
+
+    def worker_snapshot(self) -> dict:
+        """A picklable snapshot of this session for cross-process merge
+        (the parallel executor ships one per run back to the parent)."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.spans.snapshot(),
+            "trace_events": self.trace.events(),
+            "trace_emitted": self.trace.emitted,
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`worker_snapshot` into this session.
+
+        Counters and histograms combine exactly; gauges take the
+        snapshot value (worker label sets are unique per run, so no
+        gauge collides); spans keep worker-relative start times; trace
+        events are renumbered into this session's stream. See
+        docs/observability.md ("Merged telemetry").
+        """
+        if not self.enabled:
+            return
+        self.metrics.merge(snapshot.get("metrics", ()))
+        self.spans.merge(snapshot.get("spans", ()))
+        self.trace.merge(
+            snapshot.get("trace_events", ()),
+            emitted=snapshot.get("trace_emitted"),
+        )
+
     # -- lifecycle / export --------------------------------------------
 
     def reset(self) -> None:

@@ -2,8 +2,33 @@
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.errors import ConfigError
+
+
+def default_scale() -> float:
+    """Workload scale (REPRO_SCALE env var overrides; benches shrink it).
+
+    Raises :class:`ConfigError` (a :class:`~repro.errors.ReproError`) for
+    a non-numeric, non-positive, or non-finite REPRO_SCALE instead of
+    silently producing a nonsense workload.
+    """
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_SCALE must be a number, got {raw!r}"
+        ) from None
+    if not math.isfinite(scale) or scale <= 0:
+        raise ConfigError(
+            f"REPRO_SCALE must be a positive finite number, got {raw!r}"
+        )
+    return scale
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,87 @@
+"""CLI surface of the experiment engine: --jobs, cache flags, bsisa cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.harness.cli import main
+
+
+def test_run_with_jobs_and_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert (
+        main(
+            [
+                "run", "table2", "--scale", "0.05",
+                "--jobs", "2", "--cache-dir", cache_dir,
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "Table 2" in captured.out
+    assert "declared runs" in captured.err
+    assert "cache hits 0" in captured.err
+
+    # second invocation: the whole plan comes from the artifact cache
+    assert (
+        main(
+            [
+                "run", "table2", "--scale", "0.05",
+                "--jobs", "2", "--cache-dir", cache_dir,
+            ]
+        )
+        == 0
+    )
+    err = capsys.readouterr().err
+    assert "misses 0" in err
+
+
+def test_run_no_cache_leaves_no_artifacts(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert (
+        main(
+            [
+                "run", "table1", "--no-cache",
+                "--cache-dir", str(cache_dir),
+            ]
+        )
+        == 0
+    )
+    assert "cache disabled" in capsys.readouterr().err
+    assert not cache_dir.exists()
+
+
+def test_run_metrics_json_includes_plan_series(tmp_path, capsys):
+    out = tmp_path / "out.json"
+    cache_dir = str(tmp_path / "cache")
+    assert (
+        main(
+            [
+                "run", "table2", "--scale", "0.05",
+                "--cache-dir", cache_dir, "--metrics-json", str(out),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    doc = json.loads(out.read_text())
+    names = {m["name"] for m in doc["metrics"]}
+    assert {"plan.runs_total", "plan.runs_deduped", "plan.cache_misses"} <= names
+    assert any(s["name"] == "plan.run" for s in doc["spans"])
+    assert any(s["name"] == "plan.execute" for s in doc["spans"])
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    main(["run", "table2", "--scale", "0.05", "--cache-dir", cache_dir])
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "artifacts" in out and cache_dir in out
+
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "0 artifacts" in capsys.readouterr().out

@@ -1,0 +1,450 @@
+"""Plan/execute engine: specs, planning, caching, parallel execution.
+
+Everything runs at tiny scales on one or two benchmarks so the whole
+file stays tier-1 fast; the parallel tests use a 2-process pool on a
+two-run plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.toolchain import Comparison, Toolchain
+from repro.engine import (
+    ArtifactCache,
+    ExperimentEngine,
+    RunSpec,
+    ToolchainSpec,
+    build_plan,
+    compile_key,
+    config_key,
+    run_key,
+)
+from repro.errors import ConfigError, TelemetryError
+from repro.harness import ALL_EXPERIMENTS, EXPERIMENT_RUNS, SuiteRunner
+from repro.obs import Telemetry
+from repro.sim.config import MachineConfig
+from repro.sim.engine import TimingStats
+from repro.sim.run import SimResult
+from repro.workloads import SUITE
+
+SCALE = 0.05
+BENCHES = ["compress", "m88ksim"]
+
+#: metric families published per run (deterministic, order-independent)
+RUN_METRIC_PREFIXES = ("sim.", "cache.", "bp.")
+
+
+@pytest.fixture(scope="module")
+def serial_session():
+    """A serial run of the fig3+fig5+table2 plan with telemetry."""
+    tel = Telemetry()
+    runner = SuiteRunner(scale=SCALE, benchmarks=BENCHES, telemetry=tel)
+    plan = runner.execute(["fig3", "fig5", "table2"])
+    return runner, plan, tel
+
+
+# ---------------------------------------------------------------------------
+# RunSpec / keys
+# ---------------------------------------------------------------------------
+
+
+class TestRunSpec:
+    def test_rejects_unknown_isa(self):
+        with pytest.raises(ConfigError):
+            RunSpec("compress", "vliw", MachineConfig())
+
+    def test_equal_configs_share_identity(self):
+        a = RunSpec("compress", "block", MachineConfig())
+        b = RunSpec("compress", "block", MachineConfig())
+        assert a == b and hash(a) == hash(b)
+
+    def test_every_config_field_is_significant(self):
+        """Full-fidelity keys: changing ANY MachineConfig field changes
+        the spec identity and the cache key (the old memo ignored
+        everything but icache size and perfect_bp)."""
+        base = MachineConfig()
+        for f in dataclasses.fields(MachineConfig):
+            if f.name == "icache":
+                changed = base.with_icache_kb(16)
+            elif f.name == "dcache":
+                changed = dataclasses.replace(base, dcache=None)
+            elif f.name == "perfect_bp":
+                changed = dataclasses.replace(base, perfect_bp=True)
+            else:
+                changed = dataclasses.replace(
+                    base, **{f.name: getattr(base, f.name) + 1}
+                )
+            assert RunSpec("c", "block", changed) != RunSpec("c", "block", base)
+            assert config_key(changed) != config_key(base)
+
+    def test_run_key_distinguishes_isa_and_config(self):
+        ckey = compile_key("compress", "src", ToolchainSpec())
+        conv = run_key(ckey, RunSpec("compress", "conventional"))
+        block = run_key(ckey, RunSpec("compress", "block"))
+        tweaked = run_key(
+            ckey,
+            RunSpec("compress", "block", MachineConfig(mispredict_penalty=9)),
+        )
+        assert len({conv, block, tweaked}) == 3
+
+    def test_compile_key_covers_source_and_toolchain(self):
+        spec = ToolchainSpec()
+        base = compile_key("compress", "int main() {}", spec)
+        assert compile_key("compress", "int main() { }", spec) != base
+        assert (
+            compile_key("compress", "int main() {}", ToolchainSpec(opt_level=0))
+            != base
+        )
+
+
+# ---------------------------------------------------------------------------
+# Memo-key regression (the bug the old SuiteRunner had)
+# ---------------------------------------------------------------------------
+
+
+class TestMemoKeyRegression:
+    def test_mispredict_penalty_no_longer_collides(self):
+        """Two configs differing only in mispredict_penalty used to share
+        one memo slot (key = name/isa/icache_kb/perfect_bp) and return
+        stale results; they must be distinct runs."""
+        runner = SuiteRunner(scale=SCALE, benchmarks=["compress"])
+        fast = runner.run("compress", "block", MachineConfig())
+        slow = runner.run(
+            "compress", "block", MachineConfig(mispredict_penalty=40)
+        )
+        assert fast is not slow
+        assert slow.cycles > fast.cycles
+
+    def test_fetch_lines_no_longer_collides(self):
+        runner = SuiteRunner(scale=SCALE, benchmarks=["compress"])
+        wide = runner.run("compress", "block", MachineConfig())
+        narrow = runner.run(
+            "compress", "block", MachineConfig(fetch_lines=1)
+        )
+        assert narrow is not wide
+
+    def test_equal_configs_still_share_one_run(self):
+        runner = SuiteRunner(scale=SCALE, benchmarks=["compress"])
+        r1 = runner.run("compress", "conventional", MachineConfig())
+        r2 = runner.run("compress", "conventional", MachineConfig())
+        assert r1 is r2
+
+
+# ---------------------------------------------------------------------------
+# Planning / dedup
+# ---------------------------------------------------------------------------
+
+
+class TestPlanning:
+    def test_plan_dedupes_overlapping_experiments(self):
+        runner = SuiteRunner(scale=SCALE, benchmarks=BENCHES)
+        plan = runner.plan(["fig3", "fig5", "table2"])
+        # fig3: 2 benches x 2 isas; fig5 duplicates all of it; table2
+        # duplicates the conventional half.
+        assert plan.runs_total == 10
+        assert plan.runs_deduped == 4
+        assert plan.runs_saved == 6
+
+    def test_full_suite_plan_unique_runs(self):
+        runner = SuiteRunner(scale=SCALE, benchmarks=BENCHES)
+        plan = runner.plan(list(ALL_EXPERIMENTS))
+        # Per benchmark+isa: default(64KB), perfect-bp, perfect-icache,
+        # 16KB, 32KB = 5 unique configs (the 64KB sweep point IS the
+        # default config).
+        assert plan.runs_deduped == len(BENCHES) * 2 * 5
+        assert plan.runs_total > plan.runs_deduped
+        assert set(plan.benchmarks()) == set(BENCHES)
+
+    def test_declarations_match_execution(self):
+        """EXPERIMENT_RUNS is a truthful contract: each builder performs
+        exactly the runs its declaration names."""
+        for name, fn in ALL_EXPERIMENTS.items():
+            runner = SuiteRunner(scale=SCALE, benchmarks=["compress"])
+            declared = frozenset(EXPERIMENT_RUNS[name](["compress"]))
+            fn(runner)
+            assert runner.engine.executed_specs == declared, name
+
+    def test_execute_runs_each_unique_spec_once(self, serial_session):
+        runner, plan, tel = serial_session
+        assert tel.metrics.get("plan.runs_total") == plan.runs_total
+        assert tel.metrics.get("plan.runs_deduped") == plan.runs_deduped
+        # one plan.run span per unique spec, not per declared run
+        runs = [s for s in tel.spans.records if s.name == "plan.run"]
+        assert len(runs) == plan.runs_deduped
+
+    def test_experiments_after_execute_add_no_runs(self, serial_session):
+        runner, plan, tel = serial_session
+        before = len([s for s in tel.spans.records if s.name == "plan.run"])
+        ALL_EXPERIMENTS["fig3"](runner)
+        ALL_EXPERIMENTS["fig5"](runner)
+        after = len([s for s in tel.spans.records if s.name == "plan.run"])
+        assert after == before
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution determinism
+# ---------------------------------------------------------------------------
+
+
+def _run_metric_entries(tel: Telemetry) -> list[dict]:
+    out = []
+    for entry in tel.metrics.snapshot():
+        if entry["name"].startswith(RUN_METRIC_PREFIXES):
+            out.append(entry)
+    return out
+
+
+class TestParallelExecution:
+    def test_parallel_results_bit_identical_to_serial(self, serial_session):
+        serial_runner, plan, serial_tel = serial_session
+        tel = Telemetry()
+        parallel = SuiteRunner(
+            scale=SCALE, benchmarks=BENCHES, telemetry=tel, jobs=2
+        )
+        parallel.execute(["fig3", "fig5", "table2"])
+        for spec in plan.runs:
+            a = serial_runner.engine.run(spec)
+            b = parallel.engine.run(spec)
+            assert dataclasses.asdict(a) == dataclasses.asdict(b), spec
+
+    def test_parallel_merged_counters_equal_serial(self, serial_session):
+        _, _, serial_tel = serial_session
+        tel = Telemetry()
+        parallel = SuiteRunner(
+            scale=SCALE, benchmarks=BENCHES, telemetry=tel, jobs=2
+        )
+        parallel.execute(["fig3", "fig5", "table2"])
+        assert _run_metric_entries(tel) == _run_metric_entries(serial_tel)
+
+    def test_parallel_merges_worker_spans(self):
+        tel = Telemetry()
+        runner = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], telemetry=tel, jobs=2
+        )
+        runner.execute(["fig3"])
+        names = [s.name for s in tel.spans.records]
+        assert names.count("plan.run") == 2
+        assert names.count("sim.simulate") == 2
+
+    def test_jobs_one_never_spawns(self, monkeypatch):
+        import repro.engine.core as core
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("serial path must not use the pool")
+
+        monkeypatch.setattr(core, "execute_parallel", boom)
+        runner = SuiteRunner(scale=SCALE, benchmarks=["compress"], jobs=1)
+        runner.execute(["table2"])
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_second_session_zero_recompiles(self, tmp_path):
+        cache1 = ArtifactCache(tmp_path)
+        first = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], cache=cache1
+        )
+        plan = first.execute(["fig3"])
+        assert cache1.misses > 0 and cache1.hits == 0
+
+        tel = Telemetry()
+        cache2 = ArtifactCache(tmp_path)
+        second = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], telemetry=tel, cache=cache2
+        )
+        second.execute(["fig3"])
+        assert cache2.misses == 0
+        assert tel.metrics.get("plan.cache_hits", kind="run") == plan.runs_deduped
+        # no compile at all: neither a compile span nor a compile miss
+        assert not any(
+            s.name in ("suite.compile", "compile") for s in tel.spans.records
+        )
+
+    def test_cached_results_equal_fresh(self, tmp_path):
+        fresh = SuiteRunner(scale=SCALE, benchmarks=["compress"])
+        a = fresh.run("compress", "block", MachineConfig())
+
+        warm = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], cache=ArtifactCache(tmp_path)
+        )
+        warm.run("compress", "block", MachineConfig())
+        cached = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], cache=ArtifactCache(tmp_path)
+        )
+        b = cached.run("compress", "block", MachineConfig())
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_config_change_misses_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        runner = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], cache=cache
+        )
+        runner.run("compress", "block", MachineConfig())
+        stats = cache.stats()
+        again = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], cache=ArtifactCache(tmp_path)
+        )
+        again.run(
+            "compress", "block", MachineConfig(mispredict_penalty=40)
+        )
+        # the compile is reused, the run is a new artifact
+        assert ArtifactCache(tmp_path).stats()["entries"] == stats["entries"] + 1
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("ab" * 32, {"ok": True})
+        path = cache._path("ab" * 32)
+        path.write_bytes(b"not a pickle")
+        assert cache.load("ab" * 32) is None
+        assert not path.exists()  # dropped, not retried forever
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.stats()["entries"] == 0
+        cache.store("cd" * 32, [1, 2, 3])
+        assert cache.stats()["entries"] == 1
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_profile_guided_toolchain_bypasses_disk(self, tmp_path):
+        class StubProfile:
+            def bias(self, label):
+                return 0.0
+
+        spec = ToolchainSpec()
+        assert spec.cacheable
+        guided = dataclasses.replace(
+            spec.enlarge, profile=StubProfile(), min_bias=0.9
+        )
+        assert not ToolchainSpec(enlarge=guided).cacheable
+        engine = ExperimentEngine(
+            scale=SCALE,
+            benchmarks=["compress"],
+            toolchain=Toolchain(enlarge=guided),
+            cache=ArtifactCache(tmp_path),
+        )
+        engine.run(RunSpec("compress", "conventional"))
+        assert ArtifactCache(tmp_path).stats()["entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Pickle safety (what the process pool and the disk cache rely on)
+# ---------------------------------------------------------------------------
+
+
+class TestPickleSafety:
+    def test_compiled_pair_and_result_roundtrip(self):
+        toolchain = Toolchain()
+        pair = toolchain.compile(SUITE["compress"].source(SCALE), "compress")
+        thawed = pickle.loads(pickle.dumps(pair))
+        assert thawed.block.num_blocks == pair.block.num_blocks
+        assert thawed.conventional.code_bytes == pair.conventional.code_bytes
+
+        from repro.engine import simulate_spec
+        from repro.obs.telemetry import get_telemetry
+
+        spec = RunSpec("compress", "block", MachineConfig())
+        direct = simulate_spec(pair.block, spec, get_telemetry())
+        revived = simulate_spec(thawed.block, spec, get_telemetry())
+        assert dataclasses.asdict(
+            pickle.loads(pickle.dumps(direct))
+        ) == dataclasses.asdict(revived)
+
+
+# ---------------------------------------------------------------------------
+# obs merge support
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryMerge:
+    def test_counter_gauge_histogram_merge(self):
+        a, b = Telemetry(), Telemetry()
+        a.metrics.inc("n", 2, isa="block")
+        b.metrics.inc("n", 3, isa="block")
+        a.metrics.gauge("g", 1.0, isa="block")
+        b.metrics.gauge("g", 7.0, isa="block")
+        for v in (1.0, 5.0):
+            a.metrics.observe("h", v)
+        for v in (100.0, 9.0):
+            b.metrics.observe("h", v)
+        a.merge_snapshot(b.worker_snapshot())
+        assert a.metrics.get("n", isa="block") == 5
+        assert a.metrics.get("g", isa="block") == 7.0
+        (h,) = a.metrics.series("h")
+        assert h.count == 4 and h.total == 115.0
+        assert h.vmin == 1.0 and h.vmax == 100.0
+        assert sum(h.buckets) == 4
+
+    def test_merge_kind_conflict_raises(self):
+        a, b = Telemetry(), Telemetry()
+        a.metrics.inc("x")
+        b.metrics.gauge("x", 1.0)
+        with pytest.raises(TelemetryError):
+            a.merge_snapshot(b.worker_snapshot())
+
+    def test_span_and_trace_merge(self):
+        a, b = Telemetry(), Telemetry()
+        with b.span("sim.simulate", benchmark="compress"):
+            pass
+        b.trace.emit("fetch", 1, addr=4096)
+        b.trace.emit("retire", 2)
+        a.merge_snapshot(b.worker_snapshot())
+        assert [s.name for s in a.spans.records] == ["sim.simulate"]
+        events = a.trace.events()
+        assert [e["event"] for e in events] == ["fetch", "retire"]
+        assert [e["seq"] for e in events] == [1, 2]
+        assert events[0]["addr"] == 4096
+
+    def test_trace_merge_carries_dropped_accounting(self):
+        from repro.obs.events import EventTrace
+
+        small = EventTrace(capacity=2)
+        for i in range(5):
+            small.emit("fetch", i)
+        parent = Telemetry(trace_capacity=16)
+        parent.trace.merge(small.events(), emitted=small.emitted)
+        assert parent.trace.dropped == 3
+
+    def test_disabled_session_ignores_merge(self):
+        disabled = Telemetry(enabled=False)
+        live = Telemetry()
+        live.metrics.inc("n")
+        disabled.merge_snapshot(live.worker_snapshot())
+        assert len(disabled.metrics) == 0
+
+
+# ---------------------------------------------------------------------------
+# Comparison.speedup guard (satellite)
+# ---------------------------------------------------------------------------
+
+
+def _zero_cycle_result(isa: str) -> SimResult:
+    return SimResult(
+        name="empty",
+        isa=isa,
+        cycles=0,
+        committed_ops=0,
+        committed_units=0,
+        avg_block_size=0.0,
+        mispredicts=0,
+        branch_events=0,
+        bp_accuracy=1.0,
+        timing=TimingStats(),
+    )
+
+
+def test_speedup_guard_zero_block_cycles():
+    comparison = Comparison(
+        conventional=_zero_cycle_result("conventional"),
+        block=_zero_cycle_result("block"),
+    )
+    assert comparison.speedup == 0.0
+    assert comparison.reduction_pct == 0.0
