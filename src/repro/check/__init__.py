@@ -1,0 +1,52 @@
+"""Correctness tooling: cosimulation oracle, invariants, fuzzing.
+
+The timing simulator produces every headline number of this
+reproduction; this package is what keeps it honest (docs/testing.md):
+
+* :mod:`repro.check.genprog` — random well-formed MiniC programs, one
+  generator shared by the hypothesis equivalence property and the fuzz
+  driver;
+* :mod:`repro.check.invariants` — conservation identities over
+  :class:`~repro.sim.run.SimResult` / `TimingStats` (op/unit/redirect
+  accounting, cache bounds, ratio ranges);
+* :mod:`repro.check.cosim` — lockstep oracle: timing simulator vs. the
+  IR interpreter and both functional executors, across enlargement and
+  machine configurations;
+* :mod:`repro.check.fuzz` — the ``bsisa fuzz`` driver: randomized
+  search, corpus persistence, delta-debugging failure minimization.
+"""
+
+from repro.check.cosim import (
+    DEFAULT_ENLARGE_VARIANTS,
+    DEFAULT_MACHINE_CONFIGS,
+    CosimChecker,
+    CosimReport,
+)
+from repro.check.fuzz import (
+    Fuzzer,
+    FuzzFailure,
+    FuzzResult,
+    fuzz,
+    replay,
+    shrink_source,
+)
+from repro.check.genprog import ProgramBuilder, generate_program
+from repro.check.invariants import ALL_INVARIANTS, Violation, check_invariants
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "CosimChecker",
+    "CosimReport",
+    "DEFAULT_ENLARGE_VARIANTS",
+    "DEFAULT_MACHINE_CONFIGS",
+    "Fuzzer",
+    "FuzzFailure",
+    "FuzzResult",
+    "ProgramBuilder",
+    "Violation",
+    "check_invariants",
+    "fuzz",
+    "generate_program",
+    "replay",
+    "shrink_source",
+]

@@ -1,0 +1,255 @@
+"""Cosimulation oracle: timing simulator vs. functional executors.
+
+Every headline number in this reproduction comes out of
+:class:`~repro.sim.engine.TimingEngine`, which consumes the dynamic
+fetch-unit stream produced by the functional executors. The oracle runs
+the whole stack in lockstep for one source program and cross-checks
+every layer against every other:
+
+* the **IR interpreter** is the golden reference for program output;
+* both **functional executors** (conventional, block-structured with
+  perfect *and* real prediction) must reproduce the golden output;
+* each **timed simulation** must (a) reproduce the golden output — the
+  timing engine consumes the same executor, so a divergence means the
+  trace generator corrupted architectural state; (b) agree with an
+  independent predictor-matched functional run on every architectural
+  counter (committed ops/units, mispredicts, squashes) — the
+  "retired-op stream" check; and (c) satisfy every identity in
+  :mod:`repro.check.invariants`;
+* the whole matrix repeats across **enlargement configurations** and
+  **machine configurations** (real and perfect prediction by default).
+
+Telemetry: one ``check.cosim{program=}`` span per checked program,
+``check.programs`` counting programs, and
+``check.violations{invariant=}`` counting failures by invariant name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.enlarge import EnlargeConfig
+from repro.check.invariants import Violation, check_invariants
+from repro.core.toolchain import Toolchain
+from repro.errors import SourceError
+from repro.exec import interpret_module, run_block_structured, run_conventional
+from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.sim.config import MachineConfig
+from repro.sim.predictors import BlockPredictor, GsharePredictor
+from repro.sim.run import simulate_block_structured, simulate_conventional
+
+#: Enlargement matrix: the paper's default, enlargement off, and a
+#: deliberately tight budget that forces many small families.
+DEFAULT_ENLARGE_VARIANTS: tuple[EnlargeConfig, ...] = (
+    EnlargeConfig(),
+    EnlargeConfig(enabled=False),
+    EnlargeConfig(max_ops=8, max_faults=1),
+)
+
+#: Machine matrix: real prediction (faults and squashes exercised) and
+#: perfect prediction (no speculation at all).
+DEFAULT_MACHINE_CONFIGS: tuple[MachineConfig, ...] = (
+    MachineConfig(),
+    MachineConfig(perfect_bp=True),
+)
+
+#: The oracle's own simulations never publish `sim.*` series: a fuzz run
+#: checks hundreds of throwaway programs, and per-program labels would
+#: grow the session registry without bound. Only `check.*` series reach
+#: the caller's session.
+_SILENT = Telemetry(enabled=False, trace_capacity=1, span_capacity=1)
+
+
+@dataclass
+class CosimReport:
+    """Outcome of one program's trip through the oracle."""
+
+    name: str
+    source: str
+    violations: list[Violation] = field(default_factory=list)
+    #: (enlarge, machine) combinations actually checked
+    configurations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.name}: ok ({self.configurations} configurations)"
+        lines = [f"{self.name}: {len(self.violations)} violation(s)"]
+        lines += [f"  {v.invariant}: {v.message}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def _counter_checks(result, stats, isa: str) -> list[tuple[str, int, int]]:
+    """(field, timed value, functional value) triples that must agree."""
+    if isa == "conventional":
+        return [
+            ("committed_ops", result.committed_ops, stats.dyn_ops),
+            ("committed_units", result.committed_units, stats.units),
+            ("mispredicts", result.mispredicts, stats.mispredicts),
+            ("branch_events", result.branch_events, stats.branches),
+        ]
+    return [
+        ("committed_ops", result.committed_ops, stats.committed_ops),
+        ("committed_units", result.committed_units, stats.blocks_committed),
+        ("mispredicts", result.mispredicts, stats.total_mispredicts),
+        ("branch_events", result.branch_events, stats.trap_predictions),
+        ("squashed_blocks", result.squashed_blocks, stats.blocks_squashed),
+        ("fault_mispredicts", result.fault_mispredicts,
+         stats.fault_mispredicts),
+        ("trap_mispredicts", result.trap_mispredicts, stats.trap_mispredicts),
+    ]
+
+
+class CosimChecker:
+    """Runs one program through the full lockstep matrix."""
+
+    def __init__(
+        self,
+        enlarge_variants: tuple[EnlargeConfig, ...] | None = None,
+        machine_configs: tuple[MachineConfig, ...] | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.enlarge_variants = (
+            tuple(enlarge_variants)
+            if enlarge_variants is not None
+            else DEFAULT_ENLARGE_VARIANTS
+        )
+        self.machine_configs = (
+            tuple(machine_configs)
+            if machine_configs is not None
+            else DEFAULT_MACHINE_CONFIGS
+        )
+        self.telemetry = telemetry
+
+    def _tel(self) -> Telemetry:
+        return self.telemetry if self.telemetry is not None else get_telemetry()
+
+    # ------------------------------------------------------------------
+
+    def check_source(self, source: str, name: str = "cosim") -> CosimReport:
+        """Full oracle over *source*; never raises — failures (including
+        compile errors and crashes) land in the report's violations."""
+        tel = self._tel()
+        report = CosimReport(name=name, source=source)
+        tel.count("check.programs")
+        with tel.span("check.cosim", program=name):
+            try:
+                self._check(source, name, report)
+            except SourceError as exc:
+                report.violations.append(
+                    Violation("cosim.invalid_program", str(exc))
+                )
+            except Exception as exc:  # noqa: BLE001 — the oracle must
+                # survive any toolchain/simulator crash and report it as
+                # a finding; a fuzz run dying on program #17 of 200 is
+                # useless.
+                report.violations.append(
+                    Violation(
+                        "cosim.crash", f"{type(exc).__name__}: {exc}"
+                    )
+                )
+        if tel.enabled:
+            for v in report.violations:
+                tel.count("check.violations", invariant=v.invariant)
+            if report.violations:
+                tel.count("check.failed_programs")
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _check(self, source: str, name: str, report: CosimReport) -> None:
+        fail = report.violations.append
+        golden = None
+        for enlarge in self.enlarge_variants:
+            pair = Toolchain(enlarge=enlarge).compile(source, name)
+            interp = interpret_module(pair.module)
+            if golden is None:
+                golden = interp
+            elif interp != golden:
+                fail(Violation(
+                    "cosim.interpreter_outputs",
+                    f"IR interpreter output changed across enlargement "
+                    f"configs under {enlarge}",
+                ))
+                continue
+
+            conv_stats = run_conventional(pair.conventional)
+            if conv_stats.outputs != golden:
+                fail(Violation(
+                    "cosim.conventional_outputs",
+                    f"functional conventional run diverged from the "
+                    f"interpreter under {enlarge}",
+                ))
+            perfect_stats = run_block_structured(pair.block)
+            if perfect_stats.outputs != golden:
+                fail(Violation(
+                    "cosim.block_outputs",
+                    f"functional BS run (perfect prediction) diverged "
+                    f"from the interpreter under {enlarge}",
+                ))
+
+            for machine in self.machine_configs:
+                report.configurations += 1
+                self._check_timed(pair, machine, golden, enlarge, fail)
+
+    def _check_timed(self, pair, machine, golden, enlarge, fail) -> None:
+        # Predictor-matched functional references: identical predictor
+        # geometry means bit-identical dynamics, so every architectural
+        # counter must agree exactly with the timed run.
+        conv_pred = (
+            None
+            if machine.perfect_bp
+            else GsharePredictor(machine.bp_history_bits, machine.bp_table_bits)
+        )
+        conv_ref = run_conventional(pair.conventional, predictor=conv_pred)
+        block_pred = (
+            None
+            if machine.perfect_bp
+            else BlockPredictor(
+                pair.block, machine.bp_history_bits, machine.bp_table_bits
+            )
+        )
+        block_ref = run_block_structured(pair.block, predictor=block_pred)
+
+        for ref_stats, ref_outputs, simulate, prog, isa in (
+            (conv_ref, conv_ref.outputs, simulate_conventional,
+             pair.conventional, "conventional"),
+            (block_ref, block_ref.outputs, simulate_block_structured,
+             pair.block, "block"),
+        ):
+            where = (
+                f"[isa={isa} perfect_bp={machine.perfect_bp} "
+                f"enlarge(max_ops={enlarge.max_ops} "
+                f"max_faults={enlarge.max_faults} "
+                f"enabled={enlarge.enabled})]"
+            )
+            if ref_outputs != golden:
+                fail(Violation(
+                    "cosim.functional_outputs",
+                    f"{where} predictor-driven functional run diverged "
+                    f"from the interpreter",
+                ))
+                continue
+            result = simulate(prog, machine, telemetry=_SILENT)
+            if result.outputs != golden:
+                fail(Violation(
+                    "cosim.timed_outputs",
+                    f"{where} timed simulation's architectural output "
+                    f"diverged from the interpreter",
+                ))
+            for fname, timed, functional in _counter_checks(
+                result, ref_stats, isa
+            ):
+                if timed != functional:
+                    fail(Violation(
+                        "cosim.retired_stream",
+                        f"{where} {fname}: timed={timed} != "
+                        f"functional={functional}",
+                    ))
+            for violation in check_invariants(result, machine):
+                fail(Violation(
+                    violation.invariant, f"{where} {violation.message}"
+                ))

@@ -1,0 +1,192 @@
+"""Random well-formed MiniC program generation.
+
+One generator serves two masters:
+
+* the hypothesis equivalence property
+  (``tests/test_property_equivalence.py``) draws choices from a
+  hypothesis ``data`` object, so shrinking and example replay work;
+* the ``bsisa fuzz`` cosimulation oracle draws from a seeded
+  :class:`random.Random`, so fuzz runs are reproducible from
+  ``--seed`` alone and need no test framework at runtime.
+
+Both paths share :class:`ProgramBuilder`, which only ever asks its
+*source* for three primitives — a bounded integer, an element of a
+sequence, a boolean — so the generated program distribution is
+identical regardless of who is driving.
+
+Every generated program is well-typed and always terminates: loop
+counters are never reassigned, loop trip counts are bounded, recursion
+is never generated, and array indices stay inside the declared bounds.
+Statements are emitted one per line so the fuzzer's line-based shrinker
+(:mod:`repro.check.fuzz`) can delete them individually.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class RandomSource:
+    """Draw source backed by a seeded :class:`random.Random`."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def integers(self, lo: int, hi: int) -> int:
+        return self.rng.randint(lo, hi)
+
+    def sampled_from(self, seq):
+        return seq[self.rng.randrange(len(seq))]
+
+    def booleans(self) -> bool:
+        return self.rng.random() < 0.5
+
+
+class HypothesisSource:
+    """Draw source backed by a hypothesis ``st.data()`` object."""
+
+    def __init__(self, data):
+        from hypothesis import strategies as st
+
+        self.data = data
+        self.st = st
+
+    def integers(self, lo: int, hi: int) -> int:
+        return self.data.draw(self.st.integers(lo, hi))
+
+    def sampled_from(self, seq):
+        return self.data.draw(self.st.sampled_from(seq))
+
+    def booleans(self) -> bool:
+        return self.data.draw(self.st.booleans())
+
+
+class ProgramBuilder:
+    """Draws a random well-formed MiniC program from a choice source."""
+
+    BIN_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+               "<", "<=", ">", ">=", "==", "!="]
+
+    def __init__(self, source):
+        self.source = source
+        self.tmp = 0
+
+    @classmethod
+    def from_random(cls, rng: random.Random) -> "ProgramBuilder":
+        return cls(RandomSource(rng))
+
+    @classmethod
+    def from_hypothesis(cls, data) -> "ProgramBuilder":
+        return cls(HypothesisSource(data))
+
+    def expr(self, names, depth=0) -> str:
+        choices = ["lit", "name", "bin"]
+        if depth < 2:
+            choices += ["bin", "unary", "paren", "logic"]
+        kind = self.source.sampled_from(choices)
+        if kind == "lit" or not names:
+            return str(self.source.integers(-100, 100))
+        if kind == "name":
+            return self.source.sampled_from(names)
+        if kind == "unary":
+            return f"(-{self.expr(names, depth + 1)})"
+        if kind == "paren":
+            return f"({self.expr(names, depth + 1)})"
+        if kind == "logic":
+            op = self.source.sampled_from(["&&", "||"])
+            return (
+                f"({self.expr(names, depth + 1)} {op} "
+                f"{self.expr(names, depth + 1)})"
+            )
+        op = self.source.sampled_from(self.BIN_OPS)
+        # shifts with bounded amounts keep values tame
+        rhs = (
+            str(self.source.integers(0, 7))
+            if op in ("<<", ">>")
+            else self.expr(names, depth + 1)
+        )
+        return f"({self.expr(names, depth + 1)} {op} {rhs})"
+
+    def stmts(self, names, depth, budget) -> list[str]:
+        out = []
+        n = self.source.integers(1, 4)
+        for _ in range(n):
+            kind = self.source.sampled_from(
+                ["assign", "decl", "print", "if", "loop", "array"]
+            )
+            if kind == "decl":
+                name = f"t{self.tmp}"
+                self.tmp += 1
+                out.append(f"int {name} = {self.expr(names)};")
+                names = names + [name]
+            elif kind == "assign" and names:
+                # Never assign to loop counters ("L" names): a reset
+                # counter would make the generated program run (nearly)
+                # forever.
+                assignable = [n for n in names if not n.startswith("L")]
+                if not assignable:
+                    continue
+                target = self.source.sampled_from(assignable)
+                out.append(f"{target} = {self.expr(names)};")
+            elif kind == "print":
+                out.append(f"print_int({self.expr(names)});")
+            elif kind == "array":
+                index = self.source.integers(0, 7)
+                out.append(f"arr[{index}] = {self.expr(names)};")
+                out.append(f"print_int(arr[{index}]);")
+            elif kind == "if" and depth < 2:
+                cond = self.expr(names)
+                then = self.stmts(names, depth + 1, budget)
+                if self.source.booleans():
+                    other = self.stmts(names, depth + 1, budget)
+                    out.append(f"if ({cond}) {{")
+                    out.extend(then)
+                    out.append("} else {")
+                    out.extend(other)
+                    out.append("}")
+                else:
+                    out.append(f"if ({cond}) {{")
+                    out.extend(then)
+                    out.append("}")
+            elif kind == "loop" and depth < 2:
+                var = f"L{self.tmp}"
+                self.tmp += 1
+                trips = self.source.integers(1, 6)
+                body = self.stmts(names + [var], depth + 1, budget)
+                out.append(
+                    f"for (int {var} = 0; {var} < {trips}; "
+                    f"{var} = {var} + 1) {{"
+                )
+                out.extend(body)
+                out.append("}")
+        return out
+
+    def program(self) -> str:
+        body = self.stmts(["g"], 0, 0)
+        use_helper = self.source.booleans()
+        helper_lines: list[str] = []
+        call_lines: list[str] = []
+        if use_helper:
+            helper_lines = [
+                "int helper(int x) {",
+                *self.stmts(["x"], 1, 0),
+                "return x + g;",
+                "}",
+            ]
+            call_lines = ["g = helper(g);", "print_int(g);"]
+        lines = [
+            "int g = 7;",
+            "int arr[8];",
+            *helper_lines,
+            "void main() {",
+            *body,
+            *call_lines,
+            "print_int(g + arr[3]);",
+            "}",
+        ]
+        return "\n".join(lines)
+
+
+def generate_program(rng: random.Random) -> str:
+    """One random MiniC program from *rng* (the fuzz driver's entry)."""
+    return ProgramBuilder.from_random(rng).program()

@@ -1,0 +1,232 @@
+"""Internal-consistency invariants over one timed simulation.
+
+The timing engine's counters are not independent: fetch, retire and
+squash accounting must balance, the architectural counters reported by
+the executors must agree with the cycle-level counters, and every
+derived ratio must stay in range. :func:`check_invariants` evaluates
+every identity against a :class:`~repro.sim.run.SimResult` and returns
+the violations — an empty list means the run is self-consistent.
+
+The identities (derivations in docs/testing.md):
+
+``ops_conservation``
+    ``fetched_ops == retired_ops + squashed_ops`` — every fetched op
+    either retires or is squashed; none vanish.
+``retired_matches_committed``
+    ``retired_ops == committed_ops`` — the timing model retires exactly
+    the ops the functional executor committed.
+``units_conservation``
+    ``fetched_units == committed_units + squashed_blocks``.
+``squashes_are_fault_mispredicts`` (block only)
+    every squashed block is one firing fault, so
+    ``squashed_blocks == fault_mispredicts``.
+``redirects_match_mispredicts``
+    the engine redirects fetch exactly once per mispredicted unit
+    (conventional: branch mispredicts; block: trap + fault
+    mispredicts), so ``timing.redirects == mispredicts``.
+``conventional_never_squashes`` (conventional only)
+    the conventional pipeline has no all-or-nothing commit, so
+    ``squashed_ops == squashed_blocks == fault_mispredicts == 0``.
+``cache_misses_bounded``
+    misses never exceed accesses, for both caches.
+``fetch_timeline``
+    fetch is fully serialized (one unit in flight), so
+    ``cycles >= fetched_units + fetch_stall_cycles +
+    redirect_stall_cycles`` — the fetch stream's own span can never
+    exceed the total cycle count.
+``avg_block_size_consistent``
+    ``avg_block_size * committed_units == committed_ops`` (within
+    floating-point tolerance).
+``mispredicts_bounded``
+    direction mispredicts never exceed prediction events
+    (conventional: ``mispredicts <= branch_events``; block:
+    ``trap_mispredicts <= branch_events`` — fault mispredicts are
+    charged per firing fault, not per prediction).
+``counters_non_negative``
+    every raw counter is ``>= 0``.
+``rates_in_range``
+    every derived ratio (miss rates, squash rate, ``bp_accuracy``) lies
+    in ``[0, 1]``; IPC is non-negative. ``mispredict_rate`` is only
+    range-checked on the conventional path — the block-ISA ratio counts
+    fault mispredicts against trap-prediction events and legitimately
+    exceeds 1 when a redirected sibling variant faults again.
+``perfect_prediction_is_clean`` (only when the machine config says
+    ``perfect_bp``)
+    a perfectly predicted run has no mispredicts, no redirects, no
+    squashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import MachineConfig
+from repro.sim.run import SimResult
+
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed check: *invariant* names it, *message* shows values."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.invariant}: {self.message}"
+
+
+def _rate_fields(result: SimResult) -> list[tuple[str, float]]:
+    rates = [
+        ("icache_miss_rate", result.icache_miss_rate),
+        ("dcache_miss_rate", result.dcache_miss_rate),
+        ("squash_rate", result.timing.squash_rate),
+        ("bp_accuracy", result.bp_accuracy),
+    ]
+    if result.isa == "conventional":
+        # Block-ISA mispredict_rate is NOT a probability: its numerator
+        # includes fault mispredicts, and a redirected sibling variant
+        # can fault again without a fresh trap prediction, pushing the
+        # ratio above 1. Only the conventional path (one prediction per
+        # counted branch) is range-checked.
+        rates.append(("mispredict_rate", result.mispredict_rate))
+    return rates
+
+
+def check_invariants(
+    result: SimResult, config: MachineConfig | None = None
+) -> list[Violation]:
+    """Every violated identity for one run (empty list = consistent)."""
+    t = result.timing
+    out: list[Violation] = []
+
+    def fail(invariant: str, message: str) -> None:
+        out.append(Violation(invariant, message))
+
+    if t.fetched_ops != t.retired_ops + t.squashed_ops:
+        fail(
+            "ops_conservation",
+            f"fetched_ops={t.fetched_ops} != retired_ops={t.retired_ops} "
+            f"+ squashed_ops={t.squashed_ops}",
+        )
+    if t.retired_ops != result.committed_ops:
+        fail(
+            "retired_matches_committed",
+            f"timing retired_ops={t.retired_ops} != architectural "
+            f"committed_ops={result.committed_ops}",
+        )
+    if t.fetched_units != result.committed_units + result.squashed_blocks:
+        fail(
+            "units_conservation",
+            f"fetched_units={t.fetched_units} != committed_units="
+            f"{result.committed_units} + squashed_blocks="
+            f"{result.squashed_blocks}",
+        )
+    if result.isa == "block":
+        if result.squashed_blocks != result.fault_mispredicts:
+            fail(
+                "squashes_are_fault_mispredicts",
+                f"squashed_blocks={result.squashed_blocks} != "
+                f"fault_mispredicts={result.fault_mispredicts}",
+            )
+    else:
+        if t.squashed_ops or result.squashed_blocks or result.fault_mispredicts:
+            fail(
+                "conventional_never_squashes",
+                f"squashed_ops={t.squashed_ops} squashed_blocks="
+                f"{result.squashed_blocks} fault_mispredicts="
+                f"{result.fault_mispredicts}",
+            )
+    if t.redirects != result.mispredicts:
+        fail(
+            "redirects_match_mispredicts",
+            f"timing redirects={t.redirects} != mispredicts="
+            f"{result.mispredicts}",
+        )
+    if t.icache_misses > t.icache_accesses:
+        fail(
+            "cache_misses_bounded",
+            f"icache misses={t.icache_misses} > accesses="
+            f"{t.icache_accesses}",
+        )
+    if t.dcache_misses > t.dcache_accesses:
+        fail(
+            "cache_misses_bounded",
+            f"dcache misses={t.dcache_misses} > accesses="
+            f"{t.dcache_accesses}",
+        )
+    if t.fetched_units:
+        floor = t.fetched_units + t.fetch_stall_cycles + t.redirect_stall_cycles
+        if t.cycles < floor:
+            fail(
+                "fetch_timeline",
+                f"cycles={t.cycles} < fetched_units={t.fetched_units} + "
+                f"fetch_stall_cycles={t.fetch_stall_cycles} + "
+                f"redirect_stall_cycles={t.redirect_stall_cycles}",
+            )
+    reconstructed = result.avg_block_size * result.committed_units
+    tol = _REL_TOL * max(1.0, float(result.committed_ops))
+    if abs(reconstructed - result.committed_ops) > tol:
+        fail(
+            "avg_block_size_consistent",
+            f"avg_block_size={result.avg_block_size} * committed_units="
+            f"{result.committed_units} = {reconstructed} != committed_ops="
+            f"{result.committed_ops}",
+        )
+    direction_mispredicts = (
+        result.trap_mispredicts if result.isa == "block" else result.mispredicts
+    )
+    if direction_mispredicts > result.branch_events:
+        fail(
+            "mispredicts_bounded",
+            f"direction mispredicts={direction_mispredicts} > "
+            f"branch_events={result.branch_events}",
+        )
+    for name in (
+        "cycles", "fetched_units", "fetched_ops", "retired_ops",
+        "squashed_ops", "icache_accesses", "icache_misses",
+        "dcache_accesses", "dcache_misses", "redirects",
+        "fetch_stall_cycles", "window_stall_cycles",
+        "redirect_stall_cycles",
+    ):
+        if getattr(t, name) < 0:
+            fail("counters_non_negative", f"timing.{name}={getattr(t, name)}")
+    for name in (
+        "committed_ops", "committed_units", "mispredicts", "branch_events",
+        "squashed_blocks", "fault_mispredicts", "trap_mispredicts",
+    ):
+        if getattr(result, name) < 0:
+            fail("counters_non_negative", f"{name}={getattr(result, name)}")
+    for name, value in _rate_fields(result):
+        if not 0.0 <= value <= 1.0:
+            fail("rates_in_range", f"{name}={value} outside [0, 1]")
+    if result.ipc < 0.0:
+        fail("rates_in_range", f"ipc={result.ipc} negative")
+    if config is not None and config.perfect_bp:
+        if result.mispredicts or t.redirects or result.squashed_blocks:
+            fail(
+                "perfect_prediction_is_clean",
+                f"perfect_bp run has mispredicts={result.mispredicts} "
+                f"redirects={t.redirects} squashed_blocks="
+                f"{result.squashed_blocks}",
+            )
+    return out
+
+
+#: Every invariant name check_invariants can emit (docs + telemetry).
+ALL_INVARIANTS = frozenset({
+    "ops_conservation",
+    "retired_matches_committed",
+    "units_conservation",
+    "squashes_are_fault_mispredicts",
+    "conventional_never_squashes",
+    "redirects_match_mispredicts",
+    "cache_misses_bounded",
+    "fetch_timeline",
+    "avg_block_size_consistent",
+    "mispredicts_bounded",
+    "counters_non_negative",
+    "rates_in_range",
+    "perfect_prediction_is_clean",
+})

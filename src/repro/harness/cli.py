@@ -14,11 +14,14 @@
     bsisa simulate gcc --metrics-json out.json  # unified telemetry artifact
     bsisa metrics compress              # print the metric series of a run
     bsisa trace compress --limit 20     # JSONL pipeline events
+    bsisa fuzz --budget 200 --seed 7    # cosimulation-oracle fuzzing
+    bsisa fuzz --replay corpus/fail-0-4.minic   # re-run a saved failure
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.toolchain import Toolchain
@@ -222,6 +225,70 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    """Fuzz the timing simulator against the cosimulation oracle."""
+    from repro.check import CosimChecker, Fuzzer, replay
+
+    tel = _make_telemetry(args)
+
+    def progress(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    checker = CosimChecker(telemetry=tel)
+    if args.replay:
+        report = replay(args.replay, checker=checker)
+        print(report.summary())
+        rc = 0 if report.ok else 1
+    else:
+        fuzzer = Fuzzer(
+            checker=checker,
+            corpus_dir=args.corpus,
+            shrink=not args.no_shrink,
+            shrink_budget=args.shrink_budget,
+            telemetry=tel,
+            progress=progress,
+        )
+        result = fuzzer.run(args.budget, args.seed)
+        if result.ok:
+            print(
+                f"fuzz ok: {result.programs} programs "
+                f"(seed {result.seed}) passed the cosimulation oracle"
+            )
+            rc = 0
+        else:
+            print(
+                f"fuzz FAILED: {len(result.failures)} of {result.programs} "
+                f"programs violated the oracle (seed {result.seed}); "
+                f"corpus: {result.corpus_dir}"
+            )
+            for failure in result.failures:
+                invariants = ", ".join(
+                    sorted({v.invariant for v in failure.violations})
+                )
+                print(
+                    f"  {failure.name}: {invariants} "
+                    f"({failure.reproducer_lines}-line reproducer)"
+                )
+            print(
+                f"replay with: bsisa fuzz --replay "
+                f"{result.corpus_dir}/{result.failures[0].name}.minic"
+            )
+            rc = 1
+    if tel is not None:
+        artifact_rc = _write_artifact(
+            tel,
+            args.metrics_json,
+            {
+                "command": "fuzz",
+                "budget": args.budget,
+                "seed": args.seed,
+                "replay": args.replay,
+            },
+        )
+        rc = rc or artifact_rc
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bsisa",
@@ -324,6 +391,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--jsonl", metavar="PATH", help="write the full buffer to a file"
     )
     trace.set_defaults(fn=_cmd_trace)
+
+    fuzzp = sub.add_parser(
+        "fuzz",
+        help="fuzz the timing simulator against the cosimulation oracle",
+    )
+    fuzzp.add_argument(
+        "--budget", type=int, default=100,
+        help="number of random programs to check (default 100)",
+    )
+    fuzzp.add_argument(
+        "--seed", type=int, default=0,
+        help="deterministic fuzz seed (program i depends only on seed+i)",
+    )
+    fuzzp.add_argument(
+        "--corpus", metavar="DIR",
+        default=os.environ.get("BSISA_CORPUS_DIR", ".bsisa-corpus"),
+        help="directory for failing programs and their shrunk "
+        "reproducers (default: $BSISA_CORPUS_DIR or ./.bsisa-corpus)",
+    )
+    fuzzp.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging minimization of failures",
+    )
+    fuzzp.add_argument(
+        "--shrink-budget", type=int, default=400,
+        help="max oracle calls spent minimizing one failure",
+    )
+    fuzzp.add_argument(
+        "--replay", metavar="FILE",
+        help="re-run the oracle on one saved corpus program and exit",
+    )
+    fuzzp.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the unified telemetry artifact (metrics+spans+trace)",
+    )
+    fuzzp.set_defaults(fn=_cmd_fuzz)
     return parser
 
 

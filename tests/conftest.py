@@ -1,8 +1,37 @@
-"""Shared fixtures: small programs and cached compilations."""
+"""Shared fixtures: small programs and cached compilations.
+
+Also registers the hypothesis settings profiles (docs/testing.md):
+
+* ``dev`` (default) — no deadline: generated-program compiles routinely
+  exceed hypothesis' 200 ms default and the flakiness is pure noise;
+* ``ci`` — selected via ``HYPOTHESIS_PROFILE=ci`` in the workflow: no
+  deadline *and* derandomized, so a slow shared runner can neither time
+  a healthy example out nor fail on a draw no other run will see.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings as hyp_settings
+except ImportError:  # pragma: no cover - hypothesis is a test dep
+    pass
+else:
+    _suppress = [HealthCheck.too_slow, HealthCheck.data_too_large]
+    hyp_settings.register_profile(
+        "dev", deadline=None, suppress_health_check=_suppress
+    )
+    hyp_settings.register_profile(
+        "ci",
+        deadline=None,
+        derandomize=True,
+        print_blob=True,
+        suppress_health_check=_suppress,
+    )
+    hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.core.toolchain import CompiledPair, Toolchain
 from repro.exec import interpret_module

@@ -1,0 +1,146 @@
+"""Cosimulation oracle: clean programs pass the full matrix, broken
+layers are localized, and telemetry is wired."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.enlarge import EnlargeConfig
+from repro.check import CosimChecker
+from repro.obs import Telemetry
+from repro.sim.config import MachineConfig
+from repro.sim.engine import TimingEngine
+
+from tests.conftest import FEATURE_PROGRAM
+
+SMALL_PROGRAM = """
+int g = 7;
+int arr[8];
+void main() {
+for (int L0 = 0; L0 < 5; L0 = L0 + 1) {
+if (L0 > 2) {
+g = g + L0;
+arr[3] = g;
+}
+}
+print_int(g + arr[3]);
+}
+"""
+
+
+class TestCleanPrograms:
+    def test_small_program_passes(self):
+        report = CosimChecker().check_source(SMALL_PROGRAM, "small")
+        assert report.ok, report.summary()
+        # 3 enlargement variants x 2 machine configs
+        assert report.configurations == 6
+
+    def test_feature_program_passes(self):
+        report = CosimChecker().check_source(FEATURE_PROGRAM, "feature")
+        assert report.ok, report.summary()
+
+    def test_custom_matrix(self):
+        checker = CosimChecker(
+            enlarge_variants=(EnlargeConfig(),),
+            machine_configs=(MachineConfig(perfect_bp=True),),
+        )
+        report = checker.check_source(SMALL_PROGRAM, "small")
+        assert report.ok
+        assert report.configurations == 1
+
+    def test_summary_mentions_ok(self):
+        report = CosimChecker().check_source(SMALL_PROGRAM, "small")
+        assert "ok" in report.summary()
+
+
+class TestBrokenPrograms:
+    def test_invalid_source_is_reported_not_raised(self):
+        report = CosimChecker().check_source("int int int", "garbage")
+        assert not report.ok
+        assert {v.invariant for v in report.violations} == {
+            "cosim.invalid_program"
+        }
+
+    def test_injected_accounting_bug_is_caught(self, monkeypatch):
+        """Dropping squashed_ops on the engine path (the ISSUE's demo
+        bug) must trip ops_conservation, nothing architectural."""
+        orig = TimingEngine.run
+
+        def buggy(self, units):
+            stats = orig(self, units)
+            stats.squashed_ops = 0
+            return stats
+
+        monkeypatch.setattr(TimingEngine, "run", buggy)
+        report = CosimChecker().check_source(SMALL_PROGRAM, "buggy")
+        assert not report.ok
+        names = {v.invariant for v in report.violations}
+        assert "ops_conservation" in names
+        assert "cosim.timed_outputs" not in names
+
+    def test_injected_trace_corruption_is_caught(self, monkeypatch):
+        """A trace generator that mislabels a squashed unit as clean
+        must be caught by the retired-stream / conservation checks."""
+
+        def tampered(self, units):
+            def strip(stream):
+                for unit in stream:
+                    unit.squashed = False
+                    yield unit
+
+            return tampered.orig(self, strip(units))
+
+        tampered.orig = TimingEngine.run
+        monkeypatch.setattr(TimingEngine, "run", tampered)
+        report = CosimChecker().check_source(SMALL_PROGRAM, "tampered")
+        assert not report.ok
+
+    def test_crash_becomes_violation(self, monkeypatch):
+        def boom(self, units):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(TimingEngine, "run", boom)
+        report = CosimChecker().check_source(SMALL_PROGRAM, "crash")
+        assert not report.ok
+        assert report.violations[0].invariant == "cosim.crash"
+        assert "engine exploded" in report.violations[0].message
+
+
+class TestTelemetry:
+    def test_programs_and_spans(self):
+        tel = Telemetry()
+        checker = CosimChecker(telemetry=tel)
+        checker.check_source(SMALL_PROGRAM, "a")
+        checker.check_source(SMALL_PROGRAM, "b")
+        assert tel.metrics.get("check.programs") == 2
+        spans = [s for s in tel.spans.records if s.name == "check.cosim"]
+        assert len(spans) == 2
+        assert spans[0].labels == {"program": "a"}
+
+    def test_violations_counted_by_invariant(self, monkeypatch):
+        orig = TimingEngine.run
+
+        def buggy(self, units):
+            stats = orig(self, units)
+            stats.squashed_ops = 0
+            return stats
+
+        monkeypatch.setattr(TimingEngine, "run", buggy)
+        tel = Telemetry()
+        report = CosimChecker(telemetry=tel).check_source(SMALL_PROGRAM, "x")
+        count = tel.metrics.get(
+            "check.violations", invariant="ops_conservation"
+        )
+        expected = sum(
+            1 for v in report.violations if v.invariant == "ops_conservation"
+        )
+        assert count == expected > 0
+        assert tel.metrics.get("check.failed_programs") == 1
+
+    def test_oracle_does_not_publish_sim_series(self):
+        # Per-program sim.* labels would grow a fuzz session's registry
+        # without bound; the oracle must keep its simulations silent.
+        tel = Telemetry()
+        CosimChecker(telemetry=tel).check_source(SMALL_PROGRAM, "quiet")
+        names = {e["name"] for e in tel.metrics.snapshot()}
+        assert not any(n.startswith("sim.") for n in names)

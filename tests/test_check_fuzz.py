@@ -1,0 +1,206 @@
+"""Fuzz driver: determinism, corpus persistence, shrinking, replay.
+
+Includes the acceptance demo: a deliberately injected accounting bug
+(dropping ``squashed_ops``) is caught by the invariant checker and
+shrunk to a <= 15-line reproducer.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.check import (
+    CosimChecker,
+    Fuzzer,
+    fuzz,
+    generate_program,
+    replay,
+    shrink_source,
+)
+from repro.backend.enlarge import EnlargeConfig
+from repro.core.toolchain import Toolchain
+from repro.exec import interpret_module, run_conventional
+from repro.obs import Telemetry
+from repro.sim.config import MachineConfig
+from repro.sim.engine import TimingEngine
+
+#: One enlarge variant + one machine config keeps fuzz tests tier-1
+#: fast while still exercising faults/squashes (real predictor).
+FAST_CHECKER_KW = dict(
+    enlarge_variants=(EnlargeConfig(),),
+    machine_configs=(MachineConfig(),),
+)
+
+
+def _inject_squash_drop(monkeypatch):
+    """The ISSUE's demo bug: one path forgets squashed-op accounting."""
+    orig = TimingEngine.run
+
+    def buggy(self, units):
+        stats = orig(self, units)
+        stats.squashed_ops = 0
+        return stats
+
+    monkeypatch.setattr(TimingEngine, "run", buggy)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = generate_program(random.Random("42:0"))
+        b = generate_program(random.Random("42:0"))
+        c = generate_program(random.Random("42:1"))
+        assert a == b
+        assert a != c
+
+    def test_generated_programs_compile_and_agree(self):
+        for i in range(5):
+            source = generate_program(random.Random(f"gen:{i}"))
+            pair = Toolchain().compile(source, f"gen{i}")
+            golden = interpret_module(pair.module)
+            assert golden, "every generated program prints something"
+            assert run_conventional(pair.conventional).outputs == golden
+
+    def test_one_statement_per_line(self):
+        # The shrinker deletes lines; multi-statement lines would make
+        # reductions coarser than necessary.
+        source = generate_program(random.Random("fmt:0"))
+        for line in source.splitlines():
+            assert line.count(";") <= 1 or line.lstrip().startswith("for")
+
+
+class TestShrinker:
+    def test_shrinks_to_single_needed_line(self):
+        lines = [f"line{i}" for i in range(20)] + ["NEEDLE"]
+        source = "\n".join(lines)
+        shrunk, attempts = shrink_source(source, lambda s: "NEEDLE" in s)
+        assert shrunk == "NEEDLE"
+        assert attempts > 0
+
+    def test_respects_attempt_budget(self):
+        source = "\n".join(f"line{i}" for i in range(64))
+        _, attempts = shrink_source(source, lambda s: True, max_attempts=7)
+        assert attempts <= 7
+
+    def test_keeps_failing_pair(self):
+        source = "\n".join(["a", "x", "b", "y", "c"])
+        shrunk, _ = shrink_source(
+            source, lambda s: "x" in s and "y" in s
+        )
+        assert shrunk.splitlines() == ["x", "y"]
+
+
+class TestFuzzRuns:
+    def test_clean_budget_passes(self, tmp_path):
+        tel = Telemetry()
+        result = fuzz(
+            budget=6,
+            seed=11,
+            corpus_dir=tmp_path / "corpus",
+            checker=CosimChecker(**FAST_CHECKER_KW, telemetry=tel),
+            telemetry=tel,
+        )
+        assert result.ok
+        assert result.programs == 6
+        assert tel.metrics.get("check.programs") == 6
+        assert not (tmp_path / "corpus").exists()  # nothing to persist
+        spans = [s.name for s in tel.spans.records]
+        assert "check.fuzz" in spans
+
+    def test_fuzz_is_deterministic(self):
+        checker = CosimChecker(**FAST_CHECKER_KW)
+        a = fuzz(budget=3, seed=5, checker=checker)
+        b = fuzz(budget=3, seed=5, checker=checker)
+        assert a.programs == b.programs == 3
+        assert a.ok and b.ok
+
+    def test_injected_bug_caught_and_shrunk(self, monkeypatch, tmp_path):
+        """Acceptance demo: the dropped-squash bug is found within a
+        small budget and every failure shrinks to <= 15 lines."""
+        _inject_squash_drop(monkeypatch)
+        corpus = tmp_path / "corpus"
+        result = fuzz(
+            budget=10,
+            seed=0,
+            corpus_dir=corpus,
+            checker=CosimChecker(**FAST_CHECKER_KW),
+        )
+        assert not result.ok, "the injected bug must be detected"
+        for failure in result.failures:
+            assert {v.invariant for v in failure.violations} >= {
+                "ops_conservation"
+            }
+            assert failure.shrunk is not None
+            assert failure.reproducer_lines <= 15, failure.reproducer
+            # the reproducer still fails the (buggy) oracle on its own
+            probe = CosimChecker(**FAST_CHECKER_KW).check_source(
+                failure.reproducer, "probe"
+            )
+            assert any(
+                v.invariant == "ops_conservation" for v in probe.violations
+            )
+
+    def test_corpus_layout_and_replay(self, monkeypatch, tmp_path):
+        _inject_squash_drop(monkeypatch)
+        corpus = tmp_path / "corpus"
+        result = fuzz(
+            budget=10,
+            seed=0,
+            corpus_dir=corpus,
+            checker=CosimChecker(**FAST_CHECKER_KW),
+        )
+        failure = result.failures[0]
+        program = corpus / f"{failure.name}.minic"
+        shrunk = corpus / f"{failure.name}.shrunk.minic"
+        meta = corpus / f"{failure.name}.json"
+        assert program.is_file() and shrunk.is_file() and meta.is_file()
+        record = json.loads(meta.read_text())
+        assert record["seed"] == 0
+        assert record["index"] == failure.index
+        assert record["shrunk_lines"] == failure.reproducer_lines
+        assert any(
+            v["invariant"] == "ops_conservation"
+            for v in record["violations"]
+        )
+        # replay both the original and the shrunk corpus entries
+        for path in (program, shrunk):
+            report = replay(path, checker=CosimChecker(**FAST_CHECKER_KW))
+            assert not report.ok, path
+
+    def test_replay_of_clean_program_passes(self, tmp_path):
+        path = tmp_path / "clean.minic"
+        path.write_text("void main() {\nprint_int(1);\n}\n")
+        report = replay(path, checker=CosimChecker(**FAST_CHECKER_KW))
+        assert report.ok
+
+    def test_no_shrink_mode(self, monkeypatch, tmp_path):
+        _inject_squash_drop(monkeypatch)
+        fuzzer = Fuzzer(
+            checker=CosimChecker(**FAST_CHECKER_KW),
+            corpus_dir=tmp_path / "corpus",
+            shrink=False,
+        )
+        result = fuzzer.run(budget=10, seed=0)
+        assert not result.ok
+        assert all(f.shrunk is None for f in result.failures)
+        assert all(
+            not p.name.endswith(".shrunk.minic")
+            for p in (tmp_path / "corpus").iterdir()
+        )
+
+    def test_shrink_probes_do_not_inflate_session_counters(
+        self, monkeypatch, tmp_path
+    ):
+        _inject_squash_drop(monkeypatch)
+        tel = Telemetry()
+        fuzz(
+            budget=10,
+            seed=0,
+            corpus_dir=tmp_path / "corpus",
+            checker=CosimChecker(**FAST_CHECKER_KW, telemetry=tel),
+            telemetry=tel,
+        )
+        # check.programs counts generated programs only, not the
+        # hundreds of shrink probes.
+        assert tel.metrics.get("check.programs") == 10
+        assert tel.metrics.get("check.shrink_attempts") > 0

@@ -1,0 +1,119 @@
+"""Predictor edge cases.
+
+Two corners the regular benchmarks never isolate: a program with zero
+dynamic branch events (every rate/accuracy must degrade to 0.0, not
+divide by zero), and a loop whose enlarged block holds an always-false
+interior branch — the cold weakly-taken PHT predicts the taken variant,
+so the first visit faults and squashes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import CosimChecker, check_invariants
+from repro.core.toolchain import Toolchain
+from repro.exec import interpret_module
+from repro.sim.config import MachineConfig
+from repro.sim.run import simulate_block_structured, simulate_conventional
+
+#: Straight-line code: no BR op is ever executed on either ISA.
+ZERO_BRANCH_PROGRAM = """
+int g = 5;
+void main() {
+int a = 3;
+g = g + a;
+print_int(g);
+print_int(g * a);
+}
+"""
+
+#: The interior `if` is false on every iteration, but the cold
+#: predictor's weakly-taken counters predict the taken variant of the
+#: enlarged loop block, so its first visit fault-squashes.
+COLD_FAULT_PROGRAM = """
+int g = 0;
+void main() {
+for (int L0 = 0; L0 < 6; L0 = L0 + 1) {
+if (L0 > 50) {
+g = g + 100;
+}
+g = g + 1;
+}
+print_int(g);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def zero_branch_pair():
+    return Toolchain().compile(ZERO_BRANCH_PROGRAM, "zerobranch")
+
+
+@pytest.fixture(scope="module")
+def cold_fault_pair():
+    return Toolchain().compile(COLD_FAULT_PROGRAM, "coldfault")
+
+
+class TestZeroBranchProgram:
+    def test_conventional_rates_degrade_to_zero(self, zero_branch_pair):
+        result = simulate_conventional(
+            zero_branch_pair.conventional, MachineConfig()
+        )
+        assert result.branch_events == 0
+        assert result.mispredicts == 0
+        assert result.bp_accuracy == 0.0  # zero predictions, not a crash
+        assert result.mispredict_rate == 0.0
+        assert result.outputs == interpret_module(zero_branch_pair.module)
+
+    def test_block_rates_degrade_to_zero(self, zero_branch_pair):
+        result = simulate_block_structured(
+            zero_branch_pair.block, MachineConfig()
+        )
+        assert result.branch_events == 0
+        assert result.mispredicts == 0
+        assert result.mispredict_rate == 0.0
+        assert result.squashed_blocks == 0
+
+    def test_invariants_hold_with_zero_branches(self, zero_branch_pair):
+        config = MachineConfig()
+        for result in (
+            simulate_conventional(zero_branch_pair.conventional, config),
+            simulate_block_structured(zero_branch_pair.block, config),
+        ):
+            assert check_invariants(result, config) == []
+
+    def test_cosim_matrix_passes(self):
+        report = CosimChecker().check_source(
+            ZERO_BRANCH_PROGRAM, "zerobranch"
+        )
+        assert report.ok, report.summary()
+
+
+class TestColdSuccessorFaults:
+    def test_first_visit_faults_and_squashes(self, cold_fault_pair):
+        result = simulate_block_structured(
+            cold_fault_pair.block, MachineConfig()
+        )
+        assert result.fault_mispredicts > 0
+        assert result.squashed_blocks == result.fault_mispredicts
+        assert result.timing.squashed_ops > 0
+
+    def test_outputs_survive_squashes(self, cold_fault_pair):
+        result = simulate_block_structured(
+            cold_fault_pair.block, MachineConfig()
+        )
+        assert result.outputs == interpret_module(cold_fault_pair.module)
+        assert check_invariants(result, MachineConfig()) == []
+
+    def test_perfect_prediction_never_faults(self, cold_fault_pair):
+        config = MachineConfig(perfect_bp=True)
+        result = simulate_block_structured(cold_fault_pair.block, config)
+        assert result.fault_mispredicts == 0
+        assert result.squashed_blocks == 0
+        assert result.timing.squashed_ops == 0
+        assert check_invariants(result, config) == []
+
+    def test_cosim_matrix_passes(self):
+        report = CosimChecker().check_source(COLD_FAULT_PROGRAM, "coldfault")
+        assert report.ok, report.summary()

@@ -15,136 +15,25 @@ machine lowering → peephole → register allocation → both back ends →
 block enlargement → both executors.
 """
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
+from repro.check.genprog import ProgramBuilder
 from repro.core.toolchain import Toolchain
 from repro.backend.enlarge import EnlargeConfig
 from repro.exec import interpret_module, run_block_structured, run_conventional
 from repro.sim.predictors import BlockPredictor
 
-
-class _ProgramBuilder:
-    """Draws a random well-formed MiniC program from hypothesis data."""
-
-    BIN_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
-               "<", "<=", ">", ">=", "==", "!="]
-
-    def __init__(self, data):
-        self.data = data
-        self.tmp = 0
-
-    def draw(self, strategy):
-        return self.data.draw(strategy)
-
-    def expr(self, names, depth=0) -> str:
-        choices = ["lit", "name", "bin"]
-        if depth < 2:
-            choices += ["bin", "unary", "paren", "logic"]
-        kind = self.draw(st.sampled_from(choices))
-        if kind == "lit" or not names:
-            return str(self.draw(st.integers(-100, 100)))
-        if kind == "name":
-            return self.draw(st.sampled_from(names))
-        if kind == "unary":
-            return f"(-{self.expr(names, depth + 1)})"
-        if kind == "paren":
-            return f"({self.expr(names, depth + 1)})"
-        if kind == "logic":
-            op = self.draw(st.sampled_from(["&&", "||"]))
-            return (
-                f"({self.expr(names, depth + 1)} {op} "
-                f"{self.expr(names, depth + 1)})"
-            )
-        op = self.draw(st.sampled_from(self.BIN_OPS))
-        # shifts with bounded amounts keep values tame
-        rhs = (
-            str(self.draw(st.integers(0, 7)))
-            if op in ("<<", ">>")
-            else self.expr(names, depth + 1)
-        )
-        return f"({self.expr(names, depth + 1)} {op} {rhs})"
-
-    def stmts(self, names, depth, budget) -> list[str]:
-        out = []
-        n = self.draw(st.integers(1, 4))
-        for _ in range(n):
-            kind = self.draw(
-                st.sampled_from(["assign", "decl", "print", "if", "loop",
-                                 "array"])
-            )
-            if kind == "decl":
-                name = f"t{self.tmp}"
-                self.tmp += 1
-                out.append(f"int {name} = {self.expr(names)};")
-                names = names + [name]
-            elif kind == "assign" and names:
-                # Never assign to loop counters ("L" names): a reset
-                # counter would make the generated program run (nearly)
-                # forever.
-                assignable = [n for n in names if not n.startswith("L")]
-                if not assignable:
-                    continue
-                target = self.draw(st.sampled_from(assignable))
-                out.append(f"{target} = {self.expr(names)};")
-            elif kind == "print":
-                out.append(f"print_int({self.expr(names)});")
-            elif kind == "array":
-                index = self.draw(st.integers(0, 7))
-                out.append(f"arr[{index}] = {self.expr(names)};")
-                out.append(f"print_int(arr[{index}]);")
-            elif kind == "if" and depth < 2:
-                cond = self.expr(names)
-                then = "\n".join(self.stmts(names, depth + 1, budget))
-                if self.draw(st.booleans()):
-                    other = "\n".join(self.stmts(names, depth + 1, budget))
-                    out.append(
-                        f"if ({cond}) {{ {then} }} else {{ {other} }}"
-                    )
-                else:
-                    out.append(f"if ({cond}) {{ {then} }}")
-            elif kind == "loop" and depth < 2:
-                var = f"L{self.tmp}"
-                self.tmp += 1
-                trips = self.draw(st.integers(1, 6))
-                body = "\n".join(self.stmts(names + [var], depth + 1, budget))
-                out.append(
-                    f"for (int {var} = 0; {var} < {trips}; "
-                    f"{var} = {var} + 1) {{ {body} }}"
-                )
-        return out
-
-    def program(self) -> str:
-        body = "\n    ".join(self.stmts(["g"], 0, 0))
-        use_helper = self.draw(st.booleans())
-        helper = ""
-        call = ""
-        if use_helper:
-            helper_body = "\n    ".join(self.stmts(["x"], 1, 0))
-            helper = (
-                "int helper(int x) {\n    "
-                + helper_body
-                + "\n    return x + g;\n}\n"
-            )
-            call = "g = helper(g);\n    print_int(g);"
-        return (
-            "int g = 7;\nint arr[8];\n"
-            + helper
-            + "void main() {\n    "
-            + body
-            + "\n    "
-            + call
-            + "\n    print_int(g + arr[3]);\n}"
-        )
+# The program generator lives in repro.check.genprog so the `bsisa fuzz`
+# cosimulation oracle and this hypothesis property draw from the SAME
+# distribution — the two cannot drift apart. Deadline and health-check
+# policy come from the profiles registered in conftest.py ("dev"
+# locally, "ci" under HYPOTHESIS_PROFILE=ci).
 
 
-@settings(
-    max_examples=40,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+@settings(max_examples=40)
 @given(st.data())
 def test_generated_programs_equivalent_everywhere(data):
-    source = _ProgramBuilder(data).program()
+    source = ProgramBuilder.from_hypothesis(data).program()
     toolchain = Toolchain()
     pair = toolchain.compile(source, "generated")
     golden = interpret_module(pair.module)
@@ -162,14 +51,10 @@ def test_generated_programs_equivalent_everywhere(data):
     assert real.outputs == golden, source
 
 
-@settings(
-    max_examples=15,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+@settings(max_examples=15)
 @given(st.data())
 def test_generated_programs_equivalent_across_enlargement_configs(data):
-    source = _ProgramBuilder(data).program()
+    source = ProgramBuilder.from_hypothesis(data).program()
     golden = None
     for config in (
         EnlargeConfig(enabled=False),
@@ -186,17 +71,13 @@ def test_generated_programs_equivalent_across_enlargement_configs(data):
         assert outputs == golden, source
 
 
-@settings(
-    max_examples=15,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+@settings(max_examples=15)
 @given(st.data())
 def test_generated_programs_equivalent_with_extensions(data):
     """Inlining and if-conversion must be architecturally invisible."""
     from repro.opt import IfConvertConfig, InlineConfig
 
-    source = _ProgramBuilder(data).program()
+    source = ProgramBuilder.from_hypothesis(data).program()
     golden = None
     for toolchain in (
         Toolchain(),
