@@ -24,6 +24,7 @@ from repro.engine.spec import (
     compile_key,
     config_key,
     run_key,
+    trace_key,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "execute_run",
     "run_key",
     "simulate_spec",
+    "trace_key",
 ]

@@ -6,6 +6,12 @@ session:
 * **compiles** — each benchmark is compiled at most once per session
   (and at most once *ever* for unchanged source/toolchain when an
   :class:`~repro.engine.cache.ArtifactCache` is attached);
+* **traces** — the functional executor runs at most once per
+  *(benchmark, isa, predictor-config)* group per session: the packed
+  fetch-unit stream (:class:`~repro.sim.run.CapturedRun`) is memoized
+  by :func:`~repro.sim.run.predictor_key` and disk-cached by
+  :func:`~repro.engine.spec.trace_key`, then *replayed* for every
+  machine config that shares it (docs/performance.md);
 * **runs** — simulation results are memoized by full-fidelity
   :class:`~repro.engine.spec.RunSpec` (the entire machine config
   participates in the key) and disk-cached by content address;
@@ -15,20 +21,34 @@ session:
   telemetry back into the session in deterministic plan order.
 
 Plan-level telemetry: ``plan.runs_total`` / ``plan.runs_deduped``
-counters per execution, ``plan.cache_hits{kind=run|compile}`` /
-``plan.cache_misses{...}``, and a ``plan.run{benchmark,isa}`` span
-around every simulation (worker-side when parallel).
+counters per execution, ``plan.cache_hits{kind=run|compile|trace}`` /
+``plan.cache_misses{...}``, ``plan.trace_captures`` /
+``plan.trace_replays`` / ``plan.trace_reuse`` counters for the
+capture/replay split, and a ``plan.run{benchmark,isa}`` span around
+every simulation (worker-side when parallel).
 """
 
 from __future__ import annotations
 
 from repro.core.toolchain import CompiledPair, Toolchain
 from repro.engine.cache import ArtifactCache
-from repro.engine.executor import execute_parallel, simulate_spec
+from repro.engine.executor import execute_parallel
 from repro.engine.plan import RunPlan
-from repro.engine.spec import RunSpec, ToolchainSpec, compile_key, run_key
+from repro.engine.spec import (
+    RunSpec,
+    ToolchainSpec,
+    compile_key,
+    run_key,
+    trace_key,
+)
 from repro.obs.telemetry import Telemetry, get_telemetry
-from repro.sim.run import SimResult
+from repro.sim.run import (
+    CapturedRun,
+    SimResult,
+    capture_run,
+    predictor_key,
+    replay_captured,
+)
 from repro.workloads import SUITE, default_scale
 
 
@@ -62,6 +82,7 @@ class ExperimentEngine:
         self._pairs: dict[str, CompiledPair] = {}
         self._compile_keys: dict[str, str] = {}
         self._results: dict[RunSpec, SimResult] = {}
+        self._traces: dict[tuple[str, str, tuple], CapturedRun] = {}
 
     # -- session state -------------------------------------------------
 
@@ -109,6 +130,42 @@ class ExperimentEngine:
         self._pairs[name] = pair
         return pair
 
+    # -- captured traces -----------------------------------------------
+
+    def _trace_key(self, spec: RunSpec) -> str | None:
+        ckey = self._compile_key(spec.benchmark)
+        if ckey is None:
+            return None
+        return trace_key(ckey, spec.isa, spec.config)
+
+    def captured_run(self, spec: RunSpec) -> CapturedRun:
+        """The packed trace serving *spec*: memo → disk cache → capture.
+
+        The memo key is *(benchmark, isa, predictor_key(config))* — one
+        functional execution serves every machine config of an icache /
+        latency / window sweep.
+        """
+        memo = (spec.benchmark, spec.isa, predictor_key(spec.config))
+        tel = self._tel()
+        if memo in self._traces:
+            tel.count("plan.trace_reuse")
+            return self._traces[memo]
+        tkey = self._trace_key(spec)
+        if tkey is not None:
+            captured = self.cache.load(tkey)
+            if captured is not None:
+                tel.count("plan.cache_hits", kind="trace")
+                self._traces[memo] = captured
+                return captured
+            tel.count("plan.cache_misses", kind="trace")
+        program = getattr(self.compiled(spec.benchmark), spec.isa)
+        captured = capture_run(program, spec.isa, spec.config, tel)
+        tel.count("plan.trace_captures")
+        if tkey is not None:
+            self.cache.store(tkey, captured)
+        self._traces[memo] = captured
+        return captured
+
     # -- single runs (serial path / facade API) ------------------------
 
     def _run_key(self, spec: RunSpec) -> str | None:
@@ -133,18 +190,16 @@ class ExperimentEngine:
             self.cache.store(rkey, result)
 
     def run(self, spec: RunSpec) -> SimResult:
-        """One simulation, via memo → disk cache → compute (in process)."""
+        """One simulation, via memo → disk cache → capture/replay."""
         if spec in self._results:
             return self._results[spec]
         result = self._load_cached_run(spec)
         if result is None:
-            pair = self.compiled(spec.benchmark)
-            program = (
-                pair.conventional if spec.isa == "conventional" else pair.block
-            )
+            captured = self.captured_run(spec)
             tel = self._tel()
             with tel.span("plan.run", **spec.labels()):
-                result = simulate_spec(program, spec, tel)
+                result = replay_captured(captured, spec.config, tel)
+            tel.count("plan.trace_replays")
             self._store_cached_run(spec, result)
         self._results[spec] = result
         return result
@@ -178,19 +233,17 @@ class ExperimentEngine:
         return {spec: self._results[spec] for spec in plan.runs}
 
     def _execute_pool(self, missing: list[RunSpec], tel: Telemetry) -> None:
-        # Compile serially up front: the pairs are shared across ISAs
-        # and configs, and workers receive the pickled program only.
-        work = []
-        for spec in missing:
-            pair = self.compiled(spec.benchmark)
-            program = (
-                pair.conventional if spec.isa == "conventional" else pair.block
-            )
-            work.append((spec, program))
+        # Compile and capture serially up front: one functional
+        # execution per (benchmark, isa, predictor-config) group is
+        # shared across every config sweeping over it, and workers
+        # receive the pickled CapturedRun only — replay needs no
+        # program object.
+        work = [(spec, self.captured_run(spec)) for spec in missing]
         for spec, result, snapshot in execute_parallel(
             work, self.jobs, tel.enabled
         ):
             if snapshot is not None:
                 tel.merge_snapshot(snapshot)
+            tel.count("plan.trace_replays")
             self._store_cached_run(spec, result)
             self._results[spec] = result

@@ -1,10 +1,17 @@
 """Process-parallel plan execution.
 
 Runs are independent and deterministic, so a deduplicated plan can be
-spread across a :class:`concurrent.futures.ProcessPoolExecutor`: the
-parent compiles (or cache-loads) each program once, ships the pickled
-program plus its :class:`~repro.engine.spec.RunSpec` to a worker, and
-the worker simulates under a **fresh** telemetry session, returning the
+spread across a :class:`concurrent.futures.ProcessPoolExecutor`. Since
+the packed-trace subsystem the parent does the *capture* — one
+functional execution per ``(benchmark, isa, predictor-config)`` group,
+memoized and disk-cached — and ships each worker a picklable
+:class:`~repro.sim.run.CapturedRun` (the packed trace travels in its
+compact serialized form) plus the :class:`~repro.engine.spec.RunSpec`.
+Workers only *replay* the trace through the timing engine under the
+spec's machine config — the expensive dict/heap interpretation of the
+functional executors never runs in a worker.
+
+Each worker simulates under a **fresh** telemetry session, returning the
 :class:`~repro.sim.run.SimResult` together with a telemetry snapshot.
 The parent merges worker snapshots in plan order
 (:meth:`repro.obs.Telemetry.merge_snapshot`), which makes the merged
@@ -23,9 +30,10 @@ from repro.engine.spec import RunSpec
 from repro.isa.program import BlockProgram, ConventionalProgram
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim.run import (
+    CapturedRun,
     SimResult,
-    simulate_block_structured,
-    simulate_conventional,
+    capture_run,
+    replay_captured,
 )
 
 #: Worker trace buffers stay small: the parent merges one buffer per
@@ -38,39 +46,39 @@ def simulate_spec(
     spec: RunSpec,
     telemetry: Telemetry,
 ) -> SimResult:
-    """Dispatch one spec to the matching simulator."""
-    if spec.isa == "conventional":
-        return simulate_conventional(program, spec.config, telemetry=telemetry)
-    return simulate_block_structured(program, spec.config, telemetry=telemetry)
+    """Capture + replay one spec (in-process convenience path)."""
+    captured = capture_run(program, spec.isa, spec.config, telemetry)
+    return replay_captured(captured, spec.config, telemetry)
 
 
 def execute_run(
-    program: ConventionalProgram | BlockProgram,
+    captured: CapturedRun,
     spec: RunSpec,
-    capture: bool,
+    capture_telemetry: bool,
 ) -> tuple[SimResult, dict | None]:
     """Top-level worker entry point (must stay module-level so the
-    process pool can pickle it). Returns the result plus a telemetry
-    snapshot when *capture* is set, else ``(result, None)``."""
-    if not capture:
-        return simulate_spec(program, spec, get_telemetry()), None
+    process pool can pickle it). Replays the shipped packed trace under
+    the spec's machine config; returns the result plus a telemetry
+    snapshot when *capture_telemetry* is set, else ``(result, None)``."""
+    if not capture_telemetry:
+        return replay_captured(captured, spec.config, get_telemetry()), None
     tel = Telemetry(trace_capacity=WORKER_TRACE_CAPACITY)
     with tel.span("plan.run", **spec.labels()):
-        result = simulate_spec(program, spec, tel)
+        result = replay_captured(captured, spec.config, tel)
     return result, tel.worker_snapshot()
 
 
 def execute_parallel(
-    work: list[tuple[RunSpec, ConventionalProgram | BlockProgram]],
+    work: list[tuple[RunSpec, CapturedRun]],
     jobs: int,
-    capture: bool,
+    capture_telemetry: bool,
 ) -> list[tuple[RunSpec, SimResult, dict | None]]:
     """Execute *work* across a process pool; results in *work* order."""
     workers = max(1, min(jobs, len(work)))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            (spec, pool.submit(execute_run, program, spec, capture))
-            for spec, program in work
+            (spec, pool.submit(execute_run, captured, spec, capture_telemetry))
+            for spec, captured in work
         ]
         return [
             (spec, *future.result()) for spec, future in futures

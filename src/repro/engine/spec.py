@@ -152,6 +152,36 @@ def run_key(compile_digest: str, spec: RunSpec) -> str:
     )
 
 
+def trace_key(compile_digest: str, isa: str, config: MachineConfig) -> str:
+    """Content address of one captured packed trace.
+
+    Deliberately coarser than :func:`run_key`: the dynamic fetch-unit
+    stream depends only on the program and the predictor configuration
+    (:func:`repro.sim.run.predictor_key`), so every machine config of an
+    icache/latency/window sweep shares one trace artifact. Perfect
+    prediction collapses the predictor geometry entirely.
+    """
+    if config.perfect_bp:
+        predictor: dict = {"perfect_bp": True}
+    else:
+        predictor = {
+            "perfect_bp": False,
+            "bp_history_bits": config.bp_history_bits,
+            "bp_table_bits": config.bp_table_bits,
+        }
+    return _digest(
+        canonical_json(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": "trace",
+                "compile": compile_digest,
+                "isa": isa,
+                "predictor": predictor,
+            }
+        )
+    )
+
+
 def describe_key_fields(spec: RunSpec) -> tuple[str, ...]:
     """The MachineConfig fields that participate in *spec*'s identity
     (all of them — exposed so tests can assert full fidelity)."""

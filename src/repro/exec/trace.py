@@ -40,6 +40,21 @@ class DynOp:
         self.is_store = is_store
         self.uid = uid
 
+    def __eq__(self, other) -> bool:
+        """Structural equality (packed-trace round-trip tests)."""
+        if not isinstance(other, DynOp):
+            return NotImplemented
+        return (
+            self.lat == other.lat
+            and self.deps == other.deps
+            and self.mem_addr == other.mem_addr
+            and self.is_load == other.is_load
+            and self.is_store == other.is_store
+            and self.uid == other.uid
+        )
+
+    __hash__ = None  # mutable record
+
 
 #: opcode -> execution latency (precomputed from Table 1)
 OP_LATENCY = {op: LATENCY[info.klass] for op, info in OPCODE_INFO.items()}
@@ -79,6 +94,22 @@ class FetchUnit:
         self.squashed = squashed
         self.resolve_index = resolve_index
         self.atomic = atomic
+
+    def __eq__(self, other) -> bool:
+        """Structural equality (packed-trace round-trip tests)."""
+        if not isinstance(other, FetchUnit):
+            return NotImplemented
+        return (
+            self.addr == other.addr
+            and self.size_bytes == other.size_bytes
+            and self.mispredict == other.mispredict
+            and self.squashed == other.squashed
+            and self.resolve_index == other.resolve_index
+            and self.atomic == other.atomic
+            and self.ops == other.ops
+        )
+
+    __hash__ = None  # mutable record
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = []

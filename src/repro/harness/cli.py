@@ -13,6 +13,9 @@
     bsisa simulate compress [--perfect-bp] [--icache-kb 16]
     bsisa simulate gcc --metrics-json out.json  # unified telemetry artifact
     bsisa metrics compress              # print the metric series of a run
+    bsisa metrics compress --trace-cache    # include conventional+tc run
+    bsisa perf --benchmarks compress gcc    # capture/replay/streaming timings
+    bsisa perf -o BENCH_sim.json        # schema-versioned perf artifact
     bsisa trace compress --limit 20     # JSONL pipeline events
     bsisa fuzz --budget 200 --seed 7    # cosimulation-oracle fuzzing
     bsisa fuzz --replay corpus/fail-0-4.minic   # re-run a saved failure
@@ -143,6 +146,12 @@ def _simulate_pair(args, tel: Telemetry | None):
     ).with_icache_kb(getattr(args, "icache_kb", 64))
     conv = simulate_conventional(pair.conventional, config, telemetry=tel)
     block = simulate_block_structured(pair.block, config, telemetry=tel)
+    if getattr(args, "trace_cache", False):
+        from repro.sim.tracecache import simulate_conventional_with_trace_cache
+
+        simulate_conventional_with_trace_cache(
+            pair.conventional, config, telemetry=tel
+        )
     return conv, block
 
 
@@ -200,6 +209,26 @@ def _cmd_metrics(args) -> int:
             },
         )
     return 0
+
+
+def _cmd_perf(args) -> int:
+    """Time capture vs. replay vs. streaming; write BENCH_sim.json."""
+    from repro.harness.perf import benchmark_suite, render, write_document
+
+    unknown = [b for b in args.benchmarks if b not in SUITE]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    doc = benchmark_suite(args.benchmarks, args.scale)
+    print(render(doc))
+    if args.output:
+        try:
+            write_document(doc, args.output)
+        except OSError as exc:
+            print(f"cannot write {args.output}: {exc}", file=sys.stderr)
+            return 1
+        print(f"perf artifact written to {args.output}", file=sys.stderr)
+    return 0 if doc["totals"]["stats_match"] else 1
 
 
 def _cmd_trace(args) -> int:
@@ -369,9 +398,36 @@ def build_parser() -> argparse.ArgumentParser:
     metr.add_argument("--perfect-bp", action="store_true")
     metr.add_argument("--icache-kb", type=int, default=64)
     metr.add_argument(
+        "--trace-cache",
+        action="store_true",
+        help="also run the conventional ISA behind a trace cache "
+        "(tracecache.* metric series)",
+    )
+    metr.add_argument(
         "--json", metavar="PATH", help="also write the telemetry artifact"
     )
     metr.set_defaults(fn=_cmd_metrics)
+
+    perf = sub.add_parser(
+        "perf",
+        help="time capture/replay/streaming per benchmark "
+        "(BENCH_sim.json artifact)",
+    )
+    perf.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=["compress", "gcc"],
+        metavar="NAME",
+        help="benchmarks to time (default: compress gcc)",
+    )
+    perf.add_argument("--scale", type=float, default=1.0)
+    perf.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="write the schema-versioned perf artifact (BENCH_sim.json)",
+    )
+    perf.set_defaults(fn=_cmd_perf)
 
     trace = sub.add_parser(
         "trace", help="simulate one workload and dump pipeline events (JSONL)"

@@ -1,0 +1,168 @@
+"""``bsisa perf`` — the repo's performance-trajectory artifact.
+
+Times the three phases of the packed-trace pipeline per benchmark × ISA
+(docs/performance.md):
+
+* **capture**  — functional execution + packing into a
+  :class:`~repro.sim.packed.PackedTrace`;
+* **replay**   — :meth:`~repro.sim.engine.TimingEngine.run_packed` over
+  the flat arrays (what every warm sweep point costs);
+* **streaming** — the original single-pass pipeline
+  (:func:`~repro.sim.run.simulate_streaming`), the baseline replay is
+  measured against.
+
+Every replay is asserted bit-identical to the streaming run
+(``dataclasses.asdict`` equality) so the artifact doubles as an
+end-to-end correctness check — CI's perf-smoke job fails on
+``stats_match: false`` even though the timings themselves are
+non-gating. The document is schema-versioned
+(:data:`~repro.obs.schema.BENCH_SCHEMA_ID`) and validated by
+``python -m repro.obs.schema BENCH_sim.json``.
+
+Timed regions run under the process-wide *disabled* telemetry session,
+so they measure the zero-cost telemetry-off paths; pass an enabled
+session to also record ``perf.capture``/``perf.replay``/
+``perf.streaming`` spans around each phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from time import perf_counter
+
+from repro.core.toolchain import Toolchain
+from repro.obs.schema import BENCH_SCHEMA_ID
+from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.sim.config import MachineConfig
+from repro.sim.run import capture_run, replay_captured, simulate_streaming
+from repro.workloads import SUITE
+
+ISAS = ("conventional", "block")
+
+
+def _timed(tel: Telemetry, name: str, fn, **labels):
+    """Run *fn* under a perf span; returns (result, seconds)."""
+    with tel.span(name, **labels):
+        start = perf_counter()
+        result = fn()
+        elapsed = perf_counter() - start
+    return result, elapsed
+
+
+def benchmark_one(
+    benchmark: str,
+    scale: float,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> list[dict]:
+    """Capture/replay/streaming timings for one benchmark, both ISAs."""
+    config = config or MachineConfig()
+    tel = telemetry if telemetry is not None else get_telemetry()
+    source = SUITE[benchmark].source(scale)
+    start = perf_counter()
+    pair = Toolchain().compile(source, benchmark)
+    compile_s = perf_counter() - start
+    entries = []
+    for isa in ISAS:
+        program = getattr(pair, isa)
+        labels = {"benchmark": benchmark, "isa": isa}
+        captured, capture_s = _timed(
+            tel, "perf.capture",
+            lambda: capture_run(program, isa, config), **labels
+        )
+        replayed, replay_s = _timed(
+            tel, "perf.replay",
+            lambda: replay_captured(captured, config), **labels
+        )
+        streamed, streaming_s = _timed(
+            tel, "perf.streaming",
+            lambda: simulate_streaming(program, isa, config), **labels
+        )
+        entries.append(
+            {
+                "benchmark": benchmark,
+                "isa": isa,
+                "compile_s": compile_s,
+                "capture_s": capture_s,
+                "replay_s": replay_s,
+                "streaming_s": streaming_s,
+                "units": captured.trace.num_units,
+                "ops": captured.trace.num_ops,
+                "trace_bytes": captured.trace.nbytes,
+                "cycles": replayed.cycles,
+                "stats_match": dataclasses.asdict(replayed)
+                == dataclasses.asdict(streamed),
+            }
+        )
+    return entries
+
+
+def _totals(entries: list[dict]) -> dict:
+    capture_s = sum(e["capture_s"] for e in entries)
+    replay_s = sum(e["replay_s"] for e in entries)
+    streaming_s = sum(e["streaming_s"] for e in entries)
+    return {
+        "capture_s": capture_s,
+        "replay_s": replay_s,
+        "streaming_s": streaming_s,
+        # warm: the trace already exists (every sweep point after the
+        # first); cold: capture amortized into the very first replay.
+        "speedup_warm": streaming_s / replay_s if replay_s else 0.0,
+        "speedup_cold": (
+            streaming_s / (capture_s + replay_s)
+            if capture_s + replay_s
+            else 0.0
+        ),
+        "stats_match": all(e["stats_match"] for e in entries),
+    }
+
+
+def benchmark_suite(
+    benchmarks: list[str],
+    scale: float,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> dict:
+    """The full ``BENCH_sim.json`` document for *benchmarks*."""
+    entries: list[dict] = []
+    for benchmark in benchmarks:
+        entries.extend(benchmark_one(benchmark, scale, config, telemetry))
+    return {
+        "schema": BENCH_SCHEMA_ID,
+        "meta": {
+            "command": "perf",
+            "benchmarks": list(benchmarks),
+            "scale": scale,
+        },
+        "benchmarks": entries,
+        "totals": _totals(entries),
+    }
+
+
+def write_document(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render(doc: dict) -> str:
+    """Human-readable table of one perf document."""
+    lines = [
+        f"{'benchmark':12s} {'isa':13s} {'capture':>9s} {'replay':>9s} "
+        f"{'streaming':>9s} {'warm x':>7s} {'ops':>10s} match"
+    ]
+    for e in doc["benchmarks"]:
+        warm = e["streaming_s"] / e["replay_s"] if e["replay_s"] else 0.0
+        lines.append(
+            f"{e['benchmark']:12s} {e['isa']:13s} {e['capture_s']:8.3f}s "
+            f"{e['replay_s']:8.3f}s {e['streaming_s']:8.3f}s {warm:6.2f}x "
+            f"{e['ops']:10,d} {'ok' if e['stats_match'] else 'MISMATCH'}"
+        )
+    t = doc["totals"]
+    lines.append(
+        f"{'total':12s} {'':13s} {t['capture_s']:8.3f}s "
+        f"{t['replay_s']:8.3f}s {t['streaming_s']:8.3f}s "
+        f"{t['speedup_warm']:6.2f}x (cold {t['speedup_cold']:.2f}x)"
+    )
+    return "\n".join(lines)

@@ -7,7 +7,10 @@ Schema dependency — the environment is offline). CI's smoke job runs::
     python -m repro.obs.schema out.json
 
 which exits non-zero with a readable error list if the artifact drifts
-from the documented shape (docs/observability.md).
+from the documented shape (docs/observability.md). The same entry point
+recognises the ``bsisa perf`` benchmark artifact (``BENCH_sim.json``,
+schema :data:`BENCH_SCHEMA_ID`) by its ``schema`` field and validates
+it with :func:`bench_document_errors` instead.
 """
 
 from __future__ import annotations
@@ -21,6 +24,9 @@ from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM
 from repro.obs.telemetry import SCHEMA_ID
 
 _NUMBER = (int, float)
+
+#: Schema id of the ``bsisa perf`` artifact (docs/performance.md).
+BENCH_SCHEMA_ID = "repro.bench/v1"
 
 
 def _check_labels(labels, where: str, errors: list[str]) -> None:
@@ -143,6 +149,65 @@ def document_errors(doc) -> list[str]:
     return errors
 
 
+_BENCH_ENTRY_NUMBERS = (
+    "compile_s",
+    "capture_s",
+    "replay_s",
+    "streaming_s",
+    "units",
+    "ops",
+    "trace_bytes",
+)
+_BENCH_TOTAL_NUMBERS = (
+    "capture_s",
+    "replay_s",
+    "streaming_s",
+    "speedup_warm",
+    "speedup_cold",
+)
+
+
+def bench_document_errors(doc) -> list[str]:
+    """Every schema violation in a ``BENCH_sim.json`` document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("schema") != BENCH_SCHEMA_ID:
+        errors.append(
+            f"schema must be {BENCH_SCHEMA_ID!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("meta"), dict):
+        errors.append("meta must be an object")
+    entries = doc.get("benchmarks")
+    if not isinstance(entries, list) or not entries:
+        errors.append("benchmarks must be a non-empty list")
+        entries = []
+    for i, entry in enumerate(entries):
+        where = f"benchmarks[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for field in ("benchmark", "isa"):
+            if not isinstance(entry.get(field), str) or not entry.get(field):
+                errors.append(f"{where}: missing/empty {field}")
+        for field in _BENCH_ENTRY_NUMBERS:
+            value = entry.get(field)
+            if not isinstance(value, _NUMBER) or value < 0:
+                errors.append(f"{where}: {field} must be a non-negative number")
+        if not isinstance(entry.get("stats_match"), bool):
+            errors.append(f"{where}: stats_match must be a bool")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        errors.append("totals must be an object")
+    else:
+        for field in _BENCH_TOTAL_NUMBERS:
+            if not isinstance(totals.get(field), _NUMBER):
+                errors.append(f"totals.{field} must be a number")
+        if not isinstance(totals.get("stats_match"), bool):
+            errors.append("totals.stats_match must be a bool")
+    return errors
+
+
 def validate_document(doc) -> None:
     """Raise :class:`TelemetryError` listing every violation in *doc*."""
     errors = document_errors(doc)
@@ -160,17 +225,26 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     with open(argv[0], "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    errors = document_errors(doc)
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA_ID:
+        errors = bench_document_errors(doc)
+    else:
+        errors = document_errors(doc)
     if errors:
         print(f"{argv[0]}: INVALID", file=sys.stderr)
         for err in errors:
             print(f"  {err}", file=sys.stderr)
         return 1
-    print(
-        f"{argv[0]}: ok ({len(doc['metrics'])} metric series, "
-        f"{len(doc['spans'])} spans, {len(doc['trace']['events'])} "
-        f"trace events)"
-    )
+    if doc.get("schema") == BENCH_SCHEMA_ID:
+        print(
+            f"{argv[0]}: ok ({len(doc['benchmarks'])} benchmark entries, "
+            f"stats_match={doc['totals']['stats_match']})"
+        )
+    else:
+        print(
+            f"{argv[0]}: ok ({len(doc['metrics'])} metric series, "
+            f"{len(doc['spans'])} spans, {len(doc['trace']['events'])} "
+            f"trace events)"
+        )
     return 0
 
 

@@ -11,7 +11,21 @@ See DESIGN.md §6 for the methodology discussion.
 from repro.sim.config import CacheConfig, MachineConfig
 from repro.sim.cache import Cache, PerfectCache
 from repro.sim.engine import TimingEngine, TimingStats
-from repro.sim.run import SimResult, simulate_block_structured, simulate_conventional
+from repro.sim.fusched import FuSchedule
+from repro.sim.packed import PackedTrace
+from repro.sim.run import (
+    CapturedRun,
+    PredictorSnapshot,
+    SimResult,
+    capture_block_structured,
+    capture_conventional,
+    capture_run,
+    predictor_key,
+    replay_captured,
+    simulate_block_structured,
+    simulate_conventional,
+    simulate_streaming,
+)
 from repro.sim.predictors import (
     BlockPredictor,
     GsharePredictor,
@@ -36,9 +50,19 @@ __all__ = [
     "PerfectCache",
     "TimingEngine",
     "TimingStats",
+    "FuSchedule",
+    "PackedTrace",
+    "CapturedRun",
+    "PredictorSnapshot",
     "SimResult",
+    "capture_conventional",
+    "capture_block_structured",
+    "capture_run",
+    "predictor_key",
+    "replay_captured",
     "simulate_conventional",
     "simulate_block_structured",
+    "simulate_streaming",
     "GsharePredictor",
     "BlockPredictor",
     "StaticTakenPredictor",

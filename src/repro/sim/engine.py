@@ -36,6 +36,8 @@ from repro.obs.events import (
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim.cache import Cache, PerfectCache
 from repro.sim.config import MachineConfig
+from repro.sim.fusched import FuSchedule
+from repro.sim.packed import F_ATOMIC, F_MISPREDICT, F_SQUASHED, PackedTrace
 
 
 @dataclass
@@ -140,7 +142,7 @@ class TimingEngine:
         retire_width = config.retire_width
 
         completion: dict[int, int] = {}
-        fu_sched: dict[int, int] = {}
+        fu_sched = FuSchedule(fu_count)
         #: min-heap of window-slot release cycles (ops or blocks)
         window: list[int] = []
         window_capacity = (
@@ -184,6 +186,10 @@ class TimingEngine:
             stats.fetch_stall_cycles += stall + (fetch_cycles - 1)
             fetch_end = fetch + fetch_cycles - 1 + stall
             next_fetch = fetch_end + 1
+            # Every FU access for this and all later units happens at or
+            # after dispatch + 1 >= fetch_end + depth + 1, and fetch_end
+            # is strictly monotonic — safe to slide the schedule window.
+            fu_sched.advance_floor(fetch_end + depth + 1)
             if events is not None:
                 events.emit(
                     EV_FETCH,
@@ -223,10 +229,7 @@ class TimingEngine:
                     t = completion.get(dep, 0)
                     if t > ready:
                         ready = t
-                start = ready
-                while fu_sched.get(start, 0) >= fu_count:
-                    start += 1
-                fu_sched[start] = fu_sched.get(start, 0) + 1
+                start = fu_sched.reserve(ready)
                 lat = op.lat
                 if op.mem_addr >= 0:
                     stats.dcache_accesses += 1
@@ -336,10 +339,243 @@ class TimingEngine:
             if next_fetch - 1 > max_cycle:
                 max_cycle = next_fetch - 1
 
-            # Keep the FU schedule from growing without bound.
-            if len(fu_sched) > 1_000_000:
-                floor = min(retire_cycle, next_fetch) - 64
-                fu_sched = {c: n for c, n in fu_sched.items() if c >= floor}
+        stats.cycles = max_cycle + 1
+        return stats
+
+    def run_packed(self, trace: PackedTrace) -> TimingStats:
+        """Replay a :class:`~repro.sim.packed.PackedTrace`.
+
+        Bit-identical :class:`TimingStats` (and event stream) to
+        :meth:`run` over the same stream — enforced by tests across the
+        full experiment matrix — but consumes the packed columns
+        directly: completion times live in a flat list indexed by dense
+        op position, dependences are precomputed dense indices, icache
+        line spans come from the trace's cached per-geometry columns,
+        and the telemetry-off path does no per-event work.
+        """
+        config = self.config
+        stats = self.stats
+        icache = self.icache
+        dcache = self.dcache
+        atomic_window = self.atomic_window
+        tel = self.telemetry if self.telemetry is not None else get_telemetry()
+        events = tel.trace if tel.enabled else None
+        line_bytes = (
+            config.icache.line_bytes if config.icache is not None else 64
+        )
+        fu_count = config.fu_count
+        l2 = config.l2_latency
+        depth = config.frontend_depth
+        penalty = config.mispredict_penalty
+        retire_width = config.retire_width
+        fetch_lines = config.fetch_lines
+
+        # Packed columns, hoisted to locals for the hot loop.
+        unit_addr = trace.unit_addr
+        unit_resolve = trace.unit_resolve
+        unit_flags = trace.unit_flags
+        unit_op_start = trace.unit_op_start
+        op_lat = trace.op_lat
+        op_mem = trace.op_mem
+        op_flags = trace.op_flags
+        op_dep_start = trace.op_dep_start
+        dep_col = trace.deps
+        first_lines, last_lines = trace.line_spans(line_bytes)
+        icache_access = icache.access_line
+        dcache_access = dcache.access
+        push = heapq.heappush
+        pop = heapq.heappop
+
+        #: completion time per op, indexed by dense op position
+        completion = [0] * trace.num_ops
+        fu_sched = FuSchedule(fu_count)
+        window: list[int] = []
+        window_capacity = (
+            config.window_blocks if atomic_window else config.window_ops
+        )
+        unit_window: list[int] = []
+        unit_capacity = config.window_blocks
+
+        next_fetch = 0
+        redirect_at = 0
+        retire_cycle = 0
+        retire_count = 0
+        max_cycle = 0
+
+        for u in range(trace.num_units):
+            lo = unit_op_start[u]
+            hi = unit_op_start[u + 1]
+            nops = hi - lo
+            stats.fetched_units += 1
+            stats.fetched_ops += nops
+            uflags = unit_flags[u]
+            squashed = uflags & F_SQUASHED
+            atomic = uflags & F_ATOMIC
+            addr = unit_addr[u]
+
+            # ---- fetch -------------------------------------------------
+            fetch = next_fetch if next_fetch >= redirect_at else redirect_at
+            if redirect_at > next_fetch:
+                stats.redirect_stall_cycles += redirect_at - next_fetch
+            first_line = first_lines[u]
+            last_line = last_lines[u]
+            nlines = last_line - first_line + 1
+            fetch_cycles = (nlines + fetch_lines - 1) // fetch_lines
+            stall = 0
+            stats.icache_accesses += nlines
+            for line in range(first_line, last_line + 1):
+                if not icache_access(line):
+                    stats.icache_misses += 1
+                    stall = l2
+                    if events is not None:
+                        events.emit(EV_ICACHE_MISS, fetch, line=line)
+            stats.fetch_stall_cycles += stall + (fetch_cycles - 1)
+            fetch_end = fetch + fetch_cycles - 1 + stall
+            next_fetch = fetch_end + 1
+            fu_sched.advance_floor(fetch_end + depth + 1)
+            if events is not None:
+                events.emit(
+                    EV_FETCH,
+                    fetch,
+                    addr=addr,
+                    ops=nops,
+                    lines=nlines,
+                    unit=stats.fetched_units,
+                )
+
+            # ---- dispatch (window gating) --------------------------------
+            dispatch = fetch_end + depth
+            if atomic_window:
+                if len(window) >= window_capacity:
+                    released = pop(window)
+                    if released > dispatch:
+                        stats.window_stall_cycles += released - dispatch
+                        dispatch = released
+            else:
+                if len(unit_window) >= unit_capacity:
+                    released = pop(unit_window)
+                    if released > dispatch:
+                        stats.window_stall_cycles += released - dispatch
+                        dispatch = released
+
+            # ---- issue / execute / retire --------------------------------
+            resolve_index = unit_resolve[u]
+            resolve_complete = -1
+            block_last = dispatch
+            for i in range(lo, hi):
+                if not atomic_window:
+                    if len(window) >= window_capacity:
+                        released = pop(window)
+                        if released > dispatch:
+                            dispatch = released
+                ready = dispatch + 1
+                for d in range(op_dep_start[i], op_dep_start[i + 1]):
+                    t = completion[dep_col[d]]
+                    if t > ready:
+                        ready = t
+                start = fu_sched.reserve(ready)
+                lat = op_lat[i]
+                mem = op_mem[i]
+                if mem >= 0:
+                    stats.dcache_accesses += 1
+                    if not dcache_access(mem):
+                        stats.dcache_misses += 1
+                        if op_flags[i] & 1:  # OPF_LOAD
+                            lat += l2
+                complete = start + lat
+                completion[i] = complete
+                if complete > block_last:
+                    block_last = complete
+                if i - lo == resolve_index:
+                    resolve_complete = complete
+                if not atomic and not squashed:
+                    # In-order per-op retirement.
+                    r = max(complete + 1, retire_cycle)
+                    if r == retire_cycle and retire_count >= retire_width:
+                        r += 1
+                    if r > retire_cycle:
+                        retire_cycle = r
+                        retire_count = 0
+                    retire_count += 1
+                if not atomic_window and not squashed:
+                    # Op-granular window slot frees at (estimated) retire.
+                    push(
+                        window,
+                        retire_cycle if not atomic else complete + 1,
+                    )
+            if not atomic_window:
+                # The whole fetch unit's checkpoint frees when its last op
+                # retires (or, for a squashed unit, at resolve — below).
+                if not squashed:
+                    push(unit_window, retire_cycle)
+
+            # ---- resolution / redirect ----------------------------------
+            if squashed:
+                if resolve_complete < 0:
+                    raise SimulationError("squashed unit without resolve op")
+                stats.redirects += 1
+                stats.squashed_ops += nops
+                if events is not None:
+                    events.emit(
+                        EV_FAULT_SQUASH,
+                        resolve_complete + 1,
+                        addr=addr,
+                        ops=nops,
+                        unit=stats.fetched_units,
+                    )
+                redirect_at = resolve_complete + 1
+                release = resolve_complete + 1
+                if atomic_window:
+                    push(window, release)
+                else:
+                    for _ in range(nops):
+                        push(window, release)
+                    push(unit_window, release)
+                if release > max_cycle:
+                    max_cycle = release
+                continue
+            if uflags & F_MISPREDICT:
+                if resolve_complete < 0:
+                    raise SimulationError("mispredict without resolve op")
+                stats.redirects += 1
+                redirect_at = resolve_complete + 1 + penalty
+                if events is not None:
+                    events.emit(
+                        EV_REDIRECT,
+                        redirect_at,
+                        addr=addr,
+                        penalty=penalty,
+                        unit=stats.fetched_units,
+                    )
+
+            # ---- retire (atomic blocks commit together) -------------------
+            if atomic:
+                block_done = block_last + 1
+                for _ in range(nops):
+                    r = max(block_done, retire_cycle)
+                    if r == retire_cycle and retire_count >= retire_width:
+                        r += 1
+                    if r > retire_cycle:
+                        retire_cycle = r
+                        retire_count = 0
+                    retire_count += 1
+            if atomic_window:
+                push(window, retire_cycle)
+            stats.retired_ops += nops
+            if events is not None:
+                events.emit(
+                    EV_RETIRE,
+                    retire_cycle,
+                    addr=addr,
+                    ops=nops,
+                    atomic=bool(atomic),
+                    unit=stats.fetched_units,
+                )
+            if retire_cycle > max_cycle:
+                max_cycle = retire_cycle
+
+            if next_fetch - 1 > max_cycle:
+                max_cycle = next_fetch - 1
 
         stats.cycles = max_cycle + 1
         return stats

@@ -1,0 +1,115 @@
+"""Bounded function-unit occupancy schedule.
+
+The timing engine models 16 uniform function units as a per-cycle busy
+count: issuing an op searches forward from its ready cycle for the first
+cycle with a free unit and occupies it. The original implementation kept
+that count in an ever-growing ``dict[int, int]`` with a 1M-entry pruning
+cliff; :class:`FuSchedule` replaces it with a fixed-size ring buffer that
+is **exact** (bit-identical scheduling decisions) and keeps memory flat
+regardless of trace length.
+
+Correctness argument. All accesses made while fetch unit *u* is being
+issued are at cycles ``>= dispatch(u) + 1 >= fetch_end(u) + depth + 1``,
+and ``fetch_end`` is strictly monotonic over the stream, so once the
+engine advances the floor to ``fetch_end(u) + depth + 1`` no cycle below
+it can ever be touched again. The ring therefore only needs to cover the
+live window ``[floor, floor + size)``; a slot whose tag differs from the
+requested cycle must belong to a dead cycle and is reset on first touch.
+Accesses beyond the horizon (possible when a long dependence chain
+schedules an op far ahead of fetch) spill into a small overflow dict and
+are migrated into the ring the first time the cycle falls inside the
+window.
+"""
+
+from __future__ import annotations
+
+#: Default live window, in cycles. Far larger than the spread the
+#: bounded instruction window can create (512 in-flight ops x worst-case
+#: per-op latency), so the overflow dict stays essentially empty.
+DEFAULT_WINDOW_CYCLES = 1 << 16
+
+#: Overflow size that triggers dead-entry pruning on a floor advance.
+_PRUNE_THRESHOLD = 4096
+
+
+class FuSchedule:
+    """Per-cycle busy-unit counts over a sliding window of cycles."""
+
+    __slots__ = (
+        "fu_count", "size", "_mask", "_tags", "_counts", "_floor",
+        "_overflow",
+    )
+
+    def __init__(self, fu_count: int, size: int = DEFAULT_WINDOW_CYCLES):
+        if size & (size - 1):
+            raise ValueError(f"ring size must be a power of two, got {size}")
+        self.fu_count = fu_count
+        self.size = size
+        self._mask = size - 1
+        self._tags = [-1] * size
+        self._counts = [0] * size
+        self._floor = 0
+        self._overflow: dict[int, int] = {}
+
+    def advance_floor(self, cycle: int) -> None:
+        """Declare that no cycle below *cycle* will ever be accessed
+        again (the caller's monotonicity guarantee)."""
+        if cycle > self._floor:
+            self._floor = cycle
+            overflow = self._overflow
+            if len(overflow) > _PRUNE_THRESHOLD:
+                for c in [c for c in overflow if c < cycle]:
+                    del overflow[c]
+
+    def reserve(self, start: int) -> int:
+        """Occupy one function unit at the first cycle ``>= start`` with
+        a free unit; returns the chosen cycle.
+
+        Equivalent to the historical dict code::
+
+            while fu_sched.get(start, 0) >= fu_count:
+                start += 1
+            fu_sched[start] = fu_sched.get(start, 0) + 1
+        """
+        fu_count = self.fu_count
+        tags = self._tags
+        counts = self._counts
+        mask = self._mask
+        horizon = self._floor + self.size
+        overflow = self._overflow
+        while True:
+            if start >= horizon:
+                # Far-future cycle: rare, dict-backed until the window
+                # slides over it.
+                n = overflow.get(start, 0)
+                if n < fu_count:
+                    overflow[start] = n + 1
+                    return start
+            else:
+                idx = start & mask
+                if tags[idx] != start:
+                    # Slot last used by a dead cycle: reclaim, pulling in
+                    # any count that spilled to the overflow dict while
+                    # this cycle was beyond the horizon.
+                    tags[idx] = start
+                    counts[idx] = overflow.pop(start, 0) if overflow else 0
+                if counts[idx] < fu_count:
+                    counts[idx] += 1
+                    return start
+            start += 1
+
+    # -- introspection (tests / memory accounting) ---------------------
+
+    @property
+    def overflow_entries(self) -> int:
+        """Live overflow-dict size (flat-memory regression tests)."""
+        return len(self._overflow)
+
+    def busy(self, cycle: int) -> int:
+        """Units occupied at *cycle* (non-mutating; tests only)."""
+        if cycle >= self._floor + self.size:
+            return self._overflow.get(cycle, 0)
+        idx = cycle & self._mask
+        if self._tags[idx] != cycle:
+            return self._overflow.get(cycle, 0)
+        return self._counts[idx]

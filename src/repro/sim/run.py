@@ -1,15 +1,39 @@
-"""Glue: compile-level program → executor → timing engine → SimResult."""
+"""Glue: compile-level program → executor → timing engine → SimResult.
+
+Since the packed-trace subsystem (docs/performance.md) this module
+splits one simulation into two phases:
+
+* **capture** — run the functional executor (with its predictor) once
+  and pack the dynamic fetch-unit stream into a
+  :class:`~repro.sim.packed.PackedTrace`, bundled with the architectural
+  counters as a :class:`CapturedRun`. The stream depends only on the
+  program and the predictor configuration
+  (:func:`predictor_key`) — never on icache geometry, latencies, or
+  window sizes;
+* **replay** — push the packed trace through
+  :meth:`~repro.sim.engine.TimingEngine.run_packed` under any machine
+  config and assemble the :class:`SimResult`.
+
+``simulate_conventional``/``simulate_block_structured`` keep their
+historical signatures (capture + replay in one call, bit-identical
+results); callers sweeping machine configs — the experiment engine, the
+Fig. 6/7 icache sweeps — capture once and replay per config.
+:func:`simulate_streaming` keeps the original single-pass path alive as
+the oracle the packed path is tested against.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.exec.block import BlockExecutor
-from repro.exec.conventional import ConventionalExecutor
+from repro.errors import SimulationError
+from repro.exec.block import BlockExecutor, BlockStats
+from repro.exec.conventional import ConventionalExecutor, ConventionalStats
 from repro.isa.program import BlockProgram, ConventionalProgram
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.engine import TimingEngine, TimingStats
+from repro.sim.packed import PackedTrace
 from repro.sim.predictors import BlockPredictor, GsharePredictor
 
 
@@ -56,6 +80,72 @@ class SimResult:
         return self.mispredicts / self.branch_events
 
 
+def predictor_key(config: MachineConfig) -> tuple:
+    """The part of a machine config the dynamic stream depends on.
+
+    Two configs with equal keys produce bit-identical fetch-unit
+    streams, so one captured trace serves both. Perfect prediction
+    ignores the table geometry entirely.
+    """
+    if config.perfect_bp:
+        return ("perfect",)
+    return ("real", config.bp_history_bits, config.bp_table_bits)
+
+
+@dataclass(frozen=True)
+class PredictorSnapshot:
+    """Predictor counters frozen at capture time.
+
+    Replays publish these instead of re-running the predictor; the
+    values match what every pre-packed run published because the
+    predictor's state depends only on the captured stream.
+    """
+
+    predictions: int
+    hits: int
+    accuracy: float
+    btb_entries: int | None = None
+
+    @classmethod
+    def of(cls, predictor) -> "PredictorSnapshot | None":
+        if predictor is None:
+            return None
+        return cls(
+            predictions=predictor.predictions,
+            hits=predictor.hits,
+            accuracy=predictor.accuracy,
+            btb_entries=(
+                len(predictor.btb) if hasattr(predictor, "btb") else None
+            ),
+        )
+
+    def publish(self, metrics, **labels) -> None:
+        """Mirror the live predictors' ``publish`` metric set exactly."""
+        metrics.inc("bp.predictions", self.predictions, **labels)
+        metrics.inc("bp.hits", self.hits, **labels)
+        metrics.gauge("bp.accuracy", self.accuracy, **labels)
+        if self.btb_entries is not None:
+            metrics.gauge("bp.btb_entries", self.btb_entries, **labels)
+
+
+@dataclass
+class CapturedRun:
+    """One functional execution, packed for repeated timing replays.
+
+    Self-contained: replaying needs no program object, so a captured
+    run ships whole to process-pool workers and persists in the
+    artifact cache (:func:`repro.engine.spec.trace_key`).
+    """
+
+    name: str
+    isa: str  # "conventional" | "block"
+    trace: PackedTrace
+    stats: ConventionalStats | BlockStats
+    predictor: PredictorSnapshot | None
+    bp_accuracy: float
+    static_code_bytes: int
+
+
 def _publish(
     tel: Telemetry,
     result: SimResult,
@@ -90,24 +180,15 @@ def _publish(
     )
 
 
-def simulate_conventional(
-    prog: ConventionalProgram,
-    config: MachineConfig | None = None,
-    telemetry: Telemetry | None = None,
+def _conventional_result(
+    name: str,
+    timing: TimingStats,
+    stats: ConventionalStats,
+    bp_accuracy: float,
+    code_bytes: int,
 ) -> SimResult:
-    """Run a timed simulation of a conventional-ISA program."""
-    config = config or MachineConfig()
-    tel = telemetry if telemetry is not None else get_telemetry()
-    predictor = None
-    if not config.perfect_bp:
-        predictor = GsharePredictor(config.bp_history_bits, config.bp_table_bits)
-    executor = ConventionalExecutor(prog, predictor=predictor, trace=True)
-    engine = TimingEngine(config, atomic_window=False, telemetry=tel)
-    with tel.span("sim.simulate", benchmark=prog.name, isa="conventional"):
-        timing = engine.run(executor.units())
-    stats = executor.stats
-    result = SimResult(
-        name=prog.name,
+    return SimResult(
+        name=name,
         isa="conventional",
         cycles=timing.cycles,
         committed_ops=stats.dyn_ops,
@@ -115,36 +196,22 @@ def simulate_conventional(
         avg_block_size=stats.avg_unit_size,
         mispredicts=stats.mispredicts,
         branch_events=stats.branches,
-        bp_accuracy=predictor.accuracy if predictor is not None else 1.0,
+        bp_accuracy=bp_accuracy,
         timing=timing,
         outputs=stats.outputs,
-        static_code_bytes=prog.code_bytes,
+        static_code_bytes=code_bytes,
     )
-    if tel.enabled:
-        _publish(tel, result, engine, predictor)
-    return result
 
 
-def simulate_block_structured(
-    prog: BlockProgram,
-    config: MachineConfig | None = None,
-    telemetry: Telemetry | None = None,
+def _block_result(
+    name: str,
+    timing: TimingStats,
+    stats: BlockStats,
+    bp_accuracy: float,
+    code_bytes: int,
 ) -> SimResult:
-    """Run a timed simulation of a block-structured ISA program."""
-    config = config or MachineConfig()
-    tel = telemetry if telemetry is not None else get_telemetry()
-    predictor = None
-    if not config.perfect_bp:
-        predictor = BlockPredictor(
-            prog, config.bp_history_bits, config.bp_table_bits
-        )
-    executor = BlockExecutor(prog, predictor=predictor, trace=True)
-    engine = TimingEngine(config, atomic_window=True, telemetry=tel)
-    with tel.span("sim.simulate", benchmark=prog.name, isa="block"):
-        timing = engine.run(executor.units())
-    stats = executor.stats
-    result = SimResult(
-        name=prog.name,
+    return SimResult(
+        name=name,
         isa="block",
         cycles=timing.cycles,
         committed_ops=stats.committed_ops,
@@ -152,13 +219,210 @@ def simulate_block_structured(
         avg_block_size=stats.avg_block_size,
         mispredicts=stats.total_mispredicts,
         branch_events=stats.trap_predictions,
-        bp_accuracy=predictor.accuracy if predictor is not None else 1.0,
+        bp_accuracy=bp_accuracy,
         timing=timing,
         outputs=stats.outputs,
         squashed_blocks=stats.blocks_squashed,
         fault_mispredicts=stats.fault_mispredicts,
         trap_mispredicts=stats.trap_mispredicts,
+        static_code_bytes=code_bytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Capture
+# ---------------------------------------------------------------------------
+
+
+def _conventional_executor(prog: ConventionalProgram, config: MachineConfig):
+    predictor = None
+    if not config.perfect_bp:
+        predictor = GsharePredictor(config.bp_history_bits, config.bp_table_bits)
+    return ConventionalExecutor(prog, predictor=predictor, trace=True), predictor
+
+
+def _block_executor(prog: BlockProgram, config: MachineConfig):
+    predictor = None
+    if not config.perfect_bp:
+        predictor = BlockPredictor(
+            prog, config.bp_history_bits, config.bp_table_bits
+        )
+    return BlockExecutor(prog, predictor=predictor, trace=True), predictor
+
+
+def capture_conventional(
+    prog: ConventionalProgram,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> CapturedRun:
+    """One functional execution of *prog*, packed for replay."""
+    config = config or MachineConfig()
+    tel = telemetry if telemetry is not None else get_telemetry()
+    executor, predictor = _conventional_executor(prog, config)
+    with tel.span("sim.capture", benchmark=prog.name, isa="conventional"):
+        trace = PackedTrace.capture(executor.units())
+    return CapturedRun(
+        name=prog.name,
+        isa="conventional",
+        trace=trace,
+        stats=executor.stats,
+        predictor=PredictorSnapshot.of(predictor),
+        bp_accuracy=predictor.accuracy if predictor is not None else 1.0,
         static_code_bytes=prog.code_bytes,
+    )
+
+
+def capture_block_structured(
+    prog: BlockProgram,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> CapturedRun:
+    """One functional execution of the BS-ISA *prog*, packed for replay."""
+    config = config or MachineConfig()
+    tel = telemetry if telemetry is not None else get_telemetry()
+    executor, predictor = _block_executor(prog, config)
+    with tel.span("sim.capture", benchmark=prog.name, isa="block"):
+        trace = PackedTrace.capture(executor.units())
+    return CapturedRun(
+        name=prog.name,
+        isa="block",
+        trace=trace,
+        stats=executor.stats,
+        predictor=PredictorSnapshot.of(predictor),
+        bp_accuracy=predictor.accuracy if predictor is not None else 1.0,
+        static_code_bytes=prog.code_bytes,
+    )
+
+
+def capture_run(
+    program: ConventionalProgram | BlockProgram,
+    isa: str,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> CapturedRun:
+    """ISA-dispatching capture (the experiment engine's entry point)."""
+    if isa == "conventional":
+        return capture_conventional(program, config, telemetry)
+    if isa == "block":
+        return capture_block_structured(program, config, telemetry)
+    raise SimulationError(f"cannot capture unknown isa {isa!r}")
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def replay_captured(
+    captured: CapturedRun,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> SimResult:
+    """Replay a captured run under *config*; bit-identical to the
+    streaming path for any config sharing the capture's
+    :func:`predictor_key`."""
+    config = config or MachineConfig()
+    tel = telemetry if telemetry is not None else get_telemetry()
+    atomic = captured.isa == "block"
+    engine = TimingEngine(config, atomic_window=atomic, telemetry=tel)
+    with tel.span("sim.simulate", benchmark=captured.name, isa=captured.isa):
+        timing = engine.run_packed(captured.trace)
+    build = _block_result if atomic else _conventional_result
+    result = build(
+        captured.name,
+        timing,
+        captured.stats,
+        captured.bp_accuracy,
+        captured.static_code_bytes,
+    )
+    if tel.enabled:
+        _publish(tel, result, engine, captured.predictor)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# One-shot simulation (capture + replay)
+# ---------------------------------------------------------------------------
+
+
+def simulate_conventional(
+    prog: ConventionalProgram,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+    captured: CapturedRun | None = None,
+) -> SimResult:
+    """Run a timed simulation of a conventional-ISA program.
+
+    Pass ``captured`` (from :func:`capture_conventional` under a config
+    with the same :func:`predictor_key`) to skip the functional
+    execution and replay the packed stream directly.
+    """
+    config = config or MachineConfig()
+    if captured is None:
+        captured = capture_conventional(prog, config, telemetry)
+    elif captured.isa != "conventional":
+        raise SimulationError(
+            f"captured trace is {captured.isa!r}, expected 'conventional'"
+        )
+    return replay_captured(captured, config, telemetry)
+
+
+def simulate_block_structured(
+    prog: BlockProgram,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+    captured: CapturedRun | None = None,
+) -> SimResult:
+    """Run a timed simulation of a block-structured ISA program."""
+    config = config or MachineConfig()
+    if captured is None:
+        captured = capture_block_structured(prog, config, telemetry)
+    elif captured.isa != "block":
+        raise SimulationError(
+            f"captured trace is {captured.isa!r}, expected 'block'"
+        )
+    return replay_captured(captured, config, telemetry)
+
+
+# ---------------------------------------------------------------------------
+# Streaming reference path
+# ---------------------------------------------------------------------------
+
+
+def simulate_streaming(
+    prog: ConventionalProgram | BlockProgram,
+    isa: str,
+    config: MachineConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> SimResult:
+    """The original single-pass path: the timing engine consumes the
+    executor's live generator, no trace is materialized.
+
+    Kept as the reference oracle for the packed path: tests and
+    ``bsisa perf`` assert :func:`replay_captured` produces bit-identical
+    results (``dataclasses.asdict`` equality) to this function.
+    """
+    config = config or MachineConfig()
+    tel = telemetry if telemetry is not None else get_telemetry()
+    if isa == "conventional":
+        executor, predictor = _conventional_executor(prog, config)
+        build = _conventional_result
+        atomic = False
+    elif isa == "block":
+        executor, predictor = _block_executor(prog, config)
+        build = _block_result
+        atomic = True
+    else:
+        raise SimulationError(f"cannot simulate unknown isa {isa!r}")
+    engine = TimingEngine(config, atomic_window=atomic, telemetry=tel)
+    with tel.span("sim.simulate", benchmark=prog.name, isa=isa):
+        timing = engine.run(executor.units())
+    result = build(
+        prog.name,
+        timing,
+        executor.stats,
+        predictor.accuracy if predictor is not None else 1.0,
+        prog.code_bytes,
     )
     if tel.enabled:
         _publish(tel, result, engine, predictor)

@@ -144,16 +144,30 @@ class TraceCacheFetch:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def publish(self, metrics, **labels) -> None:
+        """Publish lookup/hit/fill counters into a metrics registry
+        (same idiom as :meth:`repro.sim.cache.Cache.publish`)."""
+        metrics.inc("tracecache.lookups", self.lookups, **labels)
+        metrics.inc("tracecache.hits", self.hits, **labels)
+        metrics.inc("tracecache.fills", self.fills, **labels)
+        metrics.inc("tracecache.merged_units", self.merged_units, **labels)
+        metrics.gauge("tracecache.hit_rate", self.hit_rate, **labels)
+
 
 def simulate_conventional_with_trace_cache(
-    prog, machine_config=None, trace_config: TraceCacheConfig | None = None
+    prog,
+    machine_config=None,
+    trace_config: TraceCacheConfig | None = None,
+    telemetry=None,
 ):
     """Timed run of a conventional program behind a trace cache.
 
     Returns ``(SimResult, TraceCacheFetch)`` — the fetch model carries
-    the hit/fill statistics.
+    the hit/fill statistics. When a telemetry session is active its
+    ``tracecache.*`` counters are published under the benchmark label.
     """
     from repro.exec.conventional import ConventionalExecutor
+    from repro.obs.telemetry import get_telemetry
     from repro.sim.config import MachineConfig
     from repro.sim.engine import TimingEngine
     from repro.sim.predictors import GsharePredictor
@@ -184,4 +198,7 @@ def simulate_conventional_with_trace_cache(
         outputs=stats.outputs,
         static_code_bytes=prog.code_bytes,
     )
+    tel = telemetry if telemetry is not None else get_telemetry()
+    if tel.enabled:
+        fetch.publish(tel.metrics, benchmark=prog.name)
     return result, fetch

@@ -10,6 +10,7 @@ from repro.check import CosimChecker
 from repro.obs import Telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.engine import TimingEngine
+from repro.sim.packed import PackedTrace
 
 from tests.conftest import FEATURE_PROGRAM
 
@@ -64,14 +65,14 @@ class TestBrokenPrograms:
     def test_injected_accounting_bug_is_caught(self, monkeypatch):
         """Dropping squashed_ops on the engine path (the ISSUE's demo
         bug) must trip ops_conservation, nothing architectural."""
-        orig = TimingEngine.run
+        orig = TimingEngine.run_packed
 
-        def buggy(self, units):
-            stats = orig(self, units)
+        def buggy(self, trace):
+            stats = orig(self, trace)
             stats.squashed_ops = 0
             return stats
 
-        monkeypatch.setattr(TimingEngine, "run", buggy)
+        monkeypatch.setattr(TimingEngine, "run_packed", buggy)
         report = CosimChecker().check_source(SMALL_PROGRAM, "buggy")
         assert not report.ok
         names = {v.invariant for v in report.violations}
@@ -79,27 +80,27 @@ class TestBrokenPrograms:
         assert "cosim.timed_outputs" not in names
 
     def test_injected_trace_corruption_is_caught(self, monkeypatch):
-        """A trace generator that mislabels a squashed unit as clean
+        """A trace capture that mislabels a squashed unit as clean
         must be caught by the retired-stream / conservation checks."""
 
-        def tampered(self, units):
+        def tampered(units):
             def strip(stream):
                 for unit in stream:
                     unit.squashed = False
                     yield unit
 
-            return tampered.orig(self, strip(units))
+            return tampered.orig(strip(units))
 
-        tampered.orig = TimingEngine.run
-        monkeypatch.setattr(TimingEngine, "run", tampered)
+        tampered.orig = PackedTrace.capture
+        monkeypatch.setattr(PackedTrace, "capture", tampered)
         report = CosimChecker().check_source(SMALL_PROGRAM, "tampered")
         assert not report.ok
 
     def test_crash_becomes_violation(self, monkeypatch):
-        def boom(self, units):
+        def boom(self, trace):
             raise RuntimeError("engine exploded")
 
-        monkeypatch.setattr(TimingEngine, "run", boom)
+        monkeypatch.setattr(TimingEngine, "run_packed", boom)
         report = CosimChecker().check_source(SMALL_PROGRAM, "crash")
         assert not report.ok
         assert report.violations[0].invariant == "cosim.crash"
@@ -118,14 +119,14 @@ class TestTelemetry:
         assert spans[0].labels == {"program": "a"}
 
     def test_violations_counted_by_invariant(self, monkeypatch):
-        orig = TimingEngine.run
+        orig = TimingEngine.run_packed
 
-        def buggy(self, units):
-            stats = orig(self, units)
+        def buggy(self, trace):
+            stats = orig(self, trace)
             stats.squashed_ops = 0
             return stats
 
-        monkeypatch.setattr(TimingEngine, "run", buggy)
+        monkeypatch.setattr(TimingEngine, "run_packed", buggy)
         tel = Telemetry()
         report = CosimChecker(telemetry=tel).check_source(SMALL_PROGRAM, "x")
         count = tel.metrics.get(

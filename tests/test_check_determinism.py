@@ -1,7 +1,8 @@
 """Pinned-seed determinism: the same MiniC source must produce
 bit-identical SimResult fields when simulated twice, when recompiled
-from scratch, and when executed through the experiment engine's
-``--jobs 2`` process pool (guarding the PR 2 parallel-merge path)."""
+from scratch, when executed through the experiment engine's ``--jobs 2``
+process pool (guarding the PR 2 parallel-merge path), and when replayed
+from a serialized packed trace (guarding the capture/replay split)."""
 
 from __future__ import annotations
 
@@ -15,8 +16,15 @@ from repro.core.toolchain import Toolchain
 from repro.engine import ArtifactCache, ExperimentEngine
 from repro.engine.plan import build_plan
 from repro.engine.spec import RunSpec
+from repro.obs import Telemetry
 from repro.sim.config import MachineConfig
-from repro.sim.run import simulate_block_structured, simulate_conventional
+from repro.sim.packed import PackedTrace
+from repro.sim.run import (
+    capture_run,
+    replay_captured,
+    simulate_block_structured,
+    simulate_conventional,
+)
 
 #: A pinned generator seed: this exact source (loops, branches, helper
 #: calls) is what every assertion below simulates.
@@ -97,3 +105,64 @@ class TestEngineJobs2Determinism:
         assert second_cache.hits > 0
         for spec in plan.runs:
             assert _fields(first[spec]) == _fields(second[spec]), spec
+
+
+class TestSerializedTraceDeterminism:
+    """A packed trace surviving a serialize/deserialize round trip must
+    replay to bits identical to the live capture — this is what lets
+    the artifact cache serve traces across sessions."""
+
+    SCALE = 0.05
+
+    def test_serialized_trace_replays_bit_identical(self, pinned_pair):
+        _, pair = pinned_pair
+        config = MachineConfig()
+        for isa, prog in (
+            ("conventional", pair.conventional),
+            ("block", pair.block),
+        ):
+            captured = capture_run(prog, isa, config)
+            direct = replay_captured(captured, config)
+            thawed = dataclasses.replace(
+                captured,
+                trace=PackedTrace.from_bytes(captured.trace.to_bytes()),
+            )
+            assert _fields(replay_captured(thawed, config)) == _fields(
+                direct
+            ), isa
+
+    def test_capture_serialization_is_deterministic(self, pinned_pair):
+        _, pair = pinned_pair
+        config = MachineConfig()
+        a = capture_run(pair.block, "block", config)
+        b = capture_run(pair.block, "block", config)
+        assert a.trace.to_bytes() == b.trace.to_bytes()
+
+    def test_disk_trace_serves_new_configs_without_capture(self, tmp_path):
+        """A second session sweeping a *new* icache size must hit the
+        trace artifact (same predictor config) and never run the
+        functional executor."""
+        spec_64 = RunSpec("compress", "block", MachineConfig())
+        spec_16 = RunSpec(
+            "compress", "block", MachineConfig().with_icache_kb(16)
+        )
+        cache = ArtifactCache(tmp_path / "cache")
+        first = ExperimentEngine(scale=self.SCALE, cache=cache)
+        first.run(spec_64)  # captures + stores the trace artifact
+
+        tel = Telemetry()
+        second = ExperimentEngine(
+            scale=self.SCALE,
+            cache=ArtifactCache(tmp_path / "cache"),
+            telemetry=tel,
+        )
+        swept = second.run(spec_16)
+        assert tel.metrics.get("plan.cache_hits", kind="trace") == 1
+        assert tel.metrics.get("plan.trace_captures") is None
+        assert not any(
+            s.name == "sim.capture" for s in tel.spans.records
+        )
+        # and the replayed result is the real thing, not a stale memo:
+        # it matches an independent from-scratch run of the new config
+        fresh = ExperimentEngine(scale=self.SCALE).run(spec_16)
+        assert _fields(swept) == _fields(fresh)

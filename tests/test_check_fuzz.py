@@ -35,14 +35,14 @@ FAST_CHECKER_KW = dict(
 
 def _inject_squash_drop(monkeypatch):
     """The ISSUE's demo bug: one path forgets squashed-op accounting."""
-    orig = TimingEngine.run
+    orig = TimingEngine.run_packed
 
-    def buggy(self, units):
-        stats = orig(self, units)
+    def buggy(self, trace):
+        stats = orig(self, trace)
         stats.squashed_ops = 0
         return stats
 
-    monkeypatch.setattr(TimingEngine, "run", buggy)
+    monkeypatch.setattr(TimingEngine, "run_packed", buggy)
 
 
 class TestGenerator:

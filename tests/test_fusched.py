@@ -1,0 +1,96 @@
+"""FuSchedule: the bounded ring buffer replacing the unbounded
+``fu_sched`` dict must make bit-identical scheduling decisions and keep
+memory flat on long traces (the old code pruned at a 1M-entry cliff)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.fusched import FuSchedule
+
+
+class DictReference:
+    """The historical implementation, verbatim."""
+
+    def __init__(self, fu_count: int):
+        self.fu_count = fu_count
+        self.sched: dict[int, int] = {}
+
+    def reserve(self, start: int) -> int:
+        while self.sched.get(start, 0) >= self.fu_count:
+            start += 1
+        self.sched[start] = self.sched.get(start, 0) + 1
+        return start
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_streams_match_dict_reference(self, seed):
+        """Engine-shaped access pattern: a monotonically advancing floor
+        (fetch progress) with reserves at floor + bounded jitter, plus
+        occasional far-future reserves (long dependence chains) that
+        exercise the overflow dict and its migrate-on-access path."""
+        rng = random.Random(seed)
+        fu_count = rng.choice([1, 2, 4, 16])
+        ring = FuSchedule(fu_count, size=256)
+        ref = DictReference(fu_count)
+        floor = 0
+        for _ in range(3000):
+            floor += rng.choice([0, 0, 1, 1, 2, 5])
+            ring.advance_floor(floor)
+            jitter = rng.choice([0, 1, 3, 7, 40])
+            if rng.random() < 0.05:
+                jitter += rng.randrange(200, 2000)  # beyond the horizon
+            start = floor + jitter
+            assert ring.reserve(start) == ref.reserve(start)
+
+    def test_saturated_cycle_spills_forward(self):
+        ring = FuSchedule(2, size=64)
+        assert ring.reserve(5) == 5
+        assert ring.reserve(5) == 5
+        assert ring.reserve(5) == 6
+        assert ring.busy(5) == 2
+        assert ring.busy(6) == 1
+
+    def test_overflow_migrates_into_ring(self):
+        ring = FuSchedule(1, size=64)
+        far = 10_000
+        assert ring.reserve(far) == far  # overflow-dict path
+        assert ring.overflow_entries == 1
+        ring.advance_floor(far - 10)  # window now covers `far`
+        assert ring.reserve(far) == far + 1  # migrated count respected
+        assert ring.busy(far) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            FuSchedule(16, size=100)
+
+
+class TestFlatMemory:
+    def test_long_trace_keeps_memory_flat(self):
+        """Regression for the 1M-entry pruning cliff: after millions of
+        cycles of progress the ring is fixed-size and the overflow dict
+        stays near-empty."""
+        ring = FuSchedule(16, size=1 << 10)
+        rng = random.Random(0)
+        floor = 0
+        for _ in range(50_000):
+            floor += rng.choice([1, 2, 3])
+            ring.advance_floor(floor)
+            for _ in range(4):
+                ring.reserve(floor + rng.randrange(0, 64))
+        assert floor > 90_000
+        assert ring.size == 1 << 10  # never grows
+        assert ring.overflow_entries == 0
+
+    def test_overflow_pruned_after_floor_passes(self):
+        ring = FuSchedule(1, size=64)
+        # Scatter far-future reservations, then advance the floor far
+        # beyond them all: the prune on advance drops dead entries.
+        for cycle in range(10_000, 20_000):
+            ring.reserve(cycle)
+        assert ring.overflow_entries > 4096
+        ring.advance_floor(1_000_000)
+        assert ring.overflow_entries == 0
