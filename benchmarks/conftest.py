@@ -25,6 +25,7 @@ import os
 import pytest
 
 from repro.engine import ArtifactCache
+from repro.fidelity import Claim, evaluate_claim
 from repro.harness import ALL_EXPERIMENTS, SuiteRunner
 
 
@@ -49,6 +50,19 @@ def runner() -> SuiteRunner:
     # One plan per session: every figure's declared runs, deduplicated.
     shared.execute(list(ALL_EXPERIMENTS))
     return shared
+
+
+@pytest.fixture(scope="session")
+def results(runner: SuiteRunner) -> dict:
+    """Every experiment's result, assembled from the memoized session
+    runner — the mapping the fidelity claim registry evaluates."""
+    return {name: fn(runner) for name, fn in ALL_EXPERIMENTS.items()}
+
+
+def assert_claim(claim: Claim, results) -> None:
+    """Assert one registry claim holds; fail with its full verdict."""
+    outcome = evaluate_claim(claim, results)
+    assert outcome.passed, outcome.describe()
 
 
 def run_once(benchmark, fn, *args):

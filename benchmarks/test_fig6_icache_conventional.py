@@ -1,28 +1,28 @@
-"""Figure 6: conventional-ISA slowdown vs a perfect icache (16/32/64 KB).
+"""Figure 6: conventional-ISA slowdown vs a perfect icache.
 
-Paper: only gcc and go (large flat code) suffer visibly; the small
-benchmarks (compress, li, ijpeg) are nearly icache-insensitive at every
-size, and bigger caches monotonically help.
+Paper shape (encoded as registry claims): only the large flat-code
+benchmarks suffer visibly at the smallest cache, the small benchmarks
+are nearly insensitive at every size, and bigger caches monotonically
+help.
 """
 
+import pytest
+
+from repro.fidelity import claims_for
 from repro.harness import fig6_icache_conventional
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import assert_claim, run_once
 
 
 def test_fig6(benchmark, runner):
     result = run_once(benchmark, fig6_icache_conventional, runner)
     print("\n" + result.render())
-    rel = result.summary["relative_increase"]
     benchmark.extra_info["relative_increase"] = {
-        name: dict(sizes) for name, sizes in rel.items()
+        name: dict(sizes)
+        for name, sizes in result.summary["relative_increase"].items()
     }
 
-    for name, sizes in rel.items():
-        # monotone: bigger caches never hurt (small tolerance for LRU noise)
-        assert sizes[16] >= sizes[32] - 0.02 >= sizes[64] - 0.04, name
-        assert sizes[64] < 0.30, name
-    # the big-code benchmarks hurt most at 16 KB
-    big = max(rel["gcc"][16], rel["go"][16])
-    small = max(rel["compress"][16], rel["li"][16], rel["ijpeg"][16])
-    assert big > small
+
+@pytest.mark.parametrize("claim", claims_for("fig6"), ids=lambda c: c.id)
+def test_fig6_claims(claim, results):
+    assert_claim(claim, results)

@@ -1,29 +1,28 @@
-"""Figure 7: BS-ISA slowdown vs a perfect icache (16/32/64 KB).
+"""Figure 7: BS-ISA slowdown vs a perfect icache.
 
-Paper: block duplication makes the BS-ISA executables miss much harder
-than the conventional ones — worst for gcc and go — while the small
-benchmarks stay insensitive.
+Paper shape (encoded as registry claims): block duplication makes the
+BS-ISA executables miss harder than the conventional ones — worst for
+the large-code benchmarks — while the small benchmarks stay
+insensitive.
 """
 
-from repro.harness import fig6_icache_conventional, fig7_icache_block
+import pytest
 
-from benchmarks.conftest import run_once
+from repro.fidelity import claims_for
+from repro.harness import fig7_icache_block
+
+from benchmarks.conftest import assert_claim, run_once
 
 
 def test_fig7(benchmark, runner):
     result = run_once(benchmark, fig7_icache_block, runner)
     print("\n" + result.render())
-    rel = result.summary["relative_increase"]
     benchmark.extra_info["relative_increase"] = {
-        name: dict(sizes) for name, sizes in rel.items()
+        name: dict(sizes)
+        for name, sizes in result.summary["relative_increase"].items()
     }
 
-    conv = fig6_icache_conventional(runner).summary["relative_increase"]
-    # the paper's headline: duplication hurts the BS-ISA more than the
-    # conventional ISA on the large-code benchmarks
-    for name in ("gcc", "go"):
-        assert rel[name][16] > conv[name][16], name
-        assert rel[name][16] > 0.05, name
-    # small benchmarks stay nearly insensitive for both ISAs
-    for name in ("compress", "li"):
-        assert rel[name][64] < 0.05, name
+
+@pytest.mark.parametrize("claim", claims_for("fig7"), ids=lambda c: c.id)
+def test_fig7_claims(claim, results):
+    assert_claim(claim, results)

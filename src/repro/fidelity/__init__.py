@@ -1,0 +1,80 @@
+"""Paper-fidelity claim registry and regression gate.
+
+The paper's evaluation — Figs. 3-7, Tables 1-2 — is encoded once, as
+typed :class:`~repro.fidelity.claims.NumericClaim` /
+:class:`~repro.fidelity.claims.ShapeClaim` objects over the constants
+in :mod:`repro.fidelity.paper` (docs/fidelity.md). Everything else
+derives from that registry:
+
+* ``bsisa verify-paper`` evaluates it against an
+  :class:`~repro.engine.ExperimentEngine` session and emits the
+  schema-versioned ``BENCH_paper.json`` (``repro.fidelity/v1``),
+  exiting non-zero on any claim failure;
+* the benchmark suite (``benchmarks/test_fig*.py``) parametrizes its
+  assertions over ``claims_for(figure)`` instead of inline constants;
+* ``--write-experiments`` regenerates EXPERIMENTS.md's measured claim
+  table from the artifact, and a tier-1 test pins the committed file
+  to the committed artifact.
+"""
+
+from repro.fidelity.artifact import (
+    BEGIN_MARK,
+    END_MARK,
+    build_document,
+    extract_block,
+    render_experiments_block,
+    render_report,
+    splice_experiments,
+    update_experiments,
+    write_document,
+)
+from repro.fidelity.claims import (
+    FIGURES,
+    NUMERIC,
+    REGISTRY,
+    SHAPE,
+    Band,
+    Claim,
+    NumericClaim,
+    ShapeClaim,
+    claims_for,
+    get_claim,
+)
+from repro.fidelity.compare import (
+    FAIL,
+    PASS,
+    SKIP,
+    ClaimOutcome,
+    FidelityReport,
+    evaluate_claim,
+    evaluate_registry,
+)
+
+__all__ = [
+    "BEGIN_MARK",
+    "Band",
+    "Claim",
+    "ClaimOutcome",
+    "END_MARK",
+    "FAIL",
+    "FIGURES",
+    "FidelityReport",
+    "NUMERIC",
+    "NumericClaim",
+    "PASS",
+    "REGISTRY",
+    "SHAPE",
+    "SKIP",
+    "ShapeClaim",
+    "build_document",
+    "claims_for",
+    "evaluate_claim",
+    "evaluate_registry",
+    "extract_block",
+    "get_claim",
+    "render_experiments_block",
+    "render_report",
+    "splice_experiments",
+    "update_experiments",
+    "write_document",
+]

@@ -1,0 +1,206 @@
+"""The ``BENCH_paper.json`` artifact and the EXPERIMENTS.md generator.
+
+``bsisa verify-paper`` serializes a :class:`~.compare.FidelityReport`
+into a schema-versioned document (:data:`FIDELITY_SCHEMA_ID`,
+``repro.fidelity/v1``) validated by ``python -m repro.obs.schema``. The
+document is a pure function of the simulated results — no timestamps,
+no wall-clock — so the same tree at the same scale regenerates it
+byte-for-byte, which is what lets a committed copy gate documentation
+drift: ``--write-experiments`` splices a generated claim table between
+the :data:`BEGIN_MARK`/:data:`END_MARK` markers of EXPERIMENTS.md, and
+a tier-1 test re-renders that block from the committed artifact and
+asserts the committed file matches.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.fidelity.claims import NUMERIC, NumericClaim
+from repro.fidelity.compare import FAIL, SKIP, ClaimOutcome, FidelityReport
+from repro.obs.schema import FIDELITY_SCHEMA_ID
+
+#: EXPERIMENTS.md generated-block markers (the whole block, markers
+#: included, is machine-owned; everything outside them is hand-written).
+BEGIN_MARK = "<!-- verify-paper:begin (generated; do not edit by hand) -->"
+END_MARK = "<!-- verify-paper:end -->"
+
+#: Column width the generated table truncates shape evidence to.
+_EVIDENCE_WIDTH = 48
+
+
+def _claim_entry(outcome: ClaimOutcome) -> dict:
+    claim = outcome.claim
+    band = None
+    unit = ""
+    if isinstance(claim, NumericClaim):
+        band = {"low": claim.band.low, "high": claim.band.high}
+        unit = claim.unit
+    return {
+        "id": claim.id,
+        "figure": claim.figure,
+        "kind": claim.kind,
+        "statement": claim.statement,
+        "paper": claim.paper,
+        "band": band,
+        "unit": unit,
+        "measured": outcome.measured,
+        "status": outcome.status,
+        "detail": outcome.detail,
+    }
+
+
+def build_document(report: FidelityReport, meta: Mapping) -> dict:
+    """The ``repro.fidelity/v1`` document for one evaluation."""
+    return {
+        "schema": FIDELITY_SCHEMA_ID,
+        "meta": dict(meta),
+        "claims": [_claim_entry(outcome) for outcome in report.outcomes],
+        "summary": {
+            "checked": report.checked,
+            "passed": report.passed,
+            "failed": report.failed,
+            "skipped": report.skipped,
+            "shape_failed": report.shape_failed,
+            "numeric_failed": report.numeric_failed,
+            "ok": report.ok,
+        },
+    }
+
+
+def write_document(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_report(report: FidelityReport) -> str:
+    """Human-readable verdict listing for the CLI."""
+    lines = [outcome.describe() for outcome in report.outcomes]
+    lines.append(
+        f"{report.checked} claims: {report.passed} passed, "
+        f"{report.failed} failed ({report.shape_failed} shape, "
+        f"{report.numeric_failed} numeric), {report.skipped} skipped"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# EXPERIMENTS.md generation
+# ---------------------------------------------------------------------------
+
+
+def _fmt_number(value, unit: str) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return _fmt_evidence(value)
+    if isinstance(value, int):
+        return f"{value:,d}{unit}"
+    return f"{value:+.1f}{unit}" if unit == "%" else f"{value:.2f}{unit}"
+
+
+def _fmt_evidence(value) -> str:
+    """Compact deterministic rendering of shape-claim evidence."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "holds" if value else "violated"
+    if isinstance(value, str):
+        text = value
+    else:
+        text = json.dumps(value, sort_keys=True, default=str)
+    if len(text) > _EVIDENCE_WIDTH:
+        text = text[: _EVIDENCE_WIDTH - 1] + "…"
+    return text
+
+
+def _row(entry: dict) -> str:
+    if entry["kind"] == NUMERIC:
+        paper = _fmt_number(entry["paper"], entry["unit"])
+        measured = (
+            "—"
+            if entry["status"] == SKIP
+            else _fmt_number(entry["measured"], entry["unit"])
+        )
+    else:
+        paper = "(shape)"
+        measured = (
+            "—" if entry["status"] == SKIP else _fmt_evidence(entry["measured"])
+        )
+    verdict = {"pass": "pass", "fail": "**FAIL**", "skip": "skipped"}[
+        entry["status"]
+    ]
+    return (
+        f"| `{entry['id']}` | {entry['kind']} | {paper} | {measured} "
+        f"| {verdict} |"
+    )
+
+
+def render_experiments_block(doc: dict) -> str:
+    """The generated EXPERIMENTS.md section, markers included.
+
+    A pure function of the artifact document: regenerating from the
+    same ``BENCH_paper.json`` must reproduce the committed block
+    byte-for-byte (asserted by ``tests/test_experiments_doc.py``).
+    """
+    meta = doc["meta"]
+    summary = doc["summary"]
+    lines = [
+        BEGIN_MARK,
+        "",
+        "## Machine-checked claim registry (`bsisa verify-paper`)",
+        "",
+        f"Evaluated at scale {meta['scale']:g} over "
+        f"{len(meta['benchmarks'])} benchmarks; artifact: "
+        "`BENCH_paper.json` (`repro.fidelity/v1`). Regenerate with "
+        "`bsisa verify-paper --write-experiments`; the registry in "
+        "`repro.fidelity.claims` is the single source of every paper "
+        "number.",
+        "",
+        "| Claim | Kind | Paper | Measured | Verdict |",
+        "|---|---|---:|---:|---|",
+    ]
+    for entry in doc["claims"]:
+        lines.append(_row(entry))
+    lines += [
+        "",
+        f"**{summary['checked']} claims: {summary['passed']} passed, "
+        f"{summary['failed']} failed ({summary['shape_failed']} shape, "
+        f"{summary['numeric_failed']} numeric), {summary['skipped']} "
+        "skipped.**",
+        "",
+        END_MARK,
+    ]
+    return "\n".join(lines)
+
+
+def extract_block(text: str) -> str | None:
+    """The current generated block of an EXPERIMENTS.md text, or None."""
+    try:
+        start = text.index(BEGIN_MARK)
+        end = text.index(END_MARK) + len(END_MARK)
+    except ValueError:
+        return None
+    return text[start:end]
+
+
+def splice_experiments(text: str, doc: dict) -> str:
+    """Replace (or append) the generated block in *text*."""
+    block = render_experiments_block(doc)
+    current = extract_block(text)
+    if current is not None:
+        return text.replace(current, block)
+    if text and not text.endswith("\n"):
+        text += "\n"
+    return f"{text}\n{block}\n"
+
+
+def update_experiments(doc: dict, path: str) -> None:
+    """Rewrite *path*'s generated block from *doc* in place."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except FileNotFoundError:
+        text = "# EXPERIMENTS — paper vs. measured\n"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(splice_experiments(text, doc))

@@ -1,0 +1,596 @@
+"""Typed claims over the paper's evaluation, built from :mod:`.paper`.
+
+Two claim kinds cover everything the paper's evaluation asserts:
+
+* :class:`NumericClaim` — "the paper states value X"; the reproduction
+  must land inside an explicit tolerance :class:`Band`. Bands are wide
+  where DESIGN.md documents a substitution (MiniC stand-ins, a directed
+  timing model) and tight where the value is structural.
+* :class:`ShapeClaim` — orderings, signs of deltas, and crossover
+  points ("m88ksim wins the most", "go sits at the icache crossover",
+  "block duplication hurts the BS-ISA more"). These must hold exactly:
+  a shape failure means the reproduction no longer tells the paper's
+  story, whatever the absolute numbers do.
+
+:data:`REGISTRY` is the single machine-readable source of truth; the
+benchmark suite parametrizes over it (``claims_for``), the comparator
+(:mod:`repro.fidelity.compare`) evaluates it, and ``bsisa verify-paper``
+gates on it. Claims read experiment results duck-typed as a mapping
+``{"table1": .., "fig3": .., ...}`` of objects with a ``summary`` dict —
+exactly what :data:`repro.harness.ALL_EXPERIMENTS` produces — so this
+module never imports the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.fidelity import paper
+
+NUMERIC = "numeric"
+SHAPE = "shape"
+
+#: Reproduction floor for Table 2's stand-in workloads: every benchmark
+#: must execute a non-trivial dynamic instruction count.
+MIN_DYNAMIC_OPS = 5_000
+
+#: LRU-noise tolerances for the Fig. 6/7 monotonicity claim (a bigger
+#: cache may lose a handful of cycles to unlucky replacement).
+MONOTONE_TOL_32KB = 0.02
+MONOTONE_TOL_64KB = 0.04
+
+#: Relative-slowdown thresholds for the icache-sensitivity claims.
+ICACHE_SENSITIVE_FLOOR = 0.05
+ICACHE_INSENSITIVE_CEIL = 0.05
+ICACHE_CONVERGED_CEIL = 0.30
+
+
+@dataclass(frozen=True)
+class Band:
+    """Inclusive tolerance interval; ``None`` leaves a side open."""
+
+    low: float | None = None
+    high: float | None = None
+
+    def contains(self, value: float) -> bool:
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def describe(self) -> str:
+        low = "-inf" if self.low is None else f"{self.low:g}"
+        high = "+inf" if self.high is None else f"{self.high:g}"
+        return f"[{low}, {high}]"
+
+
+@dataclass(frozen=True)
+class NumericClaim:
+    """A stated paper value the measured run must reproduce in-band."""
+
+    id: str
+    figure: str
+    statement: str
+    paper: float
+    band: Band
+    extract: Callable[[Mapping], float] = field(repr=False)
+    unit: str = "%"
+    kind: str = field(default=NUMERIC, init=False)
+
+
+@dataclass(frozen=True)
+class ShapeClaim:
+    """A qualitative claim (ordering/sign/crossover) that must hold
+    exactly. ``check`` returns ``(holds, measured, detail)``; *measured*
+    is the JSON-able evidence recorded in the artifact."""
+
+    id: str
+    figure: str
+    statement: str
+    check: Callable[[Mapping], tuple[bool, object, str]] = field(repr=False)
+    paper: object = None
+    kind: str = field(default=SHAPE, init=False)
+
+
+Claim = NumericClaim | ShapeClaim
+
+
+def _summary(results: Mapping, figure: str) -> dict:
+    return results[figure].summary
+
+
+def _full_suite(mapping: Mapping) -> Mapping:
+    """Raise ``KeyError`` unless every Table-2 benchmark is present.
+
+    Suite-wide claims (means, orderings, majority counts) are undefined
+    over a ``--benchmarks`` subset; the comparator turns the raised
+    ``KeyError`` into a *skipped* outcome instead of a bogus verdict.
+    """
+    for name in paper.TABLE2_BENCHMARKS:
+        if name not in mapping:
+            raise KeyError(name)
+    return mapping
+
+
+# ---------------------------------------------------------------------------
+# Shape checks (each returns (holds, measured, detail))
+# ---------------------------------------------------------------------------
+
+
+def _table1_exact(results):
+    measured = dict(_summary(results, "table1"))
+    holds = measured == dict(paper.TABLE1_LATENCIES)
+    diff = {
+        cls: (paper.TABLE1_LATENCIES.get(cls), measured.get(cls))
+        for cls in set(measured) | set(paper.TABLE1_LATENCIES)
+        if measured.get(cls) != paper.TABLE1_LATENCIES.get(cls)
+    }
+    detail = "" if holds else f"latency mismatches (paper, measured): {diff}"
+    return holds, measured, detail
+
+
+def _table2_suite(results):
+    measured = sorted(_summary(results, "table2"))
+    expected = sorted(paper.TABLE2_BENCHMARKS)
+    holds = measured == expected
+    detail = "" if holds else f"suite is {measured}, paper runs {expected}"
+    return holds, measured, detail
+
+
+def _table2_nontrivial(results):
+    counts = _summary(results, "table2")
+    smallest = min(counts, key=counts.get)
+    measured = {smallest: counts[smallest]}
+    holds = counts[smallest] > MIN_DYNAMIC_OPS
+    detail = "" if holds else (
+        f"{smallest} executes only {counts[smallest]} dynamic ops "
+        f"(floor {MIN_DYNAMIC_OPS})"
+    )
+    return holds, measured, detail
+
+
+def _fig3_m88ksim_best(results):
+    red = _full_suite(_summary(results, "fig3")["reductions"])
+    best = max(red, key=red.get)
+    return (
+        best == "m88ksim",
+        {"best": best, "reduction_pct": red[best]},
+        "" if best == "m88ksim" else f"{best} beats m88ksim",
+    )
+
+
+def _fig3_majority_wins(results):
+    red = _full_suite(_summary(results, "fig3")["reductions"])
+    winners = sorted(name for name, value in red.items() if value > 0)
+    holds = len(winners) >= 5
+    detail = "" if holds else f"only {len(winners)} of {len(red)} win: {winners}"
+    return holds, winners, detail
+
+
+def _fig3_go_trails_mean(results):
+    summary = _summary(results, "fig3")
+    _full_suite(summary["reductions"])
+    go = summary["reductions"]["go"]
+    mean = summary["mean_reduction_pct"]
+    holds = go < mean
+    measured = {"go_pct": go, "mean_pct": mean}
+    detail = "" if holds else f"go ({go:+.1f}%) does not trail the mean"
+    return holds, measured, detail
+
+
+def _fig4_no_mispredicts(results):
+    summary = _summary(results, "fig4")
+    measured = {
+        "mispredicts": summary["total_mispredicts"],
+        "squashed_blocks": summary["total_squashed_blocks"],
+    }
+    holds = not measured["mispredicts"] and not measured["squashed_blocks"]
+    detail = "" if holds else f"perfect-BP runs still mispredict: {measured}"
+    return holds, measured, detail
+
+
+def _fig4_widens_gap(results):
+    fig3 = _full_suite(_summary(results, "fig3")["reductions"])
+    fig4 = _summary(results, "fig4")["reductions"]
+    gains = {
+        name: fig4[name] - fig3[name] for name in fig3 if name != "go"
+    }
+    gainers = sorted(name for name, g in gains.items() if g > 0)
+    holds = len(gainers) >= 3
+    detail = "" if holds else (
+        f"only {gainers} gain from perfect prediction (need >= 3 non-go)"
+    )
+    return holds, gainers, detail
+
+
+def _fig5_every_benchmark_grows(results):
+    summary = _summary(results, "fig5")
+    conv, block = summary["conventional"], summary["block"]
+    shrinkers = sorted(n for n in conv if block[n] <= conv[n])
+    worst = min(conv, key=lambda n: block[n] - conv[n])
+    measured = {worst: {"conventional": conv[worst], "block": block[worst]}}
+    holds = not shrinkers
+    detail = "" if holds else f"blocks did not grow on: {shrinkers}"
+    return holds, measured, detail
+
+
+def _fig5_fetch_headroom(results):
+    mean_block = _mean_block_size("mean_block")(results)
+    utilization = mean_block / paper.FETCH_WIDTH_OPS
+    holds = utilization < 0.75
+    detail = "" if holds else (
+        f"enlarged blocks fill {utilization:.0%} of the "
+        f"{paper.FETCH_WIDTH_OPS}-op fetch width"
+    )
+    return holds, {"fetch_utilization": utilization}, detail
+
+
+def _fig6_monotone(results):
+    rel = _summary(results, "fig6")["relative_increase"]
+    offenders = sorted(
+        name
+        for name, sizes in rel.items()
+        if not sizes[16] >= sizes[32] - MONOTONE_TOL_32KB
+        or not sizes[32] - MONOTONE_TOL_32KB >= sizes[64] - MONOTONE_TOL_64KB
+    )
+    holds = not offenders
+    detail = "" if holds else f"bigger caches hurt: {offenders}"
+    return holds, offenders, detail
+
+
+def _fig6_converged(results):
+    rel = _summary(results, "fig6")["relative_increase"]
+    worst = max(rel, key=lambda n: rel[n][64])
+    measured = {worst: rel[worst][64]}
+    holds = rel[worst][64] < ICACHE_CONVERGED_CEIL
+    detail = "" if holds else (
+        f"{worst} still loses {rel[worst][64]:.2f} at 64 KB"
+    )
+    return holds, measured, detail
+
+
+def _fig6_big_code_suffers(results):
+    rel = _summary(results, "fig6")["relative_increase"]
+    big = max(rel["gcc"][16], rel["go"][16])
+    small = max(rel["compress"][16], rel["li"][16], rel["ijpeg"][16])
+    holds = big > small
+    measured = {"big_16kb": big, "small_16kb": small}
+    detail = "" if holds else (
+        "small benchmarks are as icache-sensitive as gcc/go"
+    )
+    return holds, measured, detail
+
+
+def _fig7_duplication_amplifies(results):
+    conv = _summary(results, "fig6")["relative_increase"]
+    block = _summary(results, "fig7")["relative_increase"]
+    measured = {
+        name: {"conventional": conv[name][16], "block": block[name][16]}
+        for name in ("gcc", "go")
+    }
+    offenders = sorted(
+        name
+        for name, pair in measured.items()
+        if pair["block"] <= pair["conventional"]
+    )
+    holds = not offenders
+    detail = "" if holds else (
+        f"duplication does not amplify misses on: {offenders}"
+    )
+    return holds, measured, detail
+
+
+def _fig7_big_code_sensitive(results):
+    rel = _summary(results, "fig7")["relative_increase"]
+    measured = {name: rel[name][16] for name in ("gcc", "go")}
+    offenders = sorted(
+        name
+        for name, value in measured.items()
+        if value <= ICACHE_SENSITIVE_FLOOR
+    )
+    holds = not offenders
+    detail = "" if holds else f"BS-ISA icache-insensitive on: {offenders}"
+    return holds, measured, detail
+
+
+def _fig7_small_insensitive(results):
+    rel = _summary(results, "fig7")["relative_increase"]
+    measured = {name: rel[name][64] for name in ("compress", "li")}
+    offenders = sorted(
+        name
+        for name, value in measured.items()
+        if value >= ICACHE_INSENSITIVE_CEIL
+    )
+    holds = not offenders
+    detail = "" if holds else f"small benchmarks icache-sensitive: {offenders}"
+    return holds, measured, detail
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+def _reduction(figure: str, name: str):
+    return lambda results: _summary(results, figure)["reductions"][name]
+
+
+def _mean_reduction(figure: str):
+    def extract(results):
+        summary = _summary(results, figure)
+        _full_suite(summary["reductions"])
+        return summary["mean_reduction_pct"]
+
+    return extract
+
+
+def _mean_block_size(key: str):
+    def extract(results):
+        summary = _summary(results, "fig5")
+        _full_suite(summary["conventional"])
+        return summary[key]
+
+    return extract
+
+
+REGISTRY: tuple[Claim, ...] = (
+    # ----- Table 1 ------------------------------------------------------
+    ShapeClaim(
+        id="table1.latencies_exact",
+        figure="table1",
+        statement=(
+            "The simulated machine uses exactly Table 1's instruction "
+            "classes and execution latencies."
+        ),
+        paper=paper.TABLE1_LATENCIES,
+        check=_table1_exact,
+    ),
+    # ----- Table 2 ------------------------------------------------------
+    ShapeClaim(
+        id="table2.suite_complete",
+        figure="table2",
+        statement=(
+            "The evaluation runs the eight SPECint95 benchmarks of "
+            "Table 2."
+        ),
+        paper=list(paper.TABLE2_BENCHMARKS),
+        check=_table2_suite,
+    ),
+    ShapeClaim(
+        id="table2.nontrivial_counts",
+        figure="table2",
+        statement=(
+            "Every benchmark executes a non-trivial dynamic instruction "
+            "count (the stand-ins are ~3 orders smaller than Table 2's "
+            "SPEC counts by design, DESIGN.md section 2)."
+        ),
+        paper=paper.TABLE2_DYNAMIC_INSTRUCTIONS,
+        check=_table2_nontrivial,
+    ),
+    # ----- Figure 3 -----------------------------------------------------
+    NumericClaim(
+        id="fig3.mean_reduction",
+        figure="fig3",
+        statement=(
+            "The BS-ISA reduces execution time by "
+            f"{paper.FIG3_AVERAGE_REDUCTION_PCT}% on average with a "
+            "64 KB icache and real branch prediction."
+        ),
+        paper=paper.FIG3_AVERAGE_REDUCTION_PCT,
+        band=Band(low=3.0),
+        extract=_mean_reduction("fig3"),
+    ),
+    NumericClaim(
+        id="fig3.m88ksim_reduction",
+        figure="fig3",
+        statement=(
+            "m88ksim, the most predictable fetch-bound benchmark, gains "
+            f"the most ({paper.FIG3_REDUCTION_PCT['m88ksim']}%)."
+        ),
+        paper=paper.FIG3_REDUCTION_PCT["m88ksim"],
+        band=Band(low=12.0),
+        extract=_reduction("fig3", "m88ksim"),
+    ),
+    NumericClaim(
+        id="fig3.gcc_reduction",
+        figure="fig3",
+        statement=(
+            "gcc wins modestly "
+            f"({paper.FIG3_REDUCTION_PCT['gcc']}%, the paper's floor "
+            "among the winners)."
+        ),
+        paper=paper.FIG3_REDUCTION_PCT["gcc"],
+        band=Band(low=0.0),
+        extract=_reduction("fig3", "gcc"),
+    ),
+    NumericClaim(
+        id="fig3.go_reduction",
+        figure="fig3",
+        statement=(
+            "go roughly breaks even or loses "
+            f"({paper.FIG3_REDUCTION_PCT['go']}%) because block "
+            "duplication inflates its icache miss rate."
+        ),
+        paper=paper.FIG3_REDUCTION_PCT["go"],
+        band=Band(high=5.0),
+        extract=_reduction("fig3", "go"),
+    ),
+    ShapeClaim(
+        id="fig3.m88ksim_best",
+        figure="fig3",
+        statement="m88ksim is the best case for the BS-ISA.",
+        check=_fig3_m88ksim_best,
+    ),
+    ShapeClaim(
+        id="fig3.majority_wins",
+        figure="fig3",
+        statement="A solid majority of the suite (>= 5 of 8) wins.",
+        check=_fig3_majority_wins,
+    ),
+    ShapeClaim(
+        id="fig3.go_trails_mean",
+        figure="fig3",
+        statement=(
+            "go sits at the icache-duplication crossover, well below "
+            "the suite mean."
+        ),
+        check=_fig3_go_trails_mean,
+    ),
+    # ----- Figure 4 -----------------------------------------------------
+    NumericClaim(
+        id="fig4.mean_reduction",
+        figure="fig4",
+        statement=(
+            "With perfect branch prediction the average reduction grows "
+            f"to {paper.FIG4_AVERAGE_REDUCTION_PCT}%."
+        ),
+        paper=paper.FIG4_AVERAGE_REDUCTION_PCT,
+        band=Band(low=5.0),
+        extract=_mean_reduction("fig4"),
+    ),
+    ShapeClaim(
+        id="fig4.perfect_bp_no_mispredicts",
+        figure="fig4",
+        statement=(
+            "The perfect-prediction runs really execute with zero "
+            "mispredictions and zero squashed blocks."
+        ),
+        check=_fig4_no_mispredicts,
+    ),
+    ShapeClaim(
+        id="fig4.perfect_bp_widens_gap",
+        figure="fig4",
+        statement=(
+            "Removing mispredictions helps the BS-ISA more than the "
+            "conventional ISA on the predictability-limited benchmarks "
+            "(go, the icache-bound case, aside)."
+        ),
+        check=_fig4_widens_gap,
+    ),
+    # ----- Figure 5 -----------------------------------------------------
+    NumericClaim(
+        id="fig5.mean_conventional",
+        figure="fig5",
+        statement=(
+            "Conventional basic blocks average "
+            f"{paper.FIG5_AVG_BLOCK_CONVENTIONAL} dynamic ops."
+        ),
+        paper=paper.FIG5_AVG_BLOCK_CONVENTIONAL,
+        band=Band(low=4.0, high=8.0),
+        extract=_mean_block_size("mean_conventional"),
+        unit=" ops",
+    ),
+    NumericClaim(
+        id="fig5.mean_block",
+        figure="fig5",
+        statement=(
+            "Enlarged atomic blocks average "
+            f"{paper.FIG5_AVG_BLOCK_STRUCTURED} dynamic ops."
+        ),
+        paper=paper.FIG5_AVG_BLOCK_STRUCTURED,
+        band=Band(low=7.0, high=12.0),
+        extract=_mean_block_size("mean_block"),
+        unit=" ops",
+    ),
+    NumericClaim(
+        id="fig5.growth_pct",
+        figure="fig5",
+        statement=(
+            "Enlargement grows the average retired block by "
+            f"{paper.FIG5_GROWTH_PCT:g}%."
+        ),
+        paper=paper.FIG5_GROWTH_PCT,
+        band=Band(low=25.0, high=100.0),
+        extract=lambda results: 100.0
+        * (
+            _mean_block_size("mean_block")(results)
+            / _mean_block_size("mean_conventional")(results)
+            - 1.0
+        ),
+    ),
+    ShapeClaim(
+        id="fig5.every_benchmark_grows",
+        figure="fig5",
+        statement="Every benchmark's average retired block grows.",
+        check=_fig5_every_benchmark_grows,
+    ),
+    ShapeClaim(
+        id="fig5.fetch_width_headroom",
+        figure="fig5",
+        statement=(
+            "Much of the 16-op fetch width stays unused even after "
+            "enlargement (calls/returns terminate blocks)."
+        ),
+        check=_fig5_fetch_headroom,
+    ),
+    # ----- Figure 6 -----------------------------------------------------
+    ShapeClaim(
+        id="fig6.monotone_in_cache_size",
+        figure="fig6",
+        statement="Bigger icaches never hurt the conventional ISA.",
+        check=_fig6_monotone,
+    ),
+    ShapeClaim(
+        id="fig6.converged_at_64kb",
+        figure="fig6",
+        statement=(
+            "At 64 KB every conventional executable is close to its "
+            "perfect-icache performance."
+        ),
+        check=_fig6_converged,
+    ),
+    ShapeClaim(
+        id="fig6.big_code_suffers_most",
+        figure="fig6",
+        statement=(
+            "Only the large-flat-code benchmarks (gcc, go) are visibly "
+            "icache-sensitive; compress/li/ijpeg are nearly flat."
+        ),
+        check=_fig6_big_code_suffers,
+    ),
+    # ----- Figure 7 -----------------------------------------------------
+    ShapeClaim(
+        id="fig7.duplication_amplifies_misses",
+        figure="fig7",
+        statement=(
+            "Block duplication makes the BS-ISA executables miss harder "
+            "than the conventional ones on the large-code benchmarks."
+        ),
+        check=_fig7_duplication_amplifies,
+    ),
+    ShapeClaim(
+        id="fig7.big_code_sensitive",
+        figure="fig7",
+        statement=(
+            "The BS-ISA's gcc and go clearly suffer at 16 KB (this is "
+            "what turns Fig. 3's go into a loss)."
+        ),
+        check=_fig7_big_code_sensitive,
+    ),
+    ShapeClaim(
+        id="fig7.small_benchmarks_insensitive",
+        figure="fig7",
+        statement=(
+            "The small benchmarks stay icache-insensitive even with "
+            "duplicated blocks."
+        ),
+        check=_fig7_small_insensitive,
+    ),
+)
+
+#: Figures/tables covered by the registry, in the paper's order.
+FIGURES = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def claims_for(figure: str) -> tuple[Claim, ...]:
+    """Every registry claim attached to *figure* (e.g. ``"fig3"``)."""
+    return tuple(claim for claim in REGISTRY if claim.figure == figure)
+
+
+def get_claim(claim_id: str) -> Claim:
+    for claim in REGISTRY:
+        if claim.id == claim_id:
+            return claim
+    raise KeyError(f"unknown claim {claim_id!r}")

@@ -1,0 +1,157 @@
+"""Evaluate the claim registry against measured experiment results.
+
+The comparator is deliberately dumb: it knows nothing about figures or
+tolerances — each claim carries its own extraction and check — and it
+never raises on a missing experiment or benchmark. A claim whose
+extraction hits a ``KeyError`` (a reduced ``--benchmarks`` subset, an
+experiment that was not run) is recorded as *skipped*, never as passed:
+the artifact always says exactly which claims were checked.
+
+Telemetry: every evaluation publishes
+``fidelity.claims_checked{figure=}`` / ``fidelity.claims_failed{figure=}``
+counters and runs under a ``fidelity.verify`` span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.fidelity.claims import (
+    NUMERIC,
+    REGISTRY,
+    SHAPE,
+    Claim,
+    NumericClaim,
+)
+from repro.obs.telemetry import Telemetry, get_telemetry
+
+PASS = "pass"
+FAIL = "fail"
+SKIP = "skip"
+
+STATUSES = (PASS, FAIL, SKIP)
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    """One claim's verdict against one set of measured results."""
+
+    claim: Claim = field(repr=False)
+    status: str
+    measured: object = None
+    detail: str = ""
+
+    @property
+    def id(self) -> str:
+        return self.claim.id
+
+    @property
+    def passed(self) -> bool:
+        return self.status == PASS
+
+    def describe(self) -> str:
+        text = (
+            f"[{self.status}] {self.claim.id} ({self.claim.kind}): "
+            f"{self.claim.statement}"
+        )
+        if self.claim.kind == NUMERIC and self.status != SKIP:
+            text += (
+                f" — paper {self.claim.paper:g}{self.claim.unit}, measured "
+                f"{self.measured:g}{self.claim.unit}, tolerance "
+                f"{self.claim.band.describe()}"
+            )
+        if self.detail:
+            text += f" — {self.detail}"
+        return text
+
+
+@dataclass
+class FidelityReport:
+    """Every claim outcome from one ``verify-paper`` evaluation."""
+
+    outcomes: list[ClaimOutcome]
+
+    def _count(self, status: str, kind: str | None = None) -> int:
+        return sum(
+            1
+            for o in self.outcomes
+            if o.status == status and (kind is None or o.claim.kind == kind)
+        )
+
+    @property
+    def checked(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def passed(self) -> int:
+        return self._count(PASS)
+
+    @property
+    def failed(self) -> int:
+        return self._count(FAIL)
+
+    @property
+    def skipped(self) -> int:
+        return self._count(SKIP)
+
+    @property
+    def shape_failed(self) -> int:
+        return self._count(FAIL, SHAPE)
+
+    @property
+    def numeric_failed(self) -> int:
+        return self._count(FAIL, NUMERIC)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no claim of either kind failed."""
+        return self.failed == 0
+
+    def failures(self) -> list[ClaimOutcome]:
+        return [o for o in self.outcomes if o.status == FAIL]
+
+
+def evaluate_claim(claim: Claim, results: Mapping) -> ClaimOutcome:
+    """One claim against the ``{experiment: ExperimentResult}`` map."""
+    try:
+        if isinstance(claim, NumericClaim):
+            measured = claim.extract(results)
+            if claim.band.contains(measured):
+                return ClaimOutcome(claim, PASS, measured)
+            return ClaimOutcome(
+                claim,
+                FAIL,
+                measured,
+                detail=(
+                    f"measured {measured:g}{claim.unit} outside tolerance "
+                    f"{claim.band.describe()} (paper "
+                    f"{claim.paper:g}{claim.unit})"
+                ),
+            )
+        holds, measured, detail = claim.check(results)
+        return ClaimOutcome(claim, PASS if holds else FAIL, measured, detail)
+    except KeyError as exc:
+        return ClaimOutcome(
+            claim, SKIP, detail=f"not evaluated: missing {exc.args[0]!r}"
+        )
+
+
+def evaluate_registry(
+    results: Mapping,
+    registry: tuple[Claim, ...] | None = None,
+    telemetry: Telemetry | None = None,
+) -> FidelityReport:
+    """Evaluate every claim (default: the full :data:`REGISTRY`)."""
+    claims = REGISTRY if registry is None else registry
+    tel = telemetry if telemetry is not None else get_telemetry()
+    with tel.span("fidelity.verify"):
+        outcomes = [evaluate_claim(claim, results) for claim in claims]
+    if tel.enabled:
+        for outcome in outcomes:
+            labels = {"figure": outcome.claim.figure}
+            if outcome.status != SKIP:
+                tel.metrics.inc("fidelity.claims_checked", **labels)
+            if outcome.status == FAIL:
+                tel.metrics.inc("fidelity.claims_failed", **labels)
+    return FidelityReport(outcomes)

@@ -19,6 +19,13 @@
     bsisa trace compress --limit 20     # JSONL pipeline events
     bsisa fuzz --budget 200 --seed 7    # cosimulation-oracle fuzzing
     bsisa fuzz --replay corpus/fail-0-4.minic   # re-run a saved failure
+    bsisa verify-paper                  # paper-fidelity regression gate
+    bsisa verify-paper -o BENCH_paper.json --write-experiments
+
+Exit codes are a contract (tests/test_cli_exit_codes.py): 0 success,
+1 operational failure (fuzz oracle violation, perf stats mismatch),
+2 usage error (argparse or unknown name), 3 paper-claim failure from
+``verify-paper``.
 """
 
 from __future__ import annotations
@@ -34,6 +41,21 @@ from repro.obs import Telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.run import simulate_block_structured, simulate_conventional
 from repro.workloads import SUITE
+
+#: The CLI's exit-code contract.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_CLAIMS = 3
+
+#: Scale ``verify-paper`` evaluates at unless ``--scale`` overrides it —
+#: the benchmark suite's default (benchmarks/conftest.py), so the gate
+#: checks exactly what ``pytest benchmarks/`` measures.
+DEFAULT_VERIFY_SCALE = 0.35
+
+
+def default_verify_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_VERIFY_SCALE))
 
 
 def _cmd_list(_args) -> int:
@@ -99,6 +121,78 @@ def _cmd_run(args) -> int:
             {"command": "run", "experiments": names, "scale": runner.scale},
         )
     return 0
+
+
+def _cmd_verify_paper(args) -> int:
+    """Evaluate the paper-fidelity claim registry and gate on it."""
+    from repro import fidelity
+
+    benchmarks = args.benchmarks or None
+    if benchmarks:
+        unknown = [b for b in benchmarks if b not in SUITE]
+        if unknown:
+            print(
+                f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr
+            )
+            return EXIT_USAGE
+    scale = args.scale if args.scale is not None else default_verify_scale()
+    tel = _make_telemetry(args)
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    runner = SuiteRunner(
+        scale=scale,
+        benchmarks=benchmarks,
+        telemetry=tel,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    runner.execute(list(ALL_EXPERIMENTS))
+    results = {name: fn(runner) for name, fn in ALL_EXPERIMENTS.items()}
+    report = fidelity.evaluate_registry(results, telemetry=tel)
+    print(fidelity.render_report(report))
+    doc = fidelity.build_document(
+        report,
+        meta={
+            "command": "verify-paper",
+            "scale": scale,
+            "benchmarks": runner.benchmarks,
+        },
+    )
+    rc = EXIT_OK if report.ok else EXIT_CLAIMS
+    if args.output:
+        try:
+            fidelity.write_document(doc, args.output)
+        except OSError as exc:
+            print(f"cannot write {args.output}: {exc}", file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"fidelity artifact written to {args.output}", file=sys.stderr)
+    if args.write_experiments:
+        try:
+            fidelity.update_experiments(doc, args.experiments_path)
+        except OSError as exc:
+            print(
+                f"cannot rewrite {args.experiments_path}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_FAILURE
+        print(
+            f"generated block of {args.experiments_path} rewritten",
+            file=sys.stderr,
+        )
+    if not report.ok:
+        print(
+            f"verify-paper: {report.failed} claim(s) FAILED "
+            f"({report.shape_failed} shape, {report.numeric_failed} "
+            f"numeric)",
+            file=sys.stderr,
+        )
+    if tel is not None:
+        artifact_rc = _write_artifact(
+            tel,
+            args.metrics_json,
+            {"command": "verify-paper", "scale": scale},
+        )
+        rc = rc or artifact_rc
+    return rc
 
 
 def _cmd_cache(args) -> int:
@@ -265,6 +359,11 @@ def _cmd_fuzz(args) -> int:
 
     checker = CosimChecker(telemetry=tel)
     if args.replay:
+        if not os.path.isfile(args.replay):
+            print(
+                f"no such corpus program: {args.replay}", file=sys.stderr
+            )
+            return EXIT_USAGE
         report = replay(args.replay, checker=checker)
         print(report.summary())
         rc = 0 if report.ok else 1
@@ -355,6 +454,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the unified telemetry artifact (metrics+spans+trace)",
     )
     run.set_defaults(fn=_cmd_run)
+
+    verify = sub.add_parser(
+        "verify-paper",
+        help="evaluate the paper-fidelity claim registry "
+        "(BENCH_paper.json artifact; exit 3 on claim failure)",
+    )
+    verify.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale (default: $REPRO_BENCH_SCALE or "
+        f"{DEFAULT_VERIFY_SCALE}, the benchmark suite's default)",
+    )
+    verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="execute the deduplicated plan across N processes",
+    )
+    verify.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk artifact cache",
+    )
+    verify.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="artifact cache location (default: $BSISA_CACHE_DIR "
+        "or ~/.cache/bsisa)",
+    )
+    verify.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="restrict to a benchmark subset (suite-wide claims are "
+        "skipped or fail honestly; the gate wants the full suite)",
+    )
+    verify.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="write the schema-versioned fidelity artifact "
+        "(BENCH_paper.json, repro.fidelity/v1)",
+    )
+    verify.add_argument(
+        "--write-experiments",
+        action="store_true",
+        help="rewrite the generated claim table in EXPERIMENTS.md "
+        "from this evaluation",
+    )
+    verify.add_argument(
+        "--experiments-path",
+        metavar="PATH",
+        default="EXPERIMENTS.md",
+        help="file --write-experiments rewrites (default: EXPERIMENTS.md)",
+    )
+    verify.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the unified telemetry artifact (metrics+spans+trace)",
+    )
+    verify.set_defaults(fn=_cmd_verify_paper)
 
     cache = sub.add_parser("cache", help="artifact-cache maintenance")
     cache.add_argument("action", choices=["stats", "clear"])

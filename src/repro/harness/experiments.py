@@ -26,6 +26,7 @@ from repro.engine import (
     RunSpec,
     build_plan,
 )
+from repro.fidelity import paper
 from repro.harness.render import ascii_table, grouped_bars
 from repro.isa.latencies import CLASS_DESCRIPTION, LATENCY, InstrClass
 from repro.obs.telemetry import Telemetry
@@ -41,19 +42,10 @@ __all__ = [
     "default_scale",
 ]
 
-#: Paper-reported values for side-by-side comparison (EXPERIMENTS.md).
-PAPER_FIG3_REDUCTION = {
-    "gcc": 7.2,
-    "m88ksim": 19.9,
-    "go": -1.5,
-}
-PAPER_FIG3_AVERAGE = 12.3
-PAPER_FIG4_AVERAGE = 19.1
-PAPER_FIG5_AVG_CONV = 5.2
-PAPER_FIG5_AVG_BLOCK = 8.2
-
-#: Icache sizes swept by Figures 6 and 7 (KB).
-ICACHE_SWEEP_KB = (16, 32, 64)
+#: Icache sizes swept by Figures 6 and 7 (KB); the paper's values and
+#: every other paper constant live in :mod:`repro.fidelity.paper` — the
+#: single source of truth the claim registry checks against.
+ICACHE_SWEEP_KB = paper.ICACHE_SWEEP_KB
 
 
 @dataclass
@@ -252,12 +244,16 @@ def _performance_figure(
     total_conv = 0
     total_block = 0
     reductions = {}
+    mispredicts = 0
+    squashed = 0
     for name in runner.benchmarks:
         conv, block = runner.run_pair(name, config)
         reduction = 100.0 * (conv.cycles - block.cycles) / conv.cycles
         reductions[name] = reduction
         total_conv += conv.cycles
         total_block += block.cycles
+        mispredicts += conv.mispredicts + block.mispredicts
+        squashed += block.squashed_blocks
         rows.append(
             [name, conv.cycles, block.cycles, f"{reduction:+.1f}%"]
         )
@@ -266,6 +262,10 @@ def _performance_figure(
         "reductions": reductions,
         "aggregate_reduction_pct": aggregate,
         "mean_reduction_pct": sum(reductions.values()) / len(reductions),
+        # suite-wide prediction counters (the fig4 registry claims check
+        # that perfect prediction really ran misprediction-free)
+        "total_mispredicts": mispredicts,
+        "total_squashed_blocks": squashed,
     }
     return rows, summary
 
@@ -281,10 +281,14 @@ def fig3_performance(runner: SuiteRunner | None = None) -> ExperimentResult:
         ],
         title="Total cycles (64 KB 4-way icache, real prediction)",
     )
+    stated = ", ".join(
+        f"{name} {value:+g}%"
+        for name, value in paper.FIG3_REDUCTION_PCT.items()
+    )
     text = (
         f"{bars}\n\nmean reduction {summary['mean_reduction_pct']:+.1f}% "
-        f"(paper: +{PAPER_FIG3_AVERAGE}%; paper per-benchmark: gcc +7.2%, "
-        f"m88ksim +19.9%, go -1.5%)"
+        f"(paper: +{paper.FIG3_AVERAGE_REDUCTION_PCT}%; paper "
+        f"per-benchmark: {stated})"
     )
     return ExperimentResult(
         "fig3",
@@ -302,7 +306,7 @@ def fig4_perfect_bp(runner: SuiteRunner | None = None) -> ExperimentResult:
     rows, summary = _performance_figure(runner, perfect_bp=True)
     text = (
         f"mean reduction {summary['mean_reduction_pct']:+.1f}% "
-        f"(paper: +{PAPER_FIG4_AVERAGE}%)"
+        f"(paper: +{paper.FIG4_AVERAGE_REDUCTION_PCT}%)"
     )
     return ExperimentResult(
         "fig4",
@@ -343,8 +347,10 @@ def fig5_block_sizes(runner: SuiteRunner | None = None) -> ExperimentResult:
     mean_block = sum(block_sizes.values()) / len(block_sizes)
     text = (
         f"suite means: conventional {mean_conv:.1f}, block-structured "
-        f"{mean_block:.1f} ops/block (paper: {PAPER_FIG5_AVG_CONV} -> "
-        f"{PAPER_FIG5_AVG_BLOCK}, a 58% increase)"
+        f"{mean_block:.1f} ops/block (paper: "
+        f"{paper.FIG5_AVG_BLOCK_CONVENTIONAL} -> "
+        f"{paper.FIG5_AVG_BLOCK_STRUCTURED}, a "
+        f"{paper.FIG5_GROWTH_PCT:g}% increase)"
     )
     return ExperimentResult(
         "fig5",

@@ -28,6 +28,9 @@ _NUMBER = (int, float)
 #: Schema id of the ``bsisa perf`` artifact (docs/performance.md).
 BENCH_SCHEMA_ID = "repro.bench/v1"
 
+#: Schema id of the ``bsisa verify-paper`` artifact (docs/fidelity.md).
+FIDELITY_SCHEMA_ID = "repro.fidelity/v1"
+
 
 def _check_labels(labels, where: str, errors: list[str]) -> None:
     if not isinstance(labels, dict):
@@ -208,6 +211,128 @@ def bench_document_errors(doc) -> list[str]:
     return errors
 
 
+_FIDELITY_STATUSES = ("pass", "fail", "skip")
+_FIDELITY_KINDS = ("numeric", "shape")
+_FIDELITY_FIGURES = (
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+)
+_FIDELITY_SUMMARY_COUNTS = (
+    "checked",
+    "passed",
+    "failed",
+    "skipped",
+    "shape_failed",
+    "numeric_failed",
+)
+
+
+def _check_fidelity_claim(entry, i: int, errors: list[str]) -> None:
+    where = f"claims[{i}]"
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    for field in ("id", "figure", "statement"):
+        if not isinstance(entry.get(field), str) or not entry.get(field):
+            errors.append(f"{where}: missing/empty {field}")
+    if entry.get("figure") not in _FIDELITY_FIGURES:
+        errors.append(f"{where}: unknown figure {entry.get('figure')!r}")
+    kind = entry.get("kind")
+    if kind not in _FIDELITY_KINDS:
+        errors.append(f"{where}: bad kind {kind!r}")
+        return
+    if entry.get("status") not in _FIDELITY_STATUSES:
+        errors.append(f"{where}: bad status {entry.get('status')!r}")
+    if not isinstance(entry.get("detail", ""), str):
+        errors.append(f"{where}: detail must be a string")
+    if kind == "numeric":
+        if not isinstance(entry.get("paper"), _NUMBER):
+            errors.append(f"{where}: numeric paper value must be a number")
+        band = entry.get("band")
+        if not isinstance(band, dict):
+            errors.append(f"{where}: numeric claim needs a band object")
+        else:
+            for side in ("low", "high"):
+                value = band.get(side, None)
+                if value is not None and not isinstance(value, _NUMBER):
+                    errors.append(
+                        f"{where}: band.{side} must be a number or null"
+                    )
+        if entry.get("status") != "skip" and not isinstance(
+            entry.get("measured"), _NUMBER
+        ):
+            errors.append(
+                f"{where}: evaluated numeric claim needs a measured number"
+            )
+    elif entry.get("band") is not None:
+        errors.append(f"{where}: shape claims carry no band")
+
+
+def fidelity_document_errors(doc) -> list[str]:
+    """Every schema violation in a ``BENCH_paper.json`` document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("schema") != FIDELITY_SCHEMA_ID:
+        errors.append(
+            f"schema must be {FIDELITY_SCHEMA_ID!r}, got {doc.get('schema')!r}"
+        )
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        errors.append("meta must be an object")
+    else:
+        if not isinstance(meta.get("scale"), _NUMBER) or meta["scale"] <= 0:
+            errors.append("meta.scale must be a positive number")
+        benchmarks = meta.get("benchmarks")
+        if not isinstance(benchmarks, list) or not all(
+            isinstance(b, str) for b in benchmarks
+        ):
+            errors.append("meta.benchmarks must be a list of strings")
+    claims = doc.get("claims")
+    ids = []
+    if not isinstance(claims, list) or not claims:
+        errors.append("claims must be a non-empty list")
+        claims = []
+    for i, entry in enumerate(claims):
+        _check_fidelity_claim(entry, i, errors)
+        if isinstance(entry, dict) and isinstance(entry.get("id"), str):
+            ids.append(entry["id"])
+    if len(ids) != len(set(ids)):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        errors.append(f"duplicate claim ids: {dupes}")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("summary must be an object")
+    else:
+        for field in _FIDELITY_SUMMARY_COUNTS:
+            if not isinstance(summary.get(field), int) or summary[field] < 0:
+                errors.append(f"summary.{field} must be a non-negative int")
+        if not isinstance(summary.get("ok"), bool):
+            errors.append("summary.ok must be a bool")
+        if claims and not errors:
+            statuses = [c["status"] for c in claims]
+            expected = {
+                "checked": len(statuses),
+                "passed": statuses.count("pass"),
+                "failed": statuses.count("fail"),
+                "skipped": statuses.count("skip"),
+            }
+            for field, value in expected.items():
+                if summary[field] != value:
+                    errors.append(
+                        f"summary.{field} is {summary[field]}, claims say "
+                        f"{value}"
+                    )
+            if summary["ok"] != (expected["failed"] == 0):
+                errors.append("summary.ok disagrees with the failure count")
+    return errors
+
+
 def validate_document(doc) -> None:
     """Raise :class:`TelemetryError` listing every violation in *doc*."""
     errors = document_errors(doc)
@@ -227,6 +352,8 @@ def main(argv: list[str] | None = None) -> int:
         doc = json.load(fh)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA_ID:
         errors = bench_document_errors(doc)
+    elif isinstance(doc, dict) and doc.get("schema") == FIDELITY_SCHEMA_ID:
+        errors = fidelity_document_errors(doc)
     else:
         errors = document_errors(doc)
     if errors:
@@ -238,6 +365,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{argv[0]}: ok ({len(doc['benchmarks'])} benchmark entries, "
             f"stats_match={doc['totals']['stats_match']})"
+        )
+    elif doc.get("schema") == FIDELITY_SCHEMA_ID:
+        summary = doc["summary"]
+        print(
+            f"{argv[0]}: ok ({summary['checked']} claims, "
+            f"{summary['failed']} failed, ok={summary['ok']})"
         )
     else:
         print(

@@ -36,6 +36,15 @@ else:
 from repro.core.toolchain import CompiledPair, Toolchain
 from repro.exec import interpret_module
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="Rewrite tests/goldens/*.json from current simulator output.",
+    )
+
 #: A small program exercising most language features; used by many tests.
 FEATURE_PROGRAM = """
 int acc = 0;

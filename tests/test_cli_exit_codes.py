@@ -1,0 +1,107 @@
+"""The ``bsisa`` exit-code contract (cli.py's module docstring).
+
+0 = success, 1 = operational failure, 2 = usage error, 3 = paper-claim
+failure from ``verify-paper``. CI and scripts branch on these, so each
+code is pinned here; the expensive verify-paper paths run on a single
+tiny benchmark with the claim registry stubbed out.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import fidelity
+from repro.harness import cli
+from repro.harness.cli import main
+from repro.obs.schema import fidelity_document_errors
+
+FAST_VERIFY = ["--scale", "0.02", "--benchmarks", "compress", "--no-cache"]
+
+
+def _stub_registry(holds: bool):
+    return (
+        fidelity.ShapeClaim(
+            id="stub.claim",
+            figure="fig3",
+            statement="stubbed for exit-code tests",
+            check=lambda results: (holds, None, ""),
+        ),
+    )
+
+
+def test_exit_codes_are_distinct():
+    codes = {cli.EXIT_OK, cli.EXIT_FAILURE, cli.EXIT_USAGE, cli.EXIT_CLAIMS}
+    assert codes == {0, 1, 2, 3}
+
+
+def test_run_success_exits_0(capsys):
+    assert main(["run", "table1", "--scale", "0.05", "--no-cache"]) == 0
+
+
+def test_run_unknown_experiment_exits_2(capsys):
+    assert main(["run", "fig99", "--scale", "0.05"]) == cli.EXIT_USAGE
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_unknown_subcommand_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code == cli.EXIT_USAGE
+
+
+def test_verify_paper_unknown_benchmark_exits_2(capsys):
+    rc = main(["verify-paper", "--benchmarks", "nonesuch"])
+    assert rc == cli.EXIT_USAGE
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_verify_paper_pass_exits_0_and_writes_artifact(
+    monkeypatch, tmp_path, capsys
+):
+    import repro.fidelity.compare as compare
+
+    monkeypatch.setattr(compare, "REGISTRY", _stub_registry(True))
+    out = tmp_path / "BENCH_paper.json"
+    rc = main(["verify-paper", *FAST_VERIFY, "-o", str(out)])
+    assert rc == cli.EXIT_OK
+    doc = json.loads(out.read_text())
+    assert fidelity_document_errors(doc) == []
+    assert doc["summary"]["ok"] is True
+
+
+def test_verify_paper_claim_failure_exits_3(monkeypatch, tmp_path, capsys):
+    import repro.fidelity.compare as compare
+
+    monkeypatch.setattr(compare, "REGISTRY", _stub_registry(False))
+    out = tmp_path / "BENCH_paper.json"
+    rc = main(["verify-paper", *FAST_VERIFY, "-o", str(out)])
+    assert rc == cli.EXIT_CLAIMS
+    captured = capsys.readouterr()
+    assert "FAILED" in captured.err
+    # the artifact is still written — failures must be inspectable
+    assert json.loads(out.read_text())["summary"]["ok"] is False
+
+
+def test_verify_paper_unwritable_output_exits_1(monkeypatch, tmp_path, capsys):
+    import repro.fidelity.compare as compare
+
+    monkeypatch.setattr(compare, "REGISTRY", _stub_registry(True))
+    # -o pointing at a directory raises OSError -> operational failure
+    rc = main(["verify-paper", *FAST_VERIFY, "-o", str(tmp_path)])
+    assert rc == cli.EXIT_FAILURE
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_fuzz_replay_missing_file_exits_2(tmp_path, capsys):
+    rc = main(["fuzz", "--replay", str(tmp_path / "absent.minic")])
+    assert rc == cli.EXIT_USAGE
+
+
+def test_fuzz_clean_budget_exits_0(tmp_path, capsys):
+    rc = main(
+        ["fuzz", "--budget", "2", "--seed", "7", "--corpus", str(tmp_path)]
+    )
+    assert rc == cli.EXIT_OK
+    assert "fuzz ok" in capsys.readouterr().out

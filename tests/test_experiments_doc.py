@@ -1,0 +1,66 @@
+"""The committed fidelity artifact and EXPERIMENTS.md never drift.
+
+``BENCH_paper.json`` is the artifact of record from ``bsisa
+verify-paper`` at the default scale, and EXPERIMENTS.md's generated
+block is a pure function of it. Both are committed; these tests pin
+the pair to each other and to the current registry, so editing the
+claims, the renderer, or either file without regenerating
+(``bsisa verify-paper -o BENCH_paper.json --write-experiments``) fails
+tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import fidelity
+from repro.obs.schema import FIDELITY_SCHEMA_ID, fidelity_document_errors
+
+ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = ROOT / "BENCH_paper.json"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+
+@pytest.fixture(scope="module")
+def doc() -> dict:
+    assert ARTIFACT.is_file(), (
+        "BENCH_paper.json missing — run `bsisa verify-paper -o "
+        "BENCH_paper.json` and commit it"
+    )
+    return json.loads(ARTIFACT.read_text())
+
+
+def test_committed_artifact_is_schema_valid(doc):
+    assert doc["schema"] == FIDELITY_SCHEMA_ID
+    assert fidelity_document_errors(doc) == []
+
+
+def test_committed_artifact_passes_every_claim(doc):
+    assert doc["summary"]["ok"] is True
+    assert doc["summary"]["failed"] == 0
+    assert doc["summary"]["skipped"] == 0
+
+
+def test_committed_artifact_matches_registry(doc):
+    """The artifact covers exactly today's registry, in order — a claim
+    added or renamed without regenerating fails here."""
+    assert [c["id"] for c in doc["claims"]] == [
+        claim.id for claim in fidelity.REGISTRY
+    ]
+    for entry, claim in zip(doc["claims"], fidelity.REGISTRY):
+        assert entry["statement"] == claim.statement
+        assert entry["kind"] == claim.kind
+
+
+def test_experiments_md_matches_committed_artifact(doc):
+    text = EXPERIMENTS.read_text()
+    block = fidelity.extract_block(text)
+    assert block is not None, "EXPERIMENTS.md lost its generated block"
+    assert block == fidelity.render_experiments_block(doc), (
+        "EXPERIMENTS.md's generated block is stale — regenerate with "
+        "`bsisa verify-paper -o BENCH_paper.json --write-experiments` "
+        "and commit both files"
+    )

@@ -1,0 +1,361 @@
+"""Unit coverage for :mod:`repro.fidelity` on synthetic results.
+
+These tests never run the simulator: they feed the comparator
+hand-built ``{experiment: summary}`` mappings shaped exactly like the
+harness' :data:`ALL_EXPERIMENTS` output, so claim semantics (pass /
+fail / skip), artifact schema validity, and the EXPERIMENTS.md splicing
+are all pinned independently of simulation numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro import fidelity
+from repro.fidelity import paper
+from repro.fidelity.claims import MIN_DYNAMIC_OPS
+from repro.obs.schema import FIDELITY_SCHEMA_ID, fidelity_document_errors
+from repro.obs.telemetry import Telemetry
+
+BENCHMARKS = list(paper.TABLE2_BENCHMARKS)
+
+
+@dataclass
+class FakeResult:
+    """Duck-typed stand-in for an ExperimentResult: just a summary."""
+
+    summary: dict = field(default_factory=dict)
+
+
+def make_results(benchmarks=None) -> dict:
+    """A full synthetic result map on which every registry claim passes."""
+    names = list(benchmarks if benchmarks is not None else BENCHMARKS)
+    reductions = {name: 10.0 for name in names}
+    if "m88ksim" in reductions:
+        reductions["m88ksim"] = 18.0
+    if "go" in reductions:
+        reductions["go"] = -1.0
+    mean = sum(reductions.values()) / len(reductions)
+    fig4_red = {
+        name: value + (0.0 if name == "go" else 5.0)
+        for name, value in reductions.items()
+    }
+    conv_sizes = {name: 5.0 for name in names}
+    block_sizes = {name: 8.5 for name in names}
+    rel_conv = {
+        name: {16: 0.01, 32: 0.005, 64: 0.002} for name in names
+    }
+    for big in ("gcc", "go"):
+        if big in rel_conv:
+            rel_conv[big] = {16: 0.10, 32: 0.05, 64: 0.02}
+    rel_block = {
+        name: dict(sizes) for name, sizes in rel_conv.items()
+    }
+    for big in ("gcc", "go"):
+        if big in rel_block:
+            rel_block[big] = {16: 0.25, 32: 0.12, 64: 0.05}
+    return {
+        "table1": FakeResult(dict(paper.TABLE1_LATENCIES)),
+        "table2": FakeResult(
+            {name: MIN_DYNAMIC_OPS * 3 for name in names}
+        ),
+        "fig3": FakeResult(
+            {"reductions": reductions, "mean_reduction_pct": mean}
+        ),
+        "fig4": FakeResult(
+            {
+                "reductions": fig4_red,
+                "mean_reduction_pct": sum(fig4_red.values())
+                / len(fig4_red),
+                "total_mispredicts": 0,
+                "total_squashed_blocks": 0,
+            }
+        ),
+        "fig5": FakeResult(
+            {
+                "conventional": conv_sizes,
+                "block": block_sizes,
+                "mean_conventional": 5.0,
+                "mean_block": 8.5,
+            }
+        ),
+        "fig6": FakeResult({"relative_increase": rel_conv}),
+        "fig7": FakeResult({"relative_increase": rel_block}),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Registry integrity
+# ---------------------------------------------------------------------------
+
+
+def test_registry_ids_unique():
+    ids = [claim.id for claim in fidelity.REGISTRY]
+    assert len(ids) == len(set(ids))
+
+
+def test_registry_covers_every_figure():
+    for figure in fidelity.FIGURES:
+        assert fidelity.claims_for(figure), figure
+
+
+def test_claims_for_partitions_registry():
+    total = sum(
+        len(fidelity.claims_for(figure)) for figure in fidelity.FIGURES
+    )
+    assert total == len(fidelity.REGISTRY)
+
+
+def test_get_claim_roundtrip():
+    claim = fidelity.get_claim("fig3.mean_reduction")
+    assert claim.figure == "fig3"
+    with pytest.raises(KeyError):
+        fidelity.get_claim("fig99.nope")
+
+
+def test_every_figure_pins_shape():
+    """Each figure/table carries at least one must-hold shape claim —
+    the regression gate is never tolerance-only."""
+    for figure in fidelity.FIGURES:
+        kinds = {c.kind for c in fidelity.claims_for(figure)}
+        assert fidelity.SHAPE in kinds, figure
+
+
+def test_band_semantics():
+    band = fidelity.Band(low=2.0, high=4.0)
+    assert band.contains(2.0) and band.contains(4.0)
+    assert not band.contains(1.99) and not band.contains(4.01)
+    assert band.describe() == "[2, 4]"
+    assert fidelity.Band().contains(-1e9)
+    assert fidelity.Band(low=3.0).describe() == "[3, +inf]"
+
+
+# ---------------------------------------------------------------------------
+# Claim evaluation
+# ---------------------------------------------------------------------------
+
+
+def test_full_synthetic_results_pass_every_claim():
+    report = fidelity.evaluate_registry(
+        make_results(), telemetry=Telemetry(enabled=False)
+    )
+    assert report.ok
+    assert report.failed == 0 and report.skipped == 0
+    assert report.checked == len(fidelity.REGISTRY)
+
+
+def test_numeric_claim_fails_out_of_band():
+    results = make_results()
+    results["fig3"].summary["reductions"]["m88ksim"] = 1.0
+    claim = fidelity.get_claim("fig3.m88ksim_reduction")
+    outcome = fidelity.evaluate_claim(claim, results)
+    assert outcome.status == fidelity.FAIL
+    assert outcome.measured == 1.0
+    assert "outside tolerance" in outcome.detail
+    assert claim.band.describe() in outcome.describe()
+
+
+def test_shape_claim_fails_with_evidence():
+    results = make_results()
+    results["fig3"].summary["reductions"]["li"] = 50.0
+    outcome = fidelity.evaluate_claim(
+        fidelity.get_claim("fig3.m88ksim_best"), results
+    )
+    assert outcome.status == fidelity.FAIL
+    assert outcome.measured["best"] == "li"
+    assert "li beats m88ksim" in outcome.detail
+
+
+def test_missing_experiment_skips_never_passes():
+    results = make_results()
+    del results["fig5"]
+    outcome = fidelity.evaluate_claim(
+        fidelity.get_claim("fig5.mean_block"), results
+    )
+    assert outcome.status == fidelity.SKIP
+    assert not outcome.passed
+    assert "missing" in outcome.detail
+
+
+def test_benchmark_subset_skips_suite_wide_claims():
+    """Over a --benchmarks subset the means/orderings are undefined:
+    they must skip, while suite-completeness honestly fails."""
+    subset = ["compress", "m88ksim"]
+    report = fidelity.evaluate_registry(
+        make_results(subset), telemetry=Telemetry(enabled=False)
+    )
+    by_id = {o.id: o for o in report.outcomes}
+    assert by_id["fig3.mean_reduction"].status == fidelity.SKIP
+    assert by_id["fig3.m88ksim_best"].status == fidelity.SKIP
+    assert by_id["fig5.growth_pct"].status == fidelity.SKIP
+    assert by_id["table2.suite_complete"].status == fidelity.FAIL
+    assert not report.ok
+
+
+def test_report_counts_by_kind():
+    results = make_results()
+    results["fig3"].summary["reductions"]["m88ksim"] = 1.0  # numeric fail
+    results["fig4"].summary["total_mispredicts"] = 7  # shape fail
+    report = fidelity.evaluate_registry(
+        results, telemetry=Telemetry(enabled=False)
+    )
+    assert report.numeric_failed >= 1
+    assert report.shape_failed >= 1
+    assert not report.ok
+    assert {o.id for o in report.failures()} >= {
+        "fig3.m88ksim_reduction",
+        "fig4.perfect_bp_no_mispredicts",
+    }
+
+
+def test_evaluate_registry_publishes_metrics():
+    tel = Telemetry(enabled=True)
+    results = make_results()
+    results["fig4"].summary["total_mispredicts"] = 7
+    del results["fig5"]
+    fidelity.evaluate_registry(results, telemetry=tel)
+    metrics = {
+        (m["name"], m["labels"].get("figure")): m["value"]
+        for m in tel.metrics.snapshot()
+    }
+    assert metrics[("fidelity.claims_checked", "fig3")] == len(
+        fidelity.claims_for("fig3")
+    )
+    assert metrics[("fidelity.claims_failed", "fig4")] == 1
+    # skipped fig5 claims are not counted as checked
+    assert ("fidelity.claims_checked", "fig5") not in metrics
+
+
+def test_evaluate_registry_accepts_custom_registry():
+    claim = fidelity.ShapeClaim(
+        id="x.y",
+        figure="fig3",
+        statement="always true",
+        check=lambda results: (True, 1, ""),
+    )
+    report = fidelity.evaluate_registry(
+        {}, registry=(claim,), telemetry=Telemetry(enabled=False)
+    )
+    assert report.checked == 1 and report.ok
+
+
+# ---------------------------------------------------------------------------
+# Artifact + schema
+# ---------------------------------------------------------------------------
+
+
+def _document(results=None, benchmarks=None):
+    report = fidelity.evaluate_registry(
+        results if results is not None else make_results(benchmarks),
+        telemetry=Telemetry(enabled=False),
+    )
+    meta = {
+        "command": "verify-paper",
+        "scale": 0.35,
+        "benchmarks": list(
+            benchmarks if benchmarks is not None else BENCHMARKS
+        ),
+    }
+    return fidelity.build_document(report, meta)
+
+
+def test_document_is_schema_valid():
+    doc = _document()
+    assert doc["schema"] == FIDELITY_SCHEMA_ID
+    assert fidelity_document_errors(doc) == []
+    assert doc["summary"]["ok"] is True
+
+
+def test_document_with_failures_and_skips_is_schema_valid():
+    results = make_results()
+    results["fig3"].summary["reductions"]["m88ksim"] = 1.0
+    del results["fig5"]
+    doc = _document(results=results)
+    assert fidelity_document_errors(doc) == []
+    assert doc["summary"]["ok"] is False
+    assert doc["summary"]["skipped"] > 0
+
+
+def test_schema_rejects_tampered_documents():
+    doc = _document()
+    broken = json.loads(json.dumps(doc))
+    broken["summary"]["passed"] += 1
+    assert fidelity_document_errors(broken)
+
+    broken = json.loads(json.dumps(doc))
+    broken["claims"][0]["status"] = "maybe"
+    assert fidelity_document_errors(broken)
+
+    broken = json.loads(json.dumps(doc))
+    broken["claims"][1]["id"] = broken["claims"][0]["id"]
+    assert fidelity_document_errors(broken)
+
+    assert fidelity_document_errors({"schema": "repro.bench/v1"})
+
+
+def test_document_is_json_and_byte_stable(tmp_path):
+    doc = _document()
+    path = tmp_path / "BENCH_paper.json"
+    fidelity.write_document(doc, str(path))
+    first = path.read_text()
+    assert json.loads(first) == json.loads(json.dumps(doc))
+    fidelity.write_document(_document(), str(path))
+    assert path.read_text() == first
+
+
+def test_render_report_lists_every_claim():
+    report = fidelity.evaluate_registry(
+        make_results(), telemetry=Telemetry(enabled=False)
+    )
+    text = fidelity.render_report(report)
+    for claim in fidelity.REGISTRY:
+        assert claim.id in text
+    assert f"{len(fidelity.REGISTRY)} claims" in text
+
+
+# ---------------------------------------------------------------------------
+# EXPERIMENTS.md block
+# ---------------------------------------------------------------------------
+
+
+def test_render_block_is_deterministic_and_marked():
+    doc = _document()
+    block = fidelity.render_experiments_block(doc)
+    assert block == fidelity.render_experiments_block(
+        json.loads(json.dumps(doc))
+    )
+    assert block.startswith(fidelity.BEGIN_MARK)
+    assert block.endswith(fidelity.END_MARK)
+    for claim in fidelity.REGISTRY:
+        assert f"`{claim.id}`" in block
+
+
+def test_splice_appends_then_replaces():
+    doc = _document()
+    text = "# EXPERIMENTS\n\nhand-written prose.\n"
+    spliced = fidelity.splice_experiments(text, doc)
+    assert spliced.startswith(text)
+    assert fidelity.extract_block(spliced) == (
+        fidelity.render_experiments_block(doc)
+    )
+    # a second splice replaces the block without duplicating it
+    again = fidelity.splice_experiments(spliced, doc)
+    assert again == spliced
+    assert again.count(fidelity.BEGIN_MARK) == 1
+
+
+def test_extract_block_absent_returns_none():
+    assert fidelity.extract_block("no markers here") is None
+
+
+def test_update_experiments_creates_and_rewrites(tmp_path):
+    doc = _document()
+    path = tmp_path / "EXPERIMENTS.md"
+    fidelity.update_experiments(doc, str(path))
+    first = path.read_text()
+    assert fidelity.extract_block(first) is not None
+    fidelity.update_experiments(doc, str(path))
+    assert path.read_text() == first

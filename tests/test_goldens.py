@@ -1,0 +1,118 @@
+"""Golden end-to-end snapshots: one small benchmark per ISA.
+
+Each golden pins the full ``dataclasses.asdict(SimResult)`` of a tiny
+compress run — cycles, every cache counter, predictor stats, program
+outputs — against a checked-in JSON file under ``tests/goldens/``. Any
+change to the toolchain, executor, or timing engine that shifts a
+single counter fails here with the exact differing fields named. After
+an *intentional* behavior change, regenerate with
+
+    pytest tests/test_goldens.py --update-goldens
+
+and review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import SuiteRunner
+from repro.sim.config import MachineConfig
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_SCALE = 0.05
+GOLDEN_BENCHMARK = "compress"
+ISAS = ("conventional", "block")
+
+
+@pytest.fixture(scope="module")
+def golden_runner() -> SuiteRunner:
+    return SuiteRunner(scale=GOLDEN_SCALE, benchmarks=[GOLDEN_BENCHMARK])
+
+
+def golden_path(isa: str) -> Path:
+    return GOLDEN_DIR / f"{GOLDEN_BENCHMARK}_{isa}.json"
+
+
+def measure(runner: SuiteRunner, isa: str) -> dict:
+    result = runner.run(GOLDEN_BENCHMARK, isa, MachineConfig())
+    # Round-trip through JSON so the comparison sees exactly what the
+    # golden file can represent (tuples become lists, etc.).
+    return json.loads(json.dumps(dataclasses.asdict(result)))
+
+
+def diff_paths(golden, measured, prefix: str = "") -> list[str]:
+    """Dotted paths of every field where *measured* departs from *golden*."""
+    if isinstance(golden, dict) and isinstance(measured, dict):
+        out: list[str] = []
+        for key in sorted(set(golden) | set(measured)):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key not in golden:
+                out.append(f"{path}: not in golden (measured {measured[key]!r})")
+            elif key not in measured:
+                out.append(f"{path}: missing (golden {golden[key]!r})")
+            else:
+                out.extend(diff_paths(golden[key], measured[key], path))
+        return out
+    if golden != measured:
+        return [f"{prefix}: golden {golden!r} != measured {measured!r}"]
+    return []
+
+
+@pytest.mark.parametrize("isa", ISAS)
+def test_golden_snapshot(isa, golden_runner, request):
+    measured = measure(golden_runner, isa)
+    path = golden_path(isa)
+    if request.config.getoption("--update-goldens"):
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(measured, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"updated {path.name}")
+    if not path.is_file():
+        pytest.fail(
+            f"golden {path} is missing — create it with "
+            "`pytest tests/test_goldens.py --update-goldens` and commit it"
+        )
+    golden = json.loads(path.read_text())
+    mismatches = diff_paths(golden, measured)
+    assert not mismatches, (
+        f"{path.name} is stale — simulator output changed:\n  "
+        + "\n  ".join(mismatches)
+        + "\nIf intentional, regenerate with --update-goldens and review."
+    )
+
+
+def test_goldens_are_committed():
+    """Both ISA goldens must exist in the repo, not just locally."""
+    for isa in ISAS:
+        assert golden_path(isa).is_file(), (
+            f"missing golden for {isa} — run "
+            "`pytest tests/test_goldens.py --update-goldens`"
+        )
+
+
+def test_stale_golden_fails_loudly(golden_runner):
+    """A single perturbed counter — even deep inside timing — is caught
+    and named; stale goldens can never pass silently."""
+    measured = measure(golden_runner, "conventional")
+    stale = json.loads(json.dumps(measured))
+    stale["cycles"] += 1
+    stale["timing"]["icache_misses"] += 1
+    del stale["mispredicts"]
+    mismatches = diff_paths(stale, measured)
+    text = "\n".join(mismatches)
+    assert "cycles" in text
+    assert "timing.icache_misses" in text
+    assert "mispredicts" in text
+
+
+def test_measurement_is_json_stable(golden_runner):
+    """asdict(SimResult) survives a JSON round trip unchanged, so the
+    golden comparison never fails on serialization artifacts."""
+    measured = measure(golden_runner, "block")
+    assert json.loads(json.dumps(measured)) == measured

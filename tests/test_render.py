@@ -1,0 +1,128 @@
+"""Unit coverage for :mod:`repro.harness.render`.
+
+The render helpers back every ``bsisa run`` table and the EXPERIMENTS.md
+figures; these tests pin their formatting contracts, including the
+degenerate shapes the experiment harness can produce (no results, a
+single benchmark, all-zero and negative values).
+"""
+
+from __future__ import annotations
+
+from repro.harness.render import ascii_bars, ascii_table, grouped_bars
+
+
+# ---------------------------------------------------------------------------
+# ascii_table
+# ---------------------------------------------------------------------------
+
+
+def test_table_basic_layout():
+    out = ascii_table(
+        ["Benchmark", "Ops"], [["gcc", 1234], ["go", 7]], title="T"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].split() == ["Benchmark", "Ops"]
+    assert set(lines[2]) <= {"-", " "}
+    # ints are right-aligned with thousands separators
+    assert lines[3].endswith("1,234")
+    assert lines[4].endswith("    7")
+
+
+def test_table_without_title_has_no_blank_first_line():
+    out = ascii_table(["A"], [["x"]])
+    assert out.splitlines()[0].strip() == "A"
+
+
+def test_table_zero_rows_is_header_only():
+    out = ascii_table(["Name", "Value"], [])
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert "Name" in lines[0] and "Value" in lines[0]
+
+
+def test_table_formats_floats_and_strings():
+    out = ascii_table(["k", "v"], [["pi", 3.14159], ["neg", -2.5]])
+    assert "3.14" in out
+    assert "-2.50" in out
+    assert "3.14159" not in out  # floats are fixed to two decimals
+
+
+def test_table_column_widths_cover_widest_cell():
+    out = ascii_table(["x"], [["a-much-longer-cell"]])
+    header, rule, row = out.splitlines()
+    assert len(rule) == len("a-much-longer-cell")
+    assert len(header) >= 1
+
+
+# ---------------------------------------------------------------------------
+# ascii_bars
+# ---------------------------------------------------------------------------
+
+
+def test_bars_empty_input_returns_title_only():
+    assert ascii_bars([], title="nothing") == "nothing"
+    assert ascii_bars([]) == ""
+
+
+def test_bars_single_entry_gets_full_width():
+    out = ascii_bars([("only", 10.0)], width=20)
+    assert out.count("#") == 20
+    assert "10.0" in out
+
+
+def test_bars_all_zero_values_do_not_divide_by_zero():
+    out = ascii_bars([("a", 0.0), ("b", 0.0)])
+    assert "#" not in out
+    assert "0.0" in out
+
+
+def test_bars_scale_to_peak_and_show_units():
+    out = ascii_bars([("big", 100.0), ("half", 50.0)], width=10, unit="%")
+    big_line, half_line = out.splitlines()
+    assert big_line.count("#") == 10
+    assert half_line.count("#") == 5
+    assert "50.0%" in half_line
+
+
+def test_bars_negative_values_use_magnitude():
+    out = ascii_bars([("down", -4.0), ("up", 4.0)], width=8)
+    down, up = out.splitlines()
+    assert down.count("#") == up.count("#") == 8
+    assert "-4.0" in down
+
+
+# ---------------------------------------------------------------------------
+# grouped_bars
+# ---------------------------------------------------------------------------
+
+
+def test_grouped_bars_empty_groups():
+    assert grouped_bars([], title="t") == "t"
+    assert grouped_bars([]) == ""
+
+
+def test_grouped_bars_single_benchmark_group():
+    out = grouped_bars(
+        [("gcc", [("conventional", 2.0), ("block", 4.0)])],
+        width=10,
+        unit=" ops",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "gcc:"
+    conv, block = lines[1], lines[2]
+    assert block.count("#") == 10  # peak
+    assert conv.count("#") == 5
+    assert " ops" in block
+
+
+def test_grouped_bars_negative_values_keep_sign_marker():
+    out = grouped_bars([("go", [("delta", -1.5)])], width=4)
+    line = out.splitlines()[1]
+    assert "-" in line.split()[1]
+    assert "-1.50" in line
+
+
+def test_grouped_bars_group_with_empty_series():
+    out = grouped_bars([("empty", [])], title="t")
+    assert out.splitlines() == ["t", "empty:"]
