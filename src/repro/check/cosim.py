@@ -33,6 +33,7 @@ from repro.check.invariants import Violation, check_invariants
 from repro.core.toolchain import Toolchain
 from repro.errors import SourceError
 from repro.exec import interpret_module, run_block_structured, run_conventional
+from repro.insight import InsightCollector
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.predictors import BlockPredictor, GsharePredictor
@@ -233,7 +234,10 @@ class CosimChecker:
                     f"from the interpreter",
                 ))
                 continue
-            result = simulate(prog, machine, telemetry=_SILENT)
+            collector = InsightCollector()
+            result = simulate(
+                prog, machine, telemetry=_SILENT, insight=collector
+            )
             if result.outputs != golden:
                 fail(Violation(
                     "cosim.timed_outputs",
@@ -249,7 +253,9 @@ class CosimChecker:
                         f"{where} {fname}: timed={timed} != "
                         f"functional={functional}",
                     ))
-            for violation in check_invariants(result, machine):
+            for violation in check_invariants(
+                result, machine, insight=collector
+            ):
                 fail(Violation(
                     violation.invariant, f"{where} {violation.message}"
                 ))

@@ -54,6 +54,23 @@ The identities (derivations in docs/testing.md):
     ``perfect_bp``)
     a perfectly predicted run has no mispredicts, no redirects, no
     squashes.
+
+When an :class:`~repro.insight.InsightReport` (or a finished
+:class:`~repro.insight.InsightCollector`) is passed as *insight*, three
+more identities are checked (docs/observability.md):
+
+``cycle_accounting``
+    every simulated cycle lands in exactly one CPI-stack bucket:
+    ``sum(buckets) == cycles``, and the insight cycle count matches the
+    timing engine's.
+``fetch_histogram_mass``
+    the fetch-rate histogram's mass equals the busy fetch cycles, and
+    its op-weighted mass equals the fetched ops — the distribution
+    loses no cycles and no ops.
+``insight_matches_timing``
+    the analytics agree with the engine's own counters: op/unit totals
+    match, gap buckets sum to ``redirect_stall_cycles``, and
+    ``icache_stall + busy_fetch - fetched_units == fetch_stall_cycles``.
 """
 
 from __future__ import annotations
@@ -95,7 +112,9 @@ def _rate_fields(result: SimResult) -> list[tuple[str, float]]:
 
 
 def check_invariants(
-    result: SimResult, config: MachineConfig | None = None
+    result: SimResult,
+    config: MachineConfig | None = None,
+    insight=None,
 ) -> list[Violation]:
     """Every violated identity for one run (empty list = consistent)."""
     t = result.timing
@@ -211,7 +230,75 @@ def check_invariants(
                 f"redirects={t.redirects} squashed_blocks="
                 f"{result.squashed_blocks}",
             )
+    if insight is not None:
+        _check_insight(result, insight, fail)
     return out
+
+
+_INSIGHT_BUCKETS = (
+    "busy_fetch", "icache_stall", "redirect_stall", "window_stall",
+    "squash_recovery", "drain",
+)
+
+
+def _check_insight(result: SimResult, ins, fail) -> None:
+    """The cycle-accounting identities over one run's analytics.
+
+    *ins* is an InsightReport or a finished InsightCollector — both
+    carry the bucket/histogram attributes (duck-typed so this module
+    needs no import from :mod:`repro.insight`).
+    """
+    t = result.timing
+    accounted = sum(getattr(ins, name) for name in _INSIGHT_BUCKETS)
+    if accounted != ins.cycles:
+        fail(
+            "cycle_accounting",
+            f"sum(buckets)={accounted} != cycles={ins.cycles} (buckets: "
+            + ", ".join(
+                f"{name}={getattr(ins, name)}" for name in _INSIGHT_BUCKETS
+            )
+            + ")",
+        )
+    if ins.cycles != t.cycles:
+        fail(
+            "cycle_accounting",
+            f"insight cycles={ins.cycles} != timing cycles={t.cycles}",
+        )
+    mass = sum(ins.fetch_hist.values())
+    if mass != ins.busy_fetch:
+        fail(
+            "fetch_histogram_mass",
+            f"fetch_hist mass={mass} != busy_fetch={ins.busy_fetch}",
+        )
+    op_mass = sum(bin_ * count for bin_, count in ins.fetch_hist.items())
+    if op_mass != ins.fetched_ops:
+        fail(
+            "fetch_histogram_mass",
+            f"fetch_hist op mass={op_mass} != fetched_ops="
+            f"{ins.fetched_ops}",
+        )
+    for name in ("fetched_ops", "retired_ops", "squashed_ops",
+                 "fetched_units"):
+        if getattr(ins, name) != getattr(t, name):
+            fail(
+                "insight_matches_timing",
+                f"insight {name}={getattr(ins, name)} != timing "
+                f"{name}={getattr(t, name)}",
+            )
+    gaps = ins.redirect_stall + ins.squash_recovery + ins.window_stall
+    if gaps != t.redirect_stall_cycles:
+        fail(
+            "insight_matches_timing",
+            f"redirect+squash+window stalls={gaps} != "
+            f"redirect_stall_cycles={t.redirect_stall_cycles}",
+        )
+    reconstructed = ins.icache_stall + ins.busy_fetch - ins.fetched_units
+    if reconstructed != t.fetch_stall_cycles:
+        fail(
+            "insight_matches_timing",
+            f"icache_stall + busy_fetch - fetched_units={reconstructed} "
+            f"!= fetch_stall_cycles={t.fetch_stall_cycles}",
+        )
 
 
 #: Every invariant name check_invariants can emit (docs + telemetry).
@@ -229,4 +316,7 @@ ALL_INVARIANTS = frozenset({
     "counters_non_negative",
     "rates_in_range",
     "perfect_prediction_is_clean",
+    "cycle_accounting",
+    "fetch_histogram_mass",
+    "insight_matches_timing",
 })

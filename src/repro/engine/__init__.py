@@ -23,6 +23,7 @@ from repro.engine.spec import (
     ToolchainSpec,
     compile_key,
     config_key,
+    insight_key,
     run_key,
     trace_key,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "config_key",
     "default_cache_root",
     "execute_run",
+    "insight_key",
     "run_key",
     "simulate_spec",
     "trace_key",

@@ -38,9 +38,11 @@ from repro.engine.spec import (
     RunSpec,
     ToolchainSpec,
     compile_key,
+    insight_key,
     run_key,
     trace_key,
 )
+from repro.insight import InsightCollector, InsightReport
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim.run import (
     CapturedRun,
@@ -63,6 +65,7 @@ class ExperimentEngine:
         telemetry: Telemetry | None = None,
         cache: ArtifactCache | None = None,
         jobs: int = 1,
+        insight: bool = False,
     ):
         self.scale = scale if scale is not None else default_scale()
         self.benchmarks = list(benchmarks) if benchmarks else list(SUITE)
@@ -78,11 +81,15 @@ class ExperimentEngine:
             self.toolchain = self.toolchain_spec.build(telemetry)
         self.cache = cache
         self.jobs = max(1, int(jobs))
+        #: collect an InsightReport (cycle accounting + fetch-rate
+        #: analytics) for every executed run
+        self.insight = bool(insight)
         self._sources: dict[str, str] = {}
         self._pairs: dict[str, CompiledPair] = {}
         self._compile_keys: dict[str, str] = {}
         self._results: dict[RunSpec, SimResult] = {}
         self._traces: dict[tuple[str, str, tuple], CapturedRun] = {}
+        self._insights: dict[RunSpec, InsightReport] = {}
 
     # -- session state -------------------------------------------------
 
@@ -93,6 +100,11 @@ class ExperimentEngine:
     def executed_specs(self) -> frozenset[RunSpec]:
         """Every run this session has produced (memoized or computed)."""
         return frozenset(self._results)
+
+    @property
+    def insights(self) -> dict[RunSpec, InsightReport]:
+        """Every InsightReport collected this session (insight mode)."""
+        return dict(self._insights)
 
     def _source(self, name: str) -> str:
         if name not in self._sources:
@@ -189,19 +201,68 @@ class ExperimentEngine:
         if rkey is not None:
             self.cache.store(rkey, result)
 
+    def _insight_key(self, spec: RunSpec) -> str | None:
+        ckey = self._compile_key(spec.benchmark)
+        return insight_key(ckey, spec) if ckey is not None else None
+
+    def _load_cached_insight(self, spec: RunSpec) -> InsightReport | None:
+        ikey = self._insight_key(spec)
+        if ikey is None:
+            return None
+        report = self.cache.load(ikey)
+        tel = self._tel()
+        if report is not None:
+            tel.count("plan.cache_hits", kind="insight")
+        else:
+            tel.count("plan.cache_misses", kind="insight")
+        return report
+
+    def _store_cached_insight(
+        self, spec: RunSpec, report: InsightReport
+    ) -> None:
+        ikey = self._insight_key(spec)
+        if ikey is not None:
+            self.cache.store(ikey, report)
+
     def run(self, spec: RunSpec) -> SimResult:
-        """One simulation, via memo → disk cache → capture/replay."""
-        if spec in self._results:
+        """One simulation, via memo → disk cache → capture/replay.
+
+        In insight mode a run only counts as satisfied when both the
+        result and its InsightReport are available; a cached result
+        with a missing report triggers a (cheap) re-replay.
+        """
+        if spec in self._results and (
+            not self.insight or spec in self._insights
+        ):
             return self._results[spec]
-        result = self._load_cached_run(spec)
+        result = self._results.get(spec)
         if result is None:
+            result = self._load_cached_run(spec)
+        report = None
+        if self.insight:
+            report = self._insights.get(spec)
+            if report is None:
+                report = self._load_cached_insight(spec)
+        if result is None or (self.insight and report is None):
             captured = self.captured_run(spec)
             tel = self._tel()
+            collector = InsightCollector() if self.insight else None
             with tel.span("plan.run", **spec.labels()):
-                result = replay_captured(captured, spec.config, tel)
+                result = replay_captured(
+                    captured, spec.config, tel, insight=collector
+                )
             tel.count("plan.trace_replays")
+            if collector is not None:
+                report = collector.report(
+                    spec.benchmark, spec.isa, spec.config
+                )
+                if tel.enabled:
+                    report.publish(tel.metrics)
+                self._store_cached_insight(spec, report)
             self._store_cached_run(spec, result)
         self._results[spec] = result
+        if report is not None:
+            self._insights[spec] = report
         return result
 
     # -- plan execution ------------------------------------------------
@@ -218,12 +279,17 @@ class ExperimentEngine:
         ):
             missing: list[RunSpec] = []
             for spec in plan.runs:
-                if spec in self._results:
-                    continue
-                cached = self._load_cached_run(spec)
-                if cached is not None:
-                    self._results[spec] = cached
-                else:
+                if spec not in self._results:
+                    cached = self._load_cached_run(spec)
+                    if cached is not None:
+                        self._results[spec] = cached
+                if self.insight and spec not in self._insights:
+                    report = self._load_cached_insight(spec)
+                    if report is not None:
+                        self._insights[spec] = report
+                if spec not in self._results or (
+                    self.insight and spec not in self._insights
+                ):
                     missing.append(spec)
             if self.jobs > 1 and len(missing) > 1:
                 self._execute_pool(missing, tel)
@@ -239,11 +305,14 @@ class ExperimentEngine:
         # receive the pickled CapturedRun only — replay needs no
         # program object.
         work = [(spec, self.captured_run(spec)) for spec in missing]
-        for spec, result, snapshot in execute_parallel(
-            work, self.jobs, tel.enabled
+        for spec, result, snapshot, report in execute_parallel(
+            work, self.jobs, tel.enabled, self.insight
         ):
             if snapshot is not None:
                 tel.merge_snapshot(snapshot)
             tel.count("plan.trace_replays")
             self._store_cached_run(spec, result)
             self._results[spec] = result
+            if report is not None:
+                self._insights[spec] = report
+                self._store_cached_insight(spec, report)

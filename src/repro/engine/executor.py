@@ -17,6 +17,11 @@ The parent merges worker snapshots in plan order
 (:meth:`repro.obs.Telemetry.merge_snapshot`), which makes the merged
 counters bit-identical to a serial run — counters add commutatively and
 every per-run gauge carries a unique ``benchmark``/``isa`` label set.
+When *collect_insight* is set, the worker additionally rides an
+:class:`~repro.insight.InsightCollector` on the replay and ships the
+frozen :class:`~repro.insight.InsightReport` home the same way — the
+``insight.*`` metric series it publishes into the worker session merge
+back identically to a serial run.
 
 ``--jobs 1`` never touches multiprocessing: the engine falls back to
 the in-process serial path.
@@ -27,6 +32,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.engine.spec import RunSpec
+from repro.insight import InsightCollector, InsightReport
 from repro.isa.program import BlockProgram, ConventionalProgram
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim.run import (
@@ -55,29 +61,56 @@ def execute_run(
     captured: CapturedRun,
     spec: RunSpec,
     capture_telemetry: bool,
-) -> tuple[SimResult, dict | None]:
+    collect_insight: bool = False,
+) -> tuple[SimResult, dict | None, InsightReport | None]:
     """Top-level worker entry point (must stay module-level so the
     process pool can pickle it). Replays the shipped packed trace under
-    the spec's machine config; returns the result plus a telemetry
-    snapshot when *capture_telemetry* is set, else ``(result, None)``."""
+    the spec's machine config; returns the result, a telemetry snapshot
+    when *capture_telemetry* is set, and the run's
+    :class:`~repro.insight.InsightReport` when *collect_insight* is
+    set."""
+    collector = InsightCollector() if collect_insight else None
     if not capture_telemetry:
-        return replay_captured(captured, spec.config, get_telemetry()), None
+        result = replay_captured(
+            captured, spec.config, get_telemetry(), insight=collector
+        )
+        report = (
+            collector.report(spec.benchmark, spec.isa, spec.config)
+            if collector is not None
+            else None
+        )
+        return result, None, report
     tel = Telemetry(trace_capacity=WORKER_TRACE_CAPACITY)
     with tel.span("plan.run", **spec.labels()):
-        result = replay_captured(captured, spec.config, tel)
-    return result, tel.worker_snapshot()
+        result = replay_captured(
+            captured, spec.config, tel, insight=collector
+        )
+    report = None
+    if collector is not None:
+        report = collector.report(spec.benchmark, spec.isa, spec.config)
+        # Mirror the serial path: insight metrics land in the worker
+        # session and merge home bit-identically.
+        report.publish(tel.metrics)
+    return result, tel.worker_snapshot(), report
 
 
 def execute_parallel(
     work: list[tuple[RunSpec, CapturedRun]],
     jobs: int,
     capture_telemetry: bool,
-) -> list[tuple[RunSpec, SimResult, dict | None]]:
+    collect_insight: bool = False,
+) -> list[tuple[RunSpec, SimResult, dict | None, InsightReport | None]]:
     """Execute *work* across a process pool; results in *work* order."""
     workers = max(1, min(jobs, len(work)))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            (spec, pool.submit(execute_run, captured, spec, capture_telemetry))
+            (
+                spec,
+                pool.submit(
+                    execute_run, captured, spec,
+                    capture_telemetry, collect_insight,
+                ),
+            )
             for spec, captured in work
         ]
         return [

@@ -152,6 +152,27 @@ def run_key(compile_digest: str, spec: RunSpec) -> str:
     )
 
 
+def insight_key(compile_digest: str, spec: RunSpec) -> str:
+    """Content address of one run's ``InsightReport``.
+
+    Same granularity as :func:`run_key` (the analytics depend on the
+    full machine config) but a distinct artifact kind, so insight-less
+    sessions pay nothing and enabling insight later only replays runs
+    whose reports are missing.
+    """
+    return _digest(
+        canonical_json(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": "insight",
+                "compile": compile_digest,
+                "isa": spec.isa,
+                "config": asdict(spec.config),
+            }
+        )
+    )
+
+
 def trace_key(compile_digest: str, isa: str, config: MachineConfig) -> str:
     """Content address of one captured packed trace.
 

@@ -16,16 +16,22 @@
     bsisa metrics compress --trace-cache    # include conventional+tc run
     bsisa perf --benchmarks compress gcc    # capture/replay/streaming timings
     bsisa perf -o BENCH_sim.json        # schema-versioned perf artifact
+    bsisa perf --compare BENCH_sim.json # speed deltas vs the committed baseline
+    bsisa analyze --benchmark compress  # CPI stack + fetch-rate histogram
+    bsisa analyze -o INSIGHT.json       # repro.insight/v1 artifact
+    bsisa timeline compress --limit 40  # per-cycle occupancy from the trace
     bsisa trace compress --limit 20     # JSONL pipeline events
+    bsisa trace compress --kind fetch --kind retire  # filter event kinds
     bsisa fuzz --budget 200 --seed 7    # cosimulation-oracle fuzzing
     bsisa fuzz --replay corpus/fail-0-4.minic   # re-run a saved failure
     bsisa verify-paper                  # paper-fidelity regression gate
     bsisa verify-paper -o BENCH_paper.json --write-experiments
 
 Exit codes are a contract (tests/test_cli_exit_codes.py): 0 success,
-1 operational failure (fuzz oracle violation, perf stats mismatch),
-2 usage error (argparse or unknown name), 3 paper-claim failure from
-``verify-paper``.
+1 operational failure (fuzz oracle violation, perf stats mismatch or
+>20% perf regression under ``--compare``, broken cycle accounting),
+2 usage error (argparse, unknown name, unknown ``--kind``), 3
+paper-claim failure from ``verify-paper``.
 """
 
 from __future__ import annotations
@@ -96,7 +102,11 @@ def _cmd_run(args) -> int:
     tel = _make_telemetry(args)
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
     runner = SuiteRunner(
-        scale=args.scale, telemetry=tel, jobs=args.jobs, cache=cache
+        scale=args.scale,
+        telemetry=tel,
+        jobs=args.jobs,
+        cache=cache,
+        insight=bool(args.insight),
     )
     plan = runner.execute(names)
     for name in names:
@@ -114,6 +124,27 @@ def _cmd_run(args) -> int:
         f"jobs {args.jobs}",
         file=sys.stderr,
     )
+    if args.insight:
+        from repro.insight import build_document, write_document
+
+        doc = build_document(
+            list(runner.insights.values()),
+            meta={
+                "command": "run",
+                "experiments": names,
+                "scale": runner.scale,
+            },
+        )
+        try:
+            write_document(doc, args.insight)
+        except OSError as exc:
+            print(f"cannot write {args.insight}: {exc}", file=sys.stderr)
+            return EXIT_FAILURE
+        print(
+            f"insight artifact ({len(doc['reports'])} reports) written "
+            f"to {args.insight}",
+            file=sys.stderr,
+        )
     if tel is not None:
         return _write_artifact(
             tel,
@@ -307,12 +338,41 @@ def _cmd_metrics(args) -> int:
 
 def _cmd_perf(args) -> int:
     """Time capture vs. replay vs. streaming; write BENCH_sim.json."""
-    from repro.harness.perf import benchmark_suite, render, write_document
+    import json
+
+    from repro.harness.perf import (
+        REGRESSION_THRESHOLD,
+        benchmark_suite,
+        compare_documents,
+        render,
+        write_document,
+    )
+    from repro.obs.schema import bench_document_errors
 
     unknown = [b for b in args.benchmarks if b not in SUITE]
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    baseline = None
+    if args.compare:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(
+                f"cannot read baseline {args.compare}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        errors = bench_document_errors(baseline)
+        if errors:
+            print(
+                f"baseline {args.compare} is not a valid perf artifact:",
+                file=sys.stderr,
+            )
+            for err in errors:
+                print(f"  {err}", file=sys.stderr)
+            return EXIT_USAGE
     doc = benchmark_suite(args.benchmarks, args.scale)
     print(render(doc))
     if args.output:
@@ -320,29 +380,171 @@ def _cmd_perf(args) -> int:
             write_document(doc, args.output)
         except OSError as exc:
             print(f"cannot write {args.output}: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_FAILURE
         print(f"perf artifact written to {args.output}", file=sys.stderr)
-    return 0 if doc["totals"]["stats_match"] else 1
+    rc = EXIT_OK if doc["totals"]["stats_match"] else EXIT_FAILURE
+    if baseline is not None:
+        text, regressions = compare_documents(doc, baseline)
+        print()
+        print(f"vs baseline {args.compare}:")
+        print(text)
+        if regressions:
+            print(
+                f"perf: {len(regressions)} regression(s) beyond "
+                f"+{100.0 * REGRESSION_THRESHOLD:.0f}%:",
+                file=sys.stderr,
+            )
+            for message in regressions:
+                print(f"  {message}", file=sys.stderr)
+            rc = rc or EXIT_FAILURE
+    return rc
+
+
+def _cmd_analyze(args) -> int:
+    """CPI stack + fetch-rate histogram per benchmark × ISA."""
+    from repro.check import check_invariants
+    from repro.insight import (
+        InsightCollector,
+        build_document,
+        render_report,
+        write_document,
+    )
+
+    unknown = [b for b in args.benchmark if b not in SUITE]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return EXIT_USAGE
+    isas = (
+        ("conventional", "block") if args.isa == "both" else (args.isa,)
+    )
+    tel = _make_telemetry(args)
+    toolchain = Toolchain(telemetry=tel)
+    config = MachineConfig(perfect_bp=args.perfect_bp).with_icache_kb(
+        args.icache_kb
+    )
+    simulate = {
+        "conventional": simulate_conventional,
+        "block": simulate_block_structured,
+    }
+    reports = []
+    broken: list[str] = []
+    for benchmark in args.benchmark:
+        pair = toolchain.compile(SUITE[benchmark].source(args.scale), benchmark)
+        programs = {"conventional": pair.conventional, "block": pair.block}
+        for isa in isas:
+            collector = InsightCollector()
+            result = simulate[isa](
+                programs[isa], config, telemetry=tel, insight=collector
+            )
+            report = collector.report(benchmark, isa, config)
+            violations = check_invariants(result, config, insight=report)
+            for v in violations:
+                broken.append(f"{benchmark}/{isa}: {v.invariant}: {v.detail}")
+            reports.append(report)
+            if tel is not None:
+                report.publish(tel.metrics)
+            print(render_report(report))
+            print()
+    if args.output:
+        doc = build_document(
+            reports,
+            meta={
+                "command": "analyze",
+                "benchmarks": list(args.benchmark),
+                "scale": args.scale,
+                "perfect_bp": args.perfect_bp,
+                "icache_kb": args.icache_kb,
+            },
+        )
+        try:
+            write_document(doc, args.output)
+        except OSError as exc:
+            print(f"cannot write {args.output}: {exc}", file=sys.stderr)
+            return EXIT_FAILURE
+        print(
+            f"insight artifact ({len(reports)} reports) written to "
+            f"{args.output}",
+            file=sys.stderr,
+        )
+    rc = EXIT_OK
+    if broken:
+        print(
+            f"analyze: {len(broken)} invariant violation(s):", file=sys.stderr
+        )
+        for message in broken:
+            print(f"  {message}", file=sys.stderr)
+        rc = EXIT_FAILURE
+    if tel is not None:
+        artifact_rc = _write_artifact(
+            tel,
+            args.metrics_json,
+            {
+                "command": "analyze",
+                "benchmarks": list(args.benchmark),
+                "scale": args.scale,
+            },
+        )
+        rc = rc or artifact_rc
+    return rc
+
+
+def _cmd_timeline(args) -> int:
+    """Reconstruct per-cycle pipeline occupancy from the event trace."""
+    from repro.insight import build_timeline, render_timeline
+
+    tel = Telemetry(trace_capacity=args.capacity)
+    workload = SUITE[args.workload]
+    pair = Toolchain(telemetry=tel).compile(
+        workload.source(args.scale), args.workload
+    )
+    config = MachineConfig(perfect_bp=args.perfect_bp).with_icache_kb(
+        args.icache_kb
+    )
+    if args.isa == "block":
+        simulate_block_structured(pair.block, config, telemetry=tel)
+    else:
+        simulate_conventional(pair.conventional, config, telemetry=tel)
+    rows = build_timeline(tel.trace.events())
+    print(
+        f"{args.workload}/{args.isa}: per-cycle occupancy from the last "
+        f"{len(tel.trace)} trace events ({tel.trace.dropped} dropped)"
+    )
+    print(render_timeline(rows, limit=args.limit))
+    return 0
 
 
 def _cmd_trace(args) -> int:
     """Run one workload with telemetry and dump pipeline events as JSONL."""
+    from repro.obs.events import ALL_EVENT_KINDS
+
+    kinds = None
+    if args.kind:
+        bad = sorted(set(args.kind) - ALL_EVENT_KINDS)
+        if bad:
+            print(
+                f"unknown event kind(s): {', '.join(bad)}; allowed: "
+                f"{', '.join(sorted(ALL_EVENT_KINDS))}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        kinds = frozenset(args.kind)
     tel = Telemetry(trace_capacity=args.capacity)
     _simulate_pair(args, tel)
     if args.jsonl:
         try:
-            tel.trace.write_jsonl(args.jsonl)
+            tel.trace.write_jsonl(args.jsonl, kinds=kinds)
         except OSError as exc:
             print(f"cannot write trace to {args.jsonl}: {exc}", file=sys.stderr)
             return 1
+        kept = len(tel.trace.events(kinds=kinds))
         print(
-            f"{len(tel.trace)} events written to {args.jsonl} "
+            f"{kept} events written to {args.jsonl} "
             f"({tel.trace.dropped} dropped from a {tel.trace.emitted}-event "
             f"stream)",
             file=sys.stderr,
         )
     else:
-        text = tel.trace.to_jsonl(args.limit)
+        text = tel.trace.to_jsonl(args.limit, kinds=kinds)
         if text:
             print(text)
     return 0
@@ -452,6 +654,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json",
         metavar="PATH",
         help="write the unified telemetry artifact (metrics+spans+trace)",
+    )
+    run.add_argument(
+        "--insight",
+        metavar="PATH",
+        help="collect per-run fetch-rate analytics across the plan and "
+        "write the repro.insight/v1 artifact",
     )
     run.set_defaults(fn=_cmd_run)
 
@@ -589,7 +797,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the schema-versioned perf artifact (BENCH_sim.json)",
     )
+    perf.add_argument(
+        "--compare",
+        metavar="PATH",
+        help="diff against a baseline BENCH_sim.json; exit 1 when a "
+        "replay/streaming phase regresses more than 20%%",
+    )
     perf.set_defaults(fn=_cmd_perf)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="CPI stack + fetch-rate histogram per benchmark x ISA "
+        "(repro.insight/v1 artifact)",
+    )
+    analyze.add_argument(
+        "--benchmark",
+        nargs="+",
+        default=["compress"],
+        metavar="NAME",
+        help="benchmarks to analyze (default: compress)",
+    )
+    analyze.add_argument(
+        "--isa",
+        choices=["both", "conventional", "block"],
+        default="both",
+    )
+    analyze.add_argument("--scale", type=float, default=1.0)
+    analyze.add_argument("--perfect-bp", action="store_true")
+    analyze.add_argument("--icache-kb", type=int, default=64)
+    analyze.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="write the schema-versioned insight artifact "
+        "(repro.insight/v1)",
+    )
+    analyze.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the unified telemetry artifact (metrics+spans+trace)",
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="per-cycle pipeline occupancy reconstructed from the "
+        "event trace",
+    )
+    timeline.add_argument("workload", choices=list(SUITE))
+    timeline.add_argument(
+        "--isa", choices=["conventional", "block"], default="block"
+    )
+    timeline.add_argument("--scale", type=float, default=1.0)
+    timeline.add_argument("--perfect-bp", action="store_true")
+    timeline.add_argument("--icache-kb", type=int, default=64)
+    timeline.add_argument(
+        "--capacity", type=int, default=4096, help="ring-buffer size"
+    )
+    timeline.add_argument(
+        "--limit", type=int, default=64,
+        help="print only the last N cycles (default 64)",
+    )
+    timeline.set_defaults(fn=_cmd_timeline)
 
     trace = sub.add_parser(
         "trace", help="simulate one workload and dump pipeline events (JSONL)"
@@ -607,6 +876,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--jsonl", metavar="PATH", help="write the full buffer to a file"
+    )
+    trace.add_argument(
+        "--kind",
+        action="append",
+        metavar="KIND",
+        help="keep only these event kinds (repeatable; exit 2 with the "
+        "allowed list on an unknown kind)",
     )
     trace.set_defaults(fn=_cmd_trace)
 

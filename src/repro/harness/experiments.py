@@ -85,6 +85,7 @@ class SuiteRunner:
         telemetry: Telemetry | None = None,
         jobs: int = 1,
         cache: ArtifactCache | None = None,
+        insight: bool = False,
     ):
         self.engine = ExperimentEngine(
             scale=scale,
@@ -93,7 +94,13 @@ class SuiteRunner:
             telemetry=telemetry,
             cache=cache,
             jobs=jobs,
+            insight=insight,
         )
+
+    @property
+    def insights(self):
+        """spec -> InsightReport collected this session (insight mode)."""
+        return self.engine.insights
 
     @property
     def scale(self) -> float:

@@ -140,6 +140,69 @@ def benchmark_suite(
     }
 
 
+#: ``bsisa perf --compare`` flags a regression when a gated phase gets
+#: more than this much slower than the committed baseline.
+REGRESSION_THRESHOLD = 0.20
+
+_COMPARE_FIELDS = ("capture_s", "replay_s", "streaming_s")
+#: capture_s is informational (it runs once per sweep); the sim phases
+#: are what ROADMAP item 1's trajectory gates on.
+_GATED_FIELDS = ("replay_s", "streaming_s")
+
+
+def compare_documents(
+    new: dict, old: dict, threshold: float = REGRESSION_THRESHOLD
+) -> tuple[str, list[str]]:
+    """Per-benchmark×ISA speed deltas of *new* against the baseline
+    *old* (an earlier ``BENCH_sim.json``).
+
+    Returns ``(rendered table, regressions)`` — a regression is a gated
+    phase (replay/streaming) more than *threshold* slower than the
+    baseline. Entries are matched on ``(benchmark, isa)``; entries
+    missing from the baseline are reported but never gate.
+    """
+    baseline = {
+        (e["benchmark"], e["isa"]): e for e in old.get("benchmarks", [])
+    }
+    lines = [
+        f"{'benchmark':12s} {'isa':13s} {'capture':>9s} {'replay':>9s} "
+        f"{'streaming':>9s}  vs baseline"
+    ]
+    regressions: list[str] = []
+    for entry in new["benchmarks"]:
+        key = (entry["benchmark"], entry["isa"])
+        base = baseline.get(key)
+        if base is None:
+            lines.append(
+                f"{entry['benchmark']:12s} {entry['isa']:13s} "
+                f"{'—':>9s} {'—':>9s} {'—':>9s}  (no baseline entry)"
+            )
+            continue
+        deltas = []
+        for field in _COMPARE_FIELDS:
+            if base[field] > 0:
+                deltas.append(
+                    f"{100.0 * (entry[field] - base[field]) / base[field]:+8.1f}%"
+                )
+            else:
+                deltas.append(f"{'n/a':>9s}")
+        lines.append(
+            f"{entry['benchmark']:12s} {entry['isa']:13s} "
+            + " ".join(deltas)
+        )
+        for field in _GATED_FIELDS:
+            if base[field] > 0 and entry[field] > base[field] * (
+                1.0 + threshold
+            ):
+                pct = 100.0 * (entry[field] - base[field]) / base[field]
+                regressions.append(
+                    f"{entry['benchmark']}/{entry['isa']} {field}: "
+                    f"{base[field]:.3f}s -> {entry[field]:.3f}s "
+                    f"({pct:+.1f}%, threshold +{100.0 * threshold:.0f}%)"
+                )
+    return "\n".join(lines), regressions
+
+
 def write_document(doc: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

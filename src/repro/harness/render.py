@@ -63,6 +63,52 @@ def grouped_bars(
     return "\n".join(lines)
 
 
+def ascii_stack(
+    pairs: list[tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    total: float | None = None,
+) -> str:
+    """Render stacked-share bars: each value as a fraction of *total*
+    (default: the sum of all values), with a percentage column. Used for
+    CPI stacks, where the parts must tile the whole."""
+    if not pairs:
+        return title
+    if total is None:
+        total = sum(value for _, value in pairs)
+    label_width = max(len(label) for label, _ in pairs)
+    lines = [title] if title else []
+    for label, value in pairs:
+        share = value / total if total else 0.0
+        bar = "#" * max(0, round(share * width))
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)} "
+            f"{value:>12,.0f} ({100.0 * share:5.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def ascii_hist(
+    pairs: list[tuple[int, int]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render a discrete histogram (bin -> count), bars scaled to the
+    modal bin. An empty histogram renders its title and a placeholder."""
+    lines = [title] if title else []
+    if not pairs:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(count for _, count in pairs) or 1
+    bin_width = max(len(f"{bin_:d}") for bin_, _ in pairs)
+    for bin_, count in pairs:
+        bar = "#" * max(0, round(count / peak * width))
+        lines.append(
+            f"{bin_:>{bin_width}d}  {bar.ljust(width)} {count:>12,d}"
+        )
+    return "\n".join(lines)
+
+
 def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:,.2f}"

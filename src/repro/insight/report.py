@@ -1,0 +1,209 @@
+"""The :class:`InsightReport` record, its schema-versioned artifact
+(``repro.insight/v1``), and ASCII rendering.
+
+A report is one run's cycle-accounting stack plus fetch-rate and
+block-utilization histograms, frozen out of an
+:class:`~repro.insight.collector.InsightCollector`. Reports serialize
+into a byte-stable JSON document validated by
+:func:`repro.obs.schema.insight_document_errors` (``python -m
+repro.obs.schema FILE`` recognises the schema id); the document embeds
+no timestamps, so identical runs produce identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.schema import INSIGHT_CYCLE_BUCKETS, INSIGHT_SCHEMA_ID
+
+
+@dataclass
+class InsightReport:
+    """Cycle accounting + fetch-rate analytics for one benchmark × ISA
+    run under one machine config."""
+
+    benchmark: str
+    isa: str  # "conventional" | "block"
+    cycles: int
+    #: cycles the fetch stage delivered icache lines (incl. extra-line
+    #: cycles of multi-line units)
+    busy_fetch: int
+    #: cycles fetch stalled on icache misses (L2 latency)
+    icache_stall: int
+    #: cycles fetch idled on mispredict resolution + refill
+    redirect_stall: int
+    #: cycles fetch idled because a full window delayed the redirecting
+    #: unit's dispatch (and thereby its resolution)
+    window_stall: int
+    #: cycles fetch idled on fault-squash resolution (BS ISA faults)
+    squash_recovery: int
+    #: cycles after the last fetch while the back end drained
+    drain: int
+    fetched_units: int
+    squashed_units: int
+    fetched_ops: int
+    retired_ops: int
+    squashed_ops: int
+    #: ops delivered per busy fetch cycle -> cycle count
+    fetch_hist: dict[int, int] = field(default_factory=dict)
+    #: unit size in ops -> fetched unit count
+    unit_fetched: dict[int, int] = field(default_factory=dict)
+    #: unit size in ops -> retired unit count
+    unit_retired: dict[int, int] = field(default_factory=dict)
+    #: ``dataclasses.asdict`` of the MachineConfig, or None
+    config: dict | None = None
+
+    # -- derived -------------------------------------------------------
+
+    def buckets(self) -> dict[str, int]:
+        """The cycle-accounting stack in display order."""
+        return {name: getattr(self, name) for name in INSIGHT_CYCLE_BUCKETS}
+
+    @property
+    def accounted_cycles(self) -> int:
+        return sum(self.buckets().values())
+
+    @property
+    def fetch_rate(self) -> float:
+        """Ops delivered per busy fetch cycle (the paper's Fig. 3
+        metric, as a mean of the full distribution)."""
+        return self.fetched_ops / self.busy_fetch if self.busy_fetch else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Enlarged-block utilization: fraction of fetched ops that
+        retired (squashed fault blocks waste their fetched ops)."""
+        if not self.fetched_ops:
+            return 1.0
+        return self.retired_ops / self.fetched_ops
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (histogram bins become string keys)."""
+        return {
+            "benchmark": self.benchmark,
+            "isa": self.isa,
+            "cycles": self.cycles,
+            **self.buckets(),
+            "fetched_units": self.fetched_units,
+            "squashed_units": self.squashed_units,
+            "fetched_ops": self.fetched_ops,
+            "retired_ops": self.retired_ops,
+            "squashed_ops": self.squashed_ops,
+            "fetch_hist": _hist_out(self.fetch_hist),
+            "unit_fetched": _hist_out(self.unit_fetched),
+            "unit_retired": _hist_out(self.unit_retired),
+            "config": self.config,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InsightReport":
+        return cls(
+            benchmark=data["benchmark"],
+            isa=data["isa"],
+            cycles=data["cycles"],
+            **{name: data[name] for name in INSIGHT_CYCLE_BUCKETS},
+            fetched_units=data["fetched_units"],
+            squashed_units=data["squashed_units"],
+            fetched_ops=data["fetched_ops"],
+            retired_ops=data["retired_ops"],
+            squashed_ops=data["squashed_ops"],
+            fetch_hist=_hist_in(data["fetch_hist"]),
+            unit_fetched=_hist_in(data["unit_fetched"]),
+            unit_retired=_hist_in(data["unit_retired"]),
+            config=data.get("config"),
+        )
+
+    def publish(self, metrics) -> None:
+        """Emit the stack and headline ratios into a
+        :class:`repro.obs.MetricsRegistry` under ``insight.*``."""
+        labels = {"benchmark": self.benchmark, "isa": self.isa}
+        for bucket, value in self.buckets().items():
+            metrics.inc("insight.cycle_stack", value, bucket=bucket, **labels)
+        metrics.inc("insight.fetched_ops", self.fetched_ops, **labels)
+        metrics.inc("insight.retired_ops", self.retired_ops, **labels)
+        metrics.inc("insight.squashed_ops", self.squashed_ops, **labels)
+        metrics.gauge("insight.fetch_rate", self.fetch_rate, **labels)
+        metrics.gauge("insight.block_utilization", self.utilization, **labels)
+
+
+def _hist_out(hist: dict[int, int]) -> dict[str, int]:
+    return {str(bin_): hist[bin_] for bin_ in sorted(hist)}
+
+
+def _hist_in(hist: dict) -> dict[int, int]:
+    return {int(bin_): count for bin_, count in sorted(
+        hist.items(), key=lambda kv: int(kv[0])
+    )}
+
+
+# ---------------------------------------------------------------------------
+# Artifact document
+# ---------------------------------------------------------------------------
+
+
+def _sort_key(report: InsightReport) -> tuple:
+    return (
+        report.benchmark,
+        report.isa,
+        json.dumps(report.config, sort_keys=True),
+    )
+
+
+def build_document(
+    reports: list[InsightReport], meta: dict | None = None
+) -> dict:
+    """The ``repro.insight/v1`` artifact: deterministically ordered,
+    timestamp-free, byte-stable for identical runs."""
+    return {
+        "schema": INSIGHT_SCHEMA_ID,
+        "meta": dict(meta or {}),
+        "reports": [
+            report.to_dict() for report in sorted(reports, key=_sort_key)
+        ],
+    }
+
+
+def write_document(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_report(report: InsightReport, width: int = 40) -> str:
+    """ASCII CPI stack + fetch-rate histogram for one report."""
+    # Imported lazily: repro.harness pulls in the experiment engine,
+    # which imports this module — a top-level import would be circular.
+    from repro.harness.render import ascii_hist, ascii_stack
+
+    title = (
+        f"{report.benchmark} [{report.isa}] — {report.cycles:,d} cycles, "
+        f"fetch rate {report.fetch_rate:.2f} ops/fetch-cycle, "
+        f"utilization {100.0 * report.utilization:.1f}%"
+    )
+    stack = ascii_stack(
+        list(report.buckets().items()),
+        title="cycle accounting:",
+        width=width,
+        total=report.cycles,
+    )
+    hist = ascii_hist(
+        sorted(report.fetch_hist.items()),
+        title="ops per busy fetch cycle:",
+        width=width,
+    )
+    return f"{title}\n{stack}\n{hist}"
+
+
+def render_reports(reports: list[InsightReport], width: int = 40) -> str:
+    return "\n\n".join(
+        render_report(report, width=width)
+        for report in sorted(reports, key=_sort_key)
+    )

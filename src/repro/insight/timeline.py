@@ -1,0 +1,95 @@
+"""Per-cycle pipeline occupancy reconstructed from the event trace.
+
+``bsisa timeline`` runs one workload with telemetry enabled and folds
+the :class:`~repro.obs.events.EventTrace` window into per-cycle rows:
+ops fetched / retired / squashed that cycle, icache misses, redirects,
+and a running in-flight op estimate (fetched minus retired minus
+squashed). The trace is a bounded ring, so the view covers the trailing
+window of a long run — the estimate is clamped at zero when the
+window's start truncates earlier fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import (
+    EV_FAULT_SQUASH,
+    EV_FETCH,
+    EV_ICACHE_MISS,
+    EV_REDIRECT,
+    EV_RETIRE,
+)
+
+
+@dataclass
+class CycleRow:
+    """Aggregated pipeline activity in one simulated cycle."""
+
+    cycle: int
+    fetched_units: int = 0
+    fetched_ops: int = 0
+    retired_ops: int = 0
+    squashed_ops: int = 0
+    icache_misses: int = 0
+    redirects: int = 0
+    #: fetched - retired - squashed ops, cumulative over the window
+    inflight: int = 0
+
+
+def build_timeline(events: list[dict]) -> list[CycleRow]:
+    """Fold ``EventTrace.events()`` dicts into per-cycle rows, sorted by
+    cycle, with the cumulative in-flight estimate filled in."""
+    rows: dict[int, CycleRow] = {}
+
+    def row(cycle: int) -> CycleRow:
+        if cycle not in rows:
+            rows[cycle] = CycleRow(cycle)
+        return rows[cycle]
+
+    for event in events:
+        kind = event["event"]
+        cycle = event["cycle"]
+        if kind == EV_FETCH:
+            r = row(cycle)
+            r.fetched_units += 1
+            r.fetched_ops += event.get("ops", 0)
+        elif kind == EV_RETIRE:
+            row(cycle).retired_ops += event.get("ops", 0)
+        elif kind == EV_FAULT_SQUASH:
+            row(cycle).squashed_ops += event.get("ops", 0)
+        elif kind == EV_ICACHE_MISS:
+            row(cycle).icache_misses += 1
+        elif kind == EV_REDIRECT:
+            row(cycle).redirects += 1
+    ordered = [rows[cycle] for cycle in sorted(rows)]
+    inflight = 0
+    for r in ordered:
+        inflight += r.fetched_ops - r.retired_ops - r.squashed_ops
+        if inflight < 0:
+            inflight = 0  # window start truncated the matching fetches
+        r.inflight = inflight
+    return ordered
+
+
+def render_timeline(
+    rows: list[CycleRow], limit: int | None = None, width: int = 30
+) -> str:
+    """Monospace per-cycle table with an in-flight occupancy bar."""
+    if limit is not None and limit < len(rows):
+        rows = rows[-limit:]
+    if not rows:
+        return "(no events in the trace window)"
+    peak = max(r.inflight for r in rows) or 1
+    lines = [
+        f"{'cycle':>10s} {'fetch':>6s} {'retire':>6s} {'squash':>6s} "
+        f"{'i$miss':>6s} {'redir':>5s} {'inflight':>8s}  occupancy"
+    ]
+    for r in rows:
+        bar = "#" * max(0, round(r.inflight / peak * width))
+        lines.append(
+            f"{r.cycle:10,d} {r.fetched_ops:6d} {r.retired_ops:6d} "
+            f"{r.squashed_ops:6d} {r.icache_misses:6d} {r.redirects:5d} "
+            f"{r.inflight:8d}  {bar}"
+        )
+    return "\n".join(lines)

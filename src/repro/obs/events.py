@@ -46,10 +46,14 @@ class EventTrace:
     def dropped(self) -> int:
         return self.emitted - len(self._buf)
 
-    def events(self, limit: int | None = None) -> list[dict]:
-        """The retained events (optionally only the last *limit*) as
-        JSON-ready dicts, oldest first."""
+    def events(
+        self, limit: int | None = None, kinds=None
+    ) -> list[dict]:
+        """The retained events (optionally only the last *limit*, and
+        only of the given *kinds*) as JSON-ready dicts, oldest first."""
         buf = list(self._buf)
+        if kinds is not None:
+            buf = [entry for entry in buf if entry[1] in kinds]
         if limit is not None and limit < len(buf):
             buf = buf[-limit:]
         return [
@@ -80,15 +84,17 @@ class EventTrace:
             out[kind] = out.get(kind, 0) + 1
         return out
 
-    def to_jsonl(self, limit: int | None = None) -> str:
+    def to_jsonl(self, limit: int | None = None, kinds=None) -> str:
         """Serialize events as one JSON object per line."""
         return "\n".join(
-            json.dumps(e, sort_keys=True) for e in self.events(limit)
+            json.dumps(e, sort_keys=True) for e in self.events(limit, kinds)
         )
 
-    def write_jsonl(self, path: str, limit: int | None = None) -> None:
+    def write_jsonl(
+        self, path: str, limit: int | None = None, kinds=None
+    ) -> None:
         with open(path, "w", encoding="utf-8") as fh:
-            text = self.to_jsonl(limit)
+            text = self.to_jsonl(limit, kinds)
             if text:
                 fh.write(text + "\n")
 

@@ -31,6 +31,22 @@ BENCH_SCHEMA_ID = "repro.bench/v1"
 #: Schema id of the ``bsisa verify-paper`` artifact (docs/fidelity.md).
 FIDELITY_SCHEMA_ID = "repro.fidelity/v1"
 
+#: Schema id of the ``bsisa analyze`` / ``bsisa run --insight`` artifact
+#: (docs/observability.md).
+INSIGHT_SCHEMA_ID = "repro.insight/v1"
+
+#: The cycle-accounting buckets of one :class:`repro.insight.InsightReport`,
+#: in display order. Every simulated cycle lands in exactly one bucket:
+#: ``sum(buckets) == cycles`` is part of the schema contract.
+INSIGHT_CYCLE_BUCKETS = (
+    "busy_fetch",
+    "icache_stall",
+    "redirect_stall",
+    "window_stall",
+    "squash_recovery",
+    "drain",
+)
+
 
 def _check_labels(labels, where: str, errors: list[str]) -> None:
     if not isinstance(labels, dict):
@@ -333,6 +349,116 @@ def fidelity_document_errors(doc) -> list[str]:
     return errors
 
 
+_INSIGHT_COUNTS = (
+    "fetched_units",
+    "squashed_units",
+    "fetched_ops",
+    "retired_ops",
+    "squashed_ops",
+)
+
+
+def _check_int_hist(hist, where: str, errors: list[str]) -> dict[int, int]:
+    """Validate a ``{str(int): int >= 0}`` histogram; parsed copy back."""
+    out: dict[int, int] = {}
+    if not isinstance(hist, dict):
+        errors.append(f"{where}: must be an object")
+        return out
+    for key, value in hist.items():
+        try:
+            bin_ = int(key)
+        except (TypeError, ValueError):
+            errors.append(f"{where}: non-integer bin {key!r}")
+            continue
+        if bin_ < 0 or not isinstance(value, int) or value < 0:
+            errors.append(f"{where}: bad bin {key!r}={value!r}")
+            continue
+        out[bin_] = value
+    return out
+
+
+def _check_insight_report(entry, i: int, errors: list[str]) -> None:
+    where = f"reports[{i}]"
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    if not isinstance(entry.get("benchmark"), str) or not entry["benchmark"]:
+        errors.append(f"{where}: missing/empty benchmark")
+    if entry.get("isa") not in ("conventional", "block"):
+        errors.append(f"{where}: bad isa {entry.get('isa')!r}")
+    numbers_ok = True
+    for field in ("cycles",) + INSIGHT_CYCLE_BUCKETS + _INSIGHT_COUNTS:
+        value = entry.get(field)
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"{where}: {field} must be a non-negative int")
+            numbers_ok = False
+    fetch_hist = _check_int_hist(
+        entry.get("fetch_hist"), f"{where}.fetch_hist", errors
+    )
+    unit_fetched = _check_int_hist(
+        entry.get("unit_fetched"), f"{where}.unit_fetched", errors
+    )
+    unit_retired = _check_int_hist(
+        entry.get("unit_retired"), f"{where}.unit_retired", errors
+    )
+    config = entry.get("config")
+    if config is not None and not isinstance(config, dict):
+        errors.append(f"{where}: config must be an object or null")
+    if not numbers_ok:
+        return
+    # The cycle-accounting identity is part of the schema: CI validating
+    # the artifact re-asserts it on the shipped numbers.
+    accounted = sum(entry[b] for b in INSIGHT_CYCLE_BUCKETS)
+    if accounted != entry["cycles"]:
+        errors.append(
+            f"{where}: cycle accounting broken — sum(buckets)={accounted} "
+            f"!= cycles={entry['cycles']}"
+        )
+    if entry["retired_ops"] + entry["squashed_ops"] != entry["fetched_ops"]:
+        errors.append(
+            f"{where}: retired_ops + squashed_ops != fetched_ops"
+        )
+    mass = sum(fetch_hist.values())
+    if mass != entry["busy_fetch"]:
+        errors.append(
+            f"{where}: fetch_hist mass={mass} != busy_fetch="
+            f"{entry['busy_fetch']}"
+        )
+    op_mass = sum(bin_ * count for bin_, count in fetch_hist.items())
+    if op_mass != entry["fetched_ops"]:
+        errors.append(
+            f"{where}: fetch_hist op mass={op_mass} != fetched_ops="
+            f"{entry['fetched_ops']}"
+        )
+    if sum(unit_fetched.values()) != entry["fetched_units"]:
+        errors.append(f"{where}: unit_fetched mass != fetched_units")
+    retired_units = entry["fetched_units"] - entry["squashed_units"]
+    if sum(unit_retired.values()) != retired_units:
+        errors.append(
+            f"{where}: unit_retired mass != fetched_units - squashed_units"
+        )
+
+
+def insight_document_errors(doc) -> list[str]:
+    """Every schema violation in a ``repro.insight/v1`` document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("schema") != INSIGHT_SCHEMA_ID:
+        errors.append(
+            f"schema must be {INSIGHT_SCHEMA_ID!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("meta"), dict):
+        errors.append("meta must be an object")
+    reports = doc.get("reports")
+    if not isinstance(reports, list) or not reports:
+        errors.append("reports must be a non-empty list")
+        reports = []
+    for i, entry in enumerate(reports):
+        _check_insight_report(entry, i, errors)
+    return errors
+
+
 def validate_document(doc) -> None:
     """Raise :class:`TelemetryError` listing every violation in *doc*."""
     errors = document_errors(doc)
@@ -354,6 +480,8 @@ def main(argv: list[str] | None = None) -> int:
         errors = bench_document_errors(doc)
     elif isinstance(doc, dict) and doc.get("schema") == FIDELITY_SCHEMA_ID:
         errors = fidelity_document_errors(doc)
+    elif isinstance(doc, dict) and doc.get("schema") == INSIGHT_SCHEMA_ID:
+        errors = insight_document_errors(doc)
     else:
         errors = document_errors(doc)
     if errors:
@@ -371,6 +499,11 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{argv[0]}: ok ({summary['checked']} claims, "
             f"{summary['failed']} failed, ok={summary['ok']})"
+        )
+    elif doc.get("schema") == INSIGHT_SCHEMA_ID:
+        print(
+            f"{argv[0]}: ok ({len(doc['reports'])} insight reports, "
+            f"cycle accounting balanced)"
         )
     else:
         print(

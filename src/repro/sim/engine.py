@@ -111,10 +111,14 @@ class TimingEngine:
         config: MachineConfig,
         atomic_window: bool = False,
         telemetry: Telemetry | None = None,
+        insight=None,
     ):
         self.config = config
         self.atomic_window = atomic_window
         self.telemetry = telemetry
+        #: optional repro.insight.InsightCollector fed by both loops;
+        #: disabled cost is one None-check per fetch unit
+        self.insight = insight
         self.icache = (
             Cache(config.icache) if config.icache is not None else PerfectCache()
         )
@@ -132,6 +136,7 @@ class TimingEngine:
         # Hoisted once: the disabled path costs one None-check per event
         # site, never a call.
         events = tel.trace if tel.enabled else None
+        ins = self.insight
         line_bytes = (
             config.icache.line_bytes if config.icache is not None else 64
         )
@@ -170,7 +175,10 @@ class TimingEngine:
             # ---- fetch -------------------------------------------------
             fetch = max(next_fetch, redirect_at)
             if redirect_at > next_fetch:
-                stats.redirect_stall_cycles += redirect_at - next_fetch
+                gap = redirect_at - next_fetch
+                stats.redirect_stall_cycles += gap
+            else:
+                gap = 0
             first_line = unit.addr // line_bytes
             last_line = (unit.addr + max(unit.size_bytes, 1) - 1) // line_bytes
             nlines = last_line - first_line + 1
@@ -262,6 +270,18 @@ class TimingEngine:
                 # retires (or, for a squashed unit, at resolve — below).
                 if not unit.squashed:
                     heapq.heappush(unit_window, retire_cycle)
+            if ins is not None:
+                # Before the squash branch: squashed units never reach
+                # the retire section below.
+                ins.unit(
+                    gap,
+                    fetch_cycles,
+                    stall,
+                    nops,
+                    dispatch - fetch_end - depth,
+                    unit.squashed,
+                    unit.mispredict,
+                )
 
             # ---- resolution / redirect ----------------------------------
             if unit.squashed:
@@ -340,6 +360,8 @@ class TimingEngine:
                 max_cycle = next_fetch - 1
 
         stats.cycles = max_cycle + 1
+        if ins is not None:
+            ins.finish(stats.cycles, next_fetch)
         return stats
 
     def run_packed(self, trace: PackedTrace) -> TimingStats:
@@ -360,6 +382,7 @@ class TimingEngine:
         atomic_window = self.atomic_window
         tel = self.telemetry if self.telemetry is not None else get_telemetry()
         events = tel.trace if tel.enabled else None
+        ins = self.insight
         line_bytes = (
             config.icache.line_bytes if config.icache is not None else 64
         )
@@ -416,7 +439,10 @@ class TimingEngine:
             # ---- fetch -------------------------------------------------
             fetch = next_fetch if next_fetch >= redirect_at else redirect_at
             if redirect_at > next_fetch:
-                stats.redirect_stall_cycles += redirect_at - next_fetch
+                gap = redirect_at - next_fetch
+                stats.redirect_stall_cycles += gap
+            else:
+                gap = 0
             first_line = first_lines[u]
             last_line = last_lines[u]
             nlines = last_line - first_line + 1
@@ -508,6 +534,18 @@ class TimingEngine:
                 # retires (or, for a squashed unit, at resolve — below).
                 if not squashed:
                     push(unit_window, retire_cycle)
+            if ins is not None:
+                # Before the squash branch: squashed units never reach
+                # the retire section below.
+                ins.unit(
+                    gap,
+                    fetch_cycles,
+                    stall,
+                    nops,
+                    dispatch - fetch_end - depth,
+                    squashed,
+                    uflags & F_MISPREDICT,
+                )
 
             # ---- resolution / redirect ----------------------------------
             if squashed:
@@ -578,4 +616,6 @@ class TimingEngine:
                 max_cycle = next_fetch - 1
 
         stats.cycles = max_cycle + 1
+        if ins is not None:
+            ins.finish(stats.cycles, next_fetch)
         return stats

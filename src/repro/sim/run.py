@@ -317,14 +317,19 @@ def replay_captured(
     captured: CapturedRun,
     config: MachineConfig | None = None,
     telemetry: Telemetry | None = None,
+    insight=None,
 ) -> SimResult:
     """Replay a captured run under *config*; bit-identical to the
     streaming path for any config sharing the capture's
-    :func:`predictor_key`."""
+    :func:`predictor_key`. Pass an
+    :class:`~repro.insight.InsightCollector` as *insight* to accumulate
+    cycle-accounting and fetch-rate analytics alongside."""
     config = config or MachineConfig()
     tel = telemetry if telemetry is not None else get_telemetry()
     atomic = captured.isa == "block"
-    engine = TimingEngine(config, atomic_window=atomic, telemetry=tel)
+    engine = TimingEngine(
+        config, atomic_window=atomic, telemetry=tel, insight=insight
+    )
     with tel.span("sim.simulate", benchmark=captured.name, isa=captured.isa):
         timing = engine.run_packed(captured.trace)
     build = _block_result if atomic else _conventional_result
@@ -350,6 +355,7 @@ def simulate_conventional(
     config: MachineConfig | None = None,
     telemetry: Telemetry | None = None,
     captured: CapturedRun | None = None,
+    insight=None,
 ) -> SimResult:
     """Run a timed simulation of a conventional-ISA program.
 
@@ -364,7 +370,7 @@ def simulate_conventional(
         raise SimulationError(
             f"captured trace is {captured.isa!r}, expected 'conventional'"
         )
-    return replay_captured(captured, config, telemetry)
+    return replay_captured(captured, config, telemetry, insight=insight)
 
 
 def simulate_block_structured(
@@ -372,6 +378,7 @@ def simulate_block_structured(
     config: MachineConfig | None = None,
     telemetry: Telemetry | None = None,
     captured: CapturedRun | None = None,
+    insight=None,
 ) -> SimResult:
     """Run a timed simulation of a block-structured ISA program."""
     config = config or MachineConfig()
@@ -381,7 +388,7 @@ def simulate_block_structured(
         raise SimulationError(
             f"captured trace is {captured.isa!r}, expected 'block'"
         )
-    return replay_captured(captured, config, telemetry)
+    return replay_captured(captured, config, telemetry, insight=insight)
 
 
 # ---------------------------------------------------------------------------
@@ -394,6 +401,7 @@ def simulate_streaming(
     isa: str,
     config: MachineConfig | None = None,
     telemetry: Telemetry | None = None,
+    insight=None,
 ) -> SimResult:
     """The original single-pass path: the timing engine consumes the
     executor's live generator, no trace is materialized.
@@ -414,7 +422,9 @@ def simulate_streaming(
         atomic = True
     else:
         raise SimulationError(f"cannot simulate unknown isa {isa!r}")
-    engine = TimingEngine(config, atomic_window=atomic, telemetry=tel)
+    engine = TimingEngine(
+        config, atomic_window=atomic, telemetry=tel, insight=insight
+    )
     with tel.span("sim.simulate", benchmark=prog.name, isa=isa):
         timing = engine.run(executor.units())
     result = build(
