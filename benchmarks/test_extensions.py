@@ -142,6 +142,34 @@ def test_scientific_code_outlook(benchmark):
     assert results["conv_bp"] > 0.97
 
 
+def test_dispatch_switch_workload(benchmark):
+    """MiniC v2 exerciser: the switch dispatch tree's short biased
+    comparison blocks are prime enlargement targets, so the BS-ISA win
+    should hold on interpreter-shaped control flow."""
+    from repro.workloads import EXTRA
+
+    def measure():
+        pair = Toolchain().compile(
+            EXTRA["dispatch"].source(bench_scale()), "dispatch"
+        )
+        config = MachineConfig()
+        conv = simulate_conventional(pair.conventional, config)
+        block = simulate_block_structured(pair.block, config)
+        return {
+            "reduction_pct": 100 * (conv.cycles - block.cycles) / conv.cycles,
+            "avg_block": block.avg_block_size,
+            "conv_avg_unit": conv.avg_block_size,
+        }
+
+    results = run_once(benchmark, measure)
+    print(f"\ndispatch: {results['reduction_pct']:+.1f}% "
+          f"(avg block {results['conv_avg_unit']:.1f} -> "
+          f"{results['avg_block']:.1f})")
+    benchmark.extra_info.update(results)
+    assert results["reduction_pct"] > 5.0
+    assert results["avg_block"] > results["conv_avg_unit"]
+
+
 def test_if_conversion_compounds_with_enlargement(benchmark):
     """Paper §6: predicated execution 'will create larger basic blocks
     which in turn will allow the block enlargement optimization to create

@@ -1,18 +1,18 @@
-"""Compiler explorer: watch one function travel the whole pipeline.
+"""Compiler explorer: watch one program travel the whole pipeline.
 
 Shows MiniC source -> optimized IR -> conventional machine code ->
-block-structured atomic blocks with their enlargement families, fault
-operations, and trap history-bit counts.
+block-structured atomic blocks with their enlargement families and a
+per-block diff of each enlarged variant against its canonical block.
+
+This example delegates to the supported ``bsisa explore`` command
+(:mod:`repro.harness.explore`); point that at any ``.minic`` file:
+
+    bsisa explore examples/dispatch.minic --function main
 
 Run:  python examples/compiler_explorer.py
 """
 
-from collections import defaultdict
-
-from repro.backend import generate_block_structured, generate_conventional
-from repro.frontend import compile_to_ir
-from repro.ir import print_function
-from repro.opt import optimize_module
+from repro.harness.explore import render_exploration
 
 SOURCE = """
 int total = 0;
@@ -36,62 +36,7 @@ void main() {
 
 
 def main() -> None:
-    module = compile_to_ir(SOURCE, "explorer")
-    print("=" * 70)
-    print("OPTIMIZED IR (function clamp)")
-    print("=" * 70)
-    optimize_module(module)
-    print(print_function(module.function("clamp")))
-
-    conventional = generate_conventional(module, "explorer")
-    print()
-    print("=" * 70)
-    print(f"CONVENTIONAL ISA ({len(conventional.ops)} ops) — clamp only")
-    print("=" * 70)
-    start = conventional.label_addrs["clamp"]
-    for op in conventional.ops:
-        if op.addr < start:
-            continue
-        if op.addr > start and op.addr in conventional.label_addrs.values():
-            if any(label == "main" and addr == op.addr
-                   for label, addr in conventional.label_addrs.items()):
-                break
-        print(f"  {op.addr:#08x}  {op.asm()}")
-        if op.opcode.value == "ret":
-            break
-
-    block_prog = generate_block_structured(module, "explorer")
-    print()
-    print("=" * 70)
-    print(f"BLOCK-STRUCTURED ISA ({block_prog.num_blocks} atomic blocks)")
-    print("=" * 70)
-
-    families = defaultdict(list)
-    for block in block_prog.blocks:
-        families[block.path[0]].append(block)
-
-    for root, blocks in families.items():
-        if len(blocks) > 1:
-            print(f"\nfamily rooted at {root}: {len(blocks)} enlarged variants")
-            for block in blocks:
-                marker = " (canonical)" if not any(block.path_dirs) else ""
-                print(f"  variant {block.label}{marker}")
-                print(f"    merged basic blocks: {' + '.join(block.path)}")
-                print(f"    embedded directions: {block.path_dirs}, "
-                      f"{block.num_faults} fault op(s), "
-                      f"{block.num_ops} ops")
-
-    print("\nfull listing of one multi-variant family:")
-    root, blocks = max(families.items(), key=lambda kv: len(kv[1]))
-    for block in blocks:
-        print(f"\n{block.label}:")
-        for op in block.ops:
-            note = ""
-            if op.opcode.value == "fault":
-                note = "   <- suppresses the whole block if mispredicted"
-            if op.opcode.value == "trap":
-                note = f"   <- {op.nbits} history bit(s) for the predictor"
-            print(f"   {op.asm()}{note}")
+    print(render_exploration(SOURCE, name="explorer"))
 
 
 if __name__ == "__main__":

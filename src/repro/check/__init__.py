@@ -30,7 +30,7 @@ from repro.check.fuzz import (
     replay,
     shrink_source,
 )
-from repro.check.genprog import ProgramBuilder, generate_program
+from repro.check.genprog import GenConfig, ProgramBuilder, generate_program
 from repro.check.invariants import ALL_INVARIANTS, Violation, check_invariants
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "Fuzzer",
     "FuzzFailure",
     "FuzzResult",
+    "GenConfig",
     "ProgramBuilder",
     "Violation",
     "check_invariants",

@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.check.cosim import CosimChecker, CosimReport
-from repro.check.genprog import generate_program
+from repro.check.genprog import GenConfig, generate_program
 from repro.obs.telemetry import Telemetry, get_telemetry
 
 #: Upper bound on oracle evaluations per shrink (keeps a pathological
@@ -136,8 +136,10 @@ class Fuzzer:
         shrink_budget: int = DEFAULT_SHRINK_BUDGET,
         telemetry: Telemetry | None = None,
         progress: Callable[[str], None] | None = None,
+        gen_config: GenConfig | None = None,
     ):
         self.telemetry = telemetry
+        self.gen_config = gen_config
         self.checker = (
             checker
             if checker is not None
@@ -172,7 +174,7 @@ class Fuzzer:
                 # them. A string seed stays valid on 3.11+ (tuple seeds
                 # raise TypeError) and hashes deterministically.
                 rng = random.Random(f"{seed}:{index}")
-                source = generate_program(rng)
+                source = generate_program(rng, self.gen_config)
                 name = f"fuzz-{seed}-{index}"
                 report = self.checker.check_source(source, name)
                 result.programs += 1
@@ -298,6 +300,7 @@ def fuzz(
     shrink_budget: int = DEFAULT_SHRINK_BUDGET,
     telemetry: Telemetry | None = None,
     progress: Callable[[str], None] | None = None,
+    gen_config: GenConfig | None = None,
 ) -> FuzzResult:
     """One-shot fuzz run (see :class:`Fuzzer`)."""
     return Fuzzer(
@@ -307,6 +310,7 @@ def fuzz(
         shrink_budget=shrink_budget,
         telemetry=telemetry,
         progress=progress,
+        gen_config=gen_config,
     ).run(budget, seed)
 
 

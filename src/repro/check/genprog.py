@@ -24,6 +24,24 @@ Statements are emitted one per line so the fuzzer's line-based shrinker
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs for the v2 surface of the generator.
+
+    * ``array_ops`` — max store/print pairs emitted per ``array``
+      statement draw (0 disables array statements entirely);
+    * ``struct_depth`` — nesting depth of the generated struct chain
+      (0 disables structs; 1 is a flat struct; ``d`` nests ``d`` deep);
+    * ``switch_arms`` — max ``case`` arms per ``switch`` (0 disables
+      switch statements; clamped to the 8 distinct ``& 7`` values).
+    """
+
+    array_ops: int = 2
+    struct_depth: int = 2
+    switch_arms: int = 4
 
 
 class RandomSource:
@@ -67,17 +85,22 @@ class ProgramBuilder:
     BIN_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
                "<", "<=", ">", ">=", "==", "!="]
 
-    def __init__(self, source):
+    def __init__(self, source, config: GenConfig | None = None):
         self.source = source
+        self.config = config if config is not None else GenConfig()
         self.tmp = 0
 
     @classmethod
-    def from_random(cls, rng: random.Random) -> "ProgramBuilder":
-        return cls(RandomSource(rng))
+    def from_random(
+        cls, rng: random.Random, config: GenConfig | None = None
+    ) -> "ProgramBuilder":
+        return cls(RandomSource(rng), config)
 
     @classmethod
-    def from_hypothesis(cls, data) -> "ProgramBuilder":
-        return cls(HypothesisSource(data))
+    def from_hypothesis(
+        cls, data, config: GenConfig | None = None
+    ) -> "ProgramBuilder":
+        return cls(HypothesisSource(data), config)
 
     def expr(self, names, depth=0) -> str:
         choices = ["lit", "name", "bin"]
@@ -109,11 +132,16 @@ class ProgramBuilder:
 
     def stmts(self, names, depth, budget) -> list[str]:
         out = []
+        kinds = ["assign", "decl", "print", "if", "loop"]
+        if self.config.array_ops > 0:
+            kinds.append("array")
+        if self.config.struct_depth > 0:
+            kinds.append("struct")
+        if self.config.switch_arms > 0:
+            kinds.append("switch")
         n = self.source.integers(1, 4)
         for _ in range(n):
-            kind = self.source.sampled_from(
-                ["assign", "decl", "print", "if", "loop", "array"]
-            )
+            kind = self.source.sampled_from(kinds)
             if kind == "decl":
                 name = f"t{self.tmp}"
                 self.tmp += 1
@@ -131,9 +159,16 @@ class ProgramBuilder:
             elif kind == "print":
                 out.append(f"print_int({self.expr(names)});")
             elif kind == "array":
-                index = self.source.integers(0, 7)
-                out.append(f"arr[{index}] = {self.expr(names)};")
-                out.append(f"print_int(arr[{index}]);")
+                for _ in range(self.source.integers(1, self.config.array_ops)):
+                    index = self.source.integers(0, 7)
+                    out.append(f"arr[{index}] = {self.expr(names)};")
+                    out.append(f"print_int(arr[{index}]);")
+            elif kind == "struct":
+                path = self._struct_path()
+                out.append(f"{path} = {self.expr(names)};")
+                out.append(f"print_int({self._struct_path()});")
+            elif kind == "switch" and depth < 2:
+                out.extend(self._switch(names, depth))
             elif kind == "if" and depth < 2:
                 cond = self.expr(names)
                 then = self.stmts(names, depth + 1, budget)
@@ -161,6 +196,66 @@ class ProgramBuilder:
                 out.append("}")
         return out
 
+    def _struct_decls(self) -> list[str]:
+        """The struct-type chain and its two global instances.
+
+        ``S1`` is the leaf (scalar + small array field); each ``Si``
+        wraps the previous one, so ``struct_depth`` directly controls
+        how deep generated member chains can go.
+        """
+        d = self.config.struct_depth
+        if d <= 0:
+            return []
+        # One field per line: the shrinker deletes whole lines, and a
+        # packed `struct S { int a; int b; };` would be all-or-nothing.
+        lines = ["struct S1 {", "int a;", "int b[4];", "};"]
+        for i in range(2, d + 1):
+            lines += [f"struct S{i} {{", "int a;",
+                      f"struct S{i - 1} inner;", "};"]
+        lines.append(f"struct S{d} nd;")
+        lines.append(f"struct S{d} nodes[4];")
+        return lines
+
+    def _struct_path(self) -> str:
+        """A random lvalue path into the struct globals, e.g.
+        ``nodes[2].inner.b[1]``."""
+        d = self.config.struct_depth
+        if self.source.booleans():
+            path = "nd"
+        else:
+            path = f"nodes[{self.source.integers(0, 3)}]"
+        level = self.source.integers(1, d)
+        path += ".inner" * (d - level)
+        if level == 1 and self.source.booleans():
+            return f"{path}.b[{self.source.integers(0, 3)}]"
+        return f"{path}.a"
+
+    def _switch(self, names, depth) -> list[str]:
+        """A ``switch`` over ``expr & 7`` with distinct case values.
+
+        About half the arms fall through (no ``break``), so generated
+        programs exercise both the dispatch tree and C fallthrough.
+        """
+        arms = self.source.integers(1, min(self.config.switch_arms, 8))
+        pool = list(range(8))
+        values = []
+        for _ in range(arms):
+            v = self.source.sampled_from(pool)
+            pool.remove(v)
+            values.append(v)
+        values.sort()
+        out = [f"switch ({self.expr(names)} & 7) {{"]
+        for v in values:
+            out.append(f"case {v}:")
+            out.extend(self.stmts(names, depth + 1, 0))
+            if self.source.booleans():
+                out.append("break;")
+        if self.source.booleans():
+            out.append("default:")
+            out.extend(self.stmts(names, depth + 1, 0))
+        out.append("}")
+        return out
+
     def program(self) -> str:
         body = self.stmts(["g"], 0, 0)
         use_helper = self.source.booleans()
@@ -177,6 +272,7 @@ class ProgramBuilder:
         lines = [
             "int g = 7;",
             "int arr[8];",
+            *self._struct_decls(),
             *helper_lines,
             "void main() {",
             *body,
@@ -187,6 +283,8 @@ class ProgramBuilder:
         return "\n".join(lines)
 
 
-def generate_program(rng: random.Random) -> str:
+def generate_program(
+    rng: random.Random, config: GenConfig | None = None
+) -> str:
     """One random MiniC program from *rng* (the fuzz driver's entry)."""
-    return ProgramBuilder.from_random(rng).program()
+    return ProgramBuilder.from_random(rng, config).program()

@@ -13,12 +13,33 @@ class ReproError(Exception):
 
 
 class SourceError(ReproError):
-    """An error attributable to a location in MiniC source text."""
+    """An error attributable to a location in MiniC source text.
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    When raised with a :class:`repro.lang.diagnostics.Diagnostic`, the
+    string form is the diagnostic's full rendering: the historical
+    ``line:column: message`` header plus a caret-underlined source
+    excerpt, expected-token sets, and "did you mean" hints. Without one
+    it renders exactly as before, so both forms satisfy the same
+    substring assertions.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        *,
+        diagnostic=None,
+    ):
+        if diagnostic is not None:
+            line = line or diagnostic.span.line
+            column = column or diagnostic.span.column
         self.line = line
         self.column = column
-        if line:
+        self.diagnostic = diagnostic
+        if diagnostic is not None:
+            message = diagnostic.render()
+        elif line:
             message = f"{line}:{column}: {message}"
         super().__init__(message)
 

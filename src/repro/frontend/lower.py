@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from repro.errors import CompileError
 from repro.lang import ast_nodes as ast
-from repro.lang.ast_nodes import BaseType
-from repro.lang.semantic import AnalyzedProgram, Symbol, analyze
+from repro.lang.ast_nodes import BaseType, Type
+from repro.lang.semantic import AnalyzedProgram, StructField, StructInfo, Symbol, analyze
 from repro.lang.parser import parse
 from repro.ir.instructions import (
     Bin,
@@ -76,17 +76,20 @@ def lower_program(analyzed: AnalyzedProgram, name: str = "module") -> Module:
     """Lower an analyzed program to an IR module."""
     module = Module(name=name)
     for g in analyzed.program.globals:
-        words = g.array_size if g.array_size is not None else 1
+        elem_words = (
+            analyzed.structs[g.ty.struct_name].words if g.ty.is_struct else 1
+        )
+        count = g.array_size if g.array_size is not None else 1
         module.globals.append(
             GlobalVar(
                 g.name,
                 is_float=g.ty.base is BaseType.FLOAT,
-                words=words,
+                words=elem_words * count,
                 init=g.init,
             )
         )
     for f in analyzed.program.functions:
-        module.add_function(_FunctionLowerer(f, module).run())
+        module.add_function(_FunctionLowerer(f, module, analyzed.structs).run())
     return module
 
 
@@ -104,23 +107,23 @@ def compile_to_ir(source: str, name: str = "module", telemetry=None) -> Module:
     with tel.span("frontend.lex", module=name):
         tokens = tokenize(source)
     with tel.span("frontend.parse", module=name):
-        program = parse_tokens(tokens)
+        program = parse_tokens(tokens, source)
     with tel.span("frontend.semantic", module=name):
         analyzed = analyze(program)
     with tel.span("frontend.lower", module=name):
         return lower_program(analyzed, name=name)
 
 
-class _LoopContext:
-    def __init__(self, break_label: str, continue_label: str):
-        self.break_label = break_label
-        self.continue_label = continue_label
-
-
 class _FunctionLowerer:
-    def __init__(self, decl: ast.FuncDecl, module: Module):
+    def __init__(
+        self,
+        decl: ast.FuncDecl,
+        module: Module,
+        structs: dict[str, StructInfo] | None = None,
+    ):
         self.decl = decl
         self.module = module
+        self.structs = structs or {}
         params: list[VReg] = []
         self.fn = Function(
             decl.name,
@@ -129,7 +132,7 @@ class _FunctionLowerer:
             returns_value=decl.ret.base is not BaseType.VOID,
             is_library=decl.is_library,
         )
-        #: symbol uid -> vreg (scalars) / frame-slot name (arrays)
+        #: symbol uid -> vreg (scalars) / frame-slot name (arrays, structs)
         self.scalar_regs: dict[int, VReg] = {}
         self.array_slots: dict[int, str] = {}
         self.array_param_regs: dict[int, VReg] = {}
@@ -143,7 +146,9 @@ class _FunctionLowerer:
                 self.scalar_regs[sym.uid] = reg
             params.append(reg)
         self.block: BasicBlock = self.fn.new_block("entry")
-        self.loops: list[_LoopContext] = []
+        #: jump targets for break (loops and switches) / continue (loops only)
+        self.break_targets: list[str] = []
+        self.continue_targets: list[str] = []
 
     # ---- plumbing ---------------------------------------------------------
 
@@ -210,23 +215,35 @@ class _FunctionLowerer:
             self._lower_while(stmt)
         elif isinstance(stmt, ast.For):
             self._lower_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._lower_switch(stmt)
         elif isinstance(stmt, ast.Return):
             self._lower_return(stmt)
         elif isinstance(stmt, ast.Break):
-            if not self.loops:
-                raise CompileError("break outside loop (semantic pass missed it)")
-            self.block.terminate(Jump(self.loops[-1].break_label))
+            if not self.break_targets:
+                raise CompileError(
+                    "break outside loop or switch (semantic pass missed it)"
+                )
+            self.block.terminate(Jump(self.break_targets[-1]))
             self.start_block(self.fn.new_block("afterbrk"))
         elif isinstance(stmt, ast.Continue):
-            if not self.loops:
+            if not self.continue_targets:
                 raise CompileError("continue outside loop")
-            self.block.terminate(Jump(self.loops[-1].continue_label))
+            self.block.terminate(Jump(self.continue_targets[-1]))
             self.start_block(self.fn.new_block("aftercont"))
         else:  # pragma: no cover
             raise CompileError(f"unknown statement {type(stmt).__name__}")
 
     def _lower_var_decl(self, stmt: ast.VarDecl) -> None:
         sym: Symbol = getattr(stmt, "binding")
+        if stmt.ty.is_struct:
+            elem_words = self.structs[stmt.ty.struct_name].words
+            count = stmt.array_size if stmt.array_size is not None else 1
+            slot = self.fn.add_frame_slot(
+                f"{stmt.name}.{sym.uid}", elem_words * count * WORD
+            )
+            self.array_slots[sym.uid] = slot
+            return
         if stmt.array_size is not None:
             slot = self.fn.add_frame_slot(
                 f"{stmt.name}.{sym.uid}", stmt.array_size * WORD
@@ -252,8 +269,8 @@ class _FunctionLowerer:
                 self.emit(Store(value, addr, 0))
             else:
                 self.emit(Copy(self.scalar_regs[sym.uid], value))
-        elif isinstance(target, ast.Index):
-            base, offset = self._array_element_addr(target)
+        elif isinstance(target, (ast.Index, ast.Member)):
+            base, offset = self._addr(target)
             self.emit(Store(value, base, offset))
         else:  # pragma: no cover
             raise CompileError("bad assignment target")
@@ -281,12 +298,14 @@ class _FunctionLowerer:
         self.block.terminate(Jump(head.label))
         self.start_block(head)
         self.lower_cond(stmt.cond, body.label, done.label)
-        self.loops.append(_LoopContext(done.label, head.label))
+        self.break_targets.append(done.label)
+        self.continue_targets.append(head.label)
         self.start_block(body)
         self.lower_block(stmt.body)
         if not self.block.terminated:
             self.block.terminate(Jump(head.label))
-        self.loops.pop()
+        self.break_targets.pop()
+        self.continue_targets.pop()
         self.start_block(done)
 
     def _lower_for(self, stmt: ast.For) -> None:
@@ -302,18 +321,92 @@ class _FunctionLowerer:
             self.lower_cond(stmt.cond, body.label, done.label)
         else:
             self.block.terminate(Jump(body.label))
-        self.loops.append(_LoopContext(done.label, step.label))
+        self.break_targets.append(done.label)
+        self.continue_targets.append(step.label)
         self.start_block(body)
         self.lower_block(stmt.body)
         if not self.block.terminated:
             self.block.terminate(Jump(step.label))
-        self.loops.pop()
+        self.break_targets.pop()
+        self.continue_targets.pop()
         self.start_block(step)
         if stmt.step is not None:
             self.lower_stmt(stmt.step)
         if not self.block.terminated:
             self.block.terminate(Jump(head.label))
         self.start_block(done)
+
+    def _lower_switch(self, stmt: ast.Switch) -> None:
+        """Lower ``switch`` to a binary-search branch tree.
+
+        The dispatch compares the scrutinee against the median case value
+        (``SEQ`` hit-test, then ``SLT`` to pick a half), so each dispatch
+        block is a short compare+branch — the dense-branch shape whose
+        fetch behaviour the block-structured ISA is designed around.
+        Clause bodies keep C fallthrough semantics: a body that does not
+        ``break`` (or otherwise terminate) jumps to the next clause.
+        """
+        scrut = self.lower_expr(stmt.scrutinee)
+        bodies = [self.fn.new_block("swcase") for _ in stmt.cases]
+        end = self.fn.new_block("swend")
+        default_label = end.label
+        for case, blk in zip(stmt.cases, bodies):
+            if case.value is None:
+                default_label = blk.label
+        valued = sorted(
+            (case.value, blk.label)
+            for case, blk in zip(stmt.cases, bodies)
+            if case.value is not None
+        )
+        self._emit_dispatch(scrut, valued, default_label)
+        self.break_targets.append(end.label)
+        for i, case in enumerate(stmt.cases):
+            self.start_block(bodies[i])
+            for s in case.body:
+                self.lower_stmt(s)
+            if not self.block.terminated:
+                nxt = bodies[i + 1].label if i + 1 < len(bodies) else end.label
+                self.block.terminate(Jump(nxt))
+        self.break_targets.pop()
+        self.start_block(end)
+
+    def _emit_dispatch(
+        self,
+        scrut: VReg,
+        cases: list[tuple[int, str]],
+        default_label: str,
+    ) -> None:
+        """Emit the branch tree over the sorted (value, label) cases."""
+        if not cases:
+            self.block.terminate(Jump(default_label))
+            return
+        mid = len(cases) // 2
+        value, label = cases[mid]
+        pivot = self.const(value)
+        eq = self.new_temp("i")
+        self.emit(Bin(IrOp.SEQ, eq, scrut, pivot))
+        lo, hi = cases[:mid], cases[mid + 1 :]
+        if not lo and not hi:
+            self.block.terminate(CondBr(eq, label, default_label))
+            return
+        miss = self.fn.new_block("swcmp")
+        self.block.terminate(CondBr(eq, label, miss.label))
+        self.start_block(miss)
+        if not lo:
+            self._emit_dispatch(scrut, hi, default_label)
+            return
+        if not hi:
+            self._emit_dispatch(scrut, lo, default_label)
+            return
+        lt = self.new_temp("i")
+        self.emit(Bin(IrOp.SLT, lt, scrut, pivot))
+        left = self.fn.new_block("swlt")
+        right = self.fn.new_block("swge")
+        self.block.terminate(CondBr(lt, left.label, right.label))
+        self.start_block(left)
+        self._emit_dispatch(scrut, lo, default_label)
+        self.start_block(right)
+        self._emit_dispatch(scrut, hi, default_label)
 
     def _lower_return(self, stmt: ast.Return) -> None:
         if stmt.value is None:
@@ -355,7 +448,17 @@ class _FunctionLowerer:
         if isinstance(expr, ast.Name):
             return self._lower_name(expr)
         if isinstance(expr, ast.Index):
+            if expr.ty.is_struct:
+                return self._materialize_addr(expr)
             base, offset = self._array_element_addr(expr)
+            is_float = expr.ty.base is BaseType.FLOAT
+            dest = self.new_temp("f" if is_float else "i")
+            self.emit(Load(dest, base, offset))
+            return dest
+        if isinstance(expr, ast.Member):
+            if expr.ty.is_struct or expr.ty.is_array:
+                return self._materialize_addr(expr)
+            base, offset = self._addr(expr)
             is_float = expr.ty.base is BaseType.FLOAT
             dest = self.new_temp("f" if is_float else "i")
             self.emit(Load(dest, base, offset))
@@ -372,7 +475,7 @@ class _FunctionLowerer:
 
     def _lower_name(self, expr: ast.Name) -> VReg:
         sym: Symbol = getattr(expr, "binding")
-        if sym.ty.is_array:
+        if sym.ty.is_array or sym.ty.is_struct:
             return self._array_base_addr(sym)
         if sym.kind == "global":
             addr = self.new_temp("i")
@@ -393,21 +496,58 @@ class _FunctionLowerer:
         self.emit(FrameAddr(addr, self.array_slots[sym.uid]))
         return addr
 
+    def _addr(self, expr: ast.Expr) -> tuple[VReg, int]:
+        """Return (base register, byte offset) for any addressable expr.
+
+        Handles names of aggregates, ``a[i]`` indexing (scalar and struct
+        elements), and ``s.f`` member chains, in any combination. Member
+        offsets are static, so chains fold into the byte offset for free.
+        """
+        if isinstance(expr, ast.Name):
+            sym: Symbol = getattr(expr, "binding")
+            return self._array_base_addr(sym), 0
+        if isinstance(expr, ast.Member):
+            fld: StructField = getattr(expr, "field")
+            base, offset = self._addr(expr.base)
+            return base, offset + fld.offset * WORD
+        if isinstance(expr, ast.Index):
+            return self._array_element_addr(expr)
+        raise CompileError(f"expression {type(expr).__name__} is not addressable")
+
+    def _materialize_addr(self, expr: ast.Expr) -> VReg:
+        """Fold an (base, offset) address pair into a single register."""
+        base, offset = self._addr(expr)
+        if offset == 0:
+            return base
+        off = self.const(offset)
+        dest = self.new_temp("i")
+        self.emit(Bin(IrOp.ADD, dest, base, off))
+        return dest
+
+    def _elem_words(self, ty: Type) -> int:
+        """Element size in words for an array of *ty*'s element type."""
+        if ty.is_struct:
+            return self.structs[ty.struct_name].words
+        return 1
+
     def _array_element_addr(self, expr: ast.Index) -> tuple[VReg, int]:
         """Return (base register, byte offset) for an array element."""
-        if not isinstance(expr.base, ast.Name):
-            raise CompileError("nested array indexing is not supported")
-        sym: Symbol = getattr(expr.base, "binding")
-        base = self._array_base_addr(sym)
+        base, offset = self._addr(expr.base)
+        elem_words = self._elem_words(expr.base.ty)
         if isinstance(expr.index, ast.IntLit):
-            return base, expr.index.value * WORD
+            return base, offset + expr.index.value * elem_words * WORD
         index = self.lower_expr(expr.index)
-        shift = self.const(3)
-        scaled = self.new_temp("i")
-        self.emit(Bin(IrOp.SHL, scaled, index, shift))
+        if elem_words == 1:
+            shift = self.const(3)
+            scaled = self.new_temp("i")
+            self.emit(Bin(IrOp.SHL, scaled, index, shift))
+        else:
+            size = self.const(elem_words * WORD)
+            scaled = self.new_temp("i")
+            self.emit(Bin(IrOp.MUL, scaled, index, size))
         addr = self.new_temp("i")
         self.emit(Bin(IrOp.ADD, addr, base, scaled))
-        return addr, 0
+        return addr, offset
 
     def _lower_binop(self, expr: ast.BinOp) -> VReg:
         if expr.op in ("&&", "||"):

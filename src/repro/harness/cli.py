@@ -23,7 +23,10 @@
     bsisa trace compress --limit 20     # JSONL pipeline events
     bsisa trace compress --kind fetch --kind retire  # filter event kinds
     bsisa fuzz --budget 200 --seed 7    # cosimulation-oracle fuzzing
+    bsisa fuzz --switch-arms 8 --struct-depth 3 # v2 generator knobs
     bsisa fuzz --replay corpus/fail-0-4.minic   # re-run a saved failure
+    bsisa explore prog.minic            # source -> IR -> both ISA encodings
+    bsisa explore prog.minic --function main --opt-level 0
     bsisa verify-paper                  # paper-fidelity regression gate
     bsisa verify-paper -o BENCH_paper.json --write-experiments
 
@@ -46,7 +49,11 @@ from repro.harness.experiments import ALL_EXPERIMENTS, SuiteRunner
 from repro.obs import Telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.run import simulate_block_structured, simulate_conventional
-from repro.workloads import SUITE
+from repro.workloads import EXTRA, SUITE, get_workload
+
+#: Names accepted by the single-workload commands (compile, simulate,
+#: metrics, timeline, trace): the paper suite plus the EXTRA registry.
+ALL_WORKLOADS = list(SUITE) + list(EXTRA)
 
 #: The CLI's exit-code contract.
 EXIT_OK = 0
@@ -67,6 +74,9 @@ def default_verify_scale() -> float:
 def _cmd_list(_args) -> int:
     print("workloads:")
     for name, workload in SUITE.items():
+        print(f"  {name:10s} {workload.description}")
+    print("extra workloads (not part of Table 2):")
+    for name, workload in EXTRA.items():
         print(f"  {name:10s} {workload.description}")
     print("experiments:")
     for name, fn in ALL_EXPERIMENTS.items():
@@ -241,7 +251,7 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_compile(args) -> int:
-    workload = SUITE[args.workload]
+    workload = get_workload(args.workload)
     pair = Toolchain().compile(workload.source(args.scale), args.workload)
     conv, block = pair.conventional, pair.block
     print(
@@ -259,7 +269,7 @@ def _cmd_compile(args) -> int:
 
 def _simulate_pair(args, tel: Telemetry | None):
     """Shared compile+simulate path for simulate/metrics/trace."""
-    workload = SUITE[args.workload]
+    workload = get_workload(args.workload)
     toolchain = Toolchain(telemetry=tel)
     source = workload.source(args.scale)
     if getattr(args, "profile_guided", False):
@@ -493,7 +503,7 @@ def _cmd_timeline(args) -> int:
     from repro.insight import build_timeline, render_timeline
 
     tel = Telemetry(trace_capacity=args.capacity)
-    workload = SUITE[args.workload]
+    workload = get_workload(args.workload)
     pair = Toolchain(telemetry=tel).compile(
         workload.source(args.scale), args.workload
     )
@@ -550,9 +560,31 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    """Walk one MiniC file through source -> IR -> both ISA encodings."""
+    from repro.errors import SourceError
+    from repro.harness.explore import explore_file
+
+    try:
+        text = explore_file(
+            args.file, opt_level=args.opt_level, function=args.function
+        )
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except KeyError as exc:
+        print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
+        return EXIT_USAGE
+    except SourceError as exc:
+        print(f"{args.file}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    print(text)
+    return EXIT_OK
+
+
 def _cmd_fuzz(args) -> int:
     """Fuzz the timing simulator against the cosimulation oracle."""
-    from repro.check import CosimChecker, Fuzzer, replay
+    from repro.check import CosimChecker, Fuzzer, GenConfig, replay
 
     tel = _make_telemetry(args)
 
@@ -577,6 +609,11 @@ def _cmd_fuzz(args) -> int:
             shrink_budget=args.shrink_budget,
             telemetry=tel,
             progress=progress,
+            gen_config=GenConfig(
+                array_ops=args.array_ops,
+                struct_depth=args.struct_depth,
+                switch_arms=args.switch_arms,
+            ),
         )
         result = fuzzer.run(args.budget, args.seed)
         if result.ok:
@@ -737,14 +774,14 @@ def build_parser() -> argparse.ArgumentParser:
     cache.set_defaults(fn=_cmd_cache)
 
     comp = sub.add_parser("compile", help="compile a workload and report sizes")
-    comp.add_argument("workload", choices=list(SUITE))
+    comp.add_argument("workload", choices=ALL_WORKLOADS)
     comp.add_argument("--isa", choices=["conventional", "block"], default="block")
     comp.add_argument("--scale", type=float, default=1.0)
     comp.add_argument("--dump", action="store_true", help="print disassembly")
     comp.set_defaults(fn=_cmd_compile)
 
     simp = sub.add_parser("simulate", help="timed comparison on one workload")
-    simp.add_argument("workload", choices=list(SUITE))
+    simp.add_argument("workload", choices=ALL_WORKLOADS)
     simp.add_argument("--scale", type=float, default=1.0)
     simp.add_argument("--perfect-bp", action="store_true")
     simp.add_argument(
@@ -763,7 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     metr = sub.add_parser(
         "metrics", help="simulate one workload and print its metric series"
     )
-    metr.add_argument("workload", choices=list(SUITE))
+    metr.add_argument("workload", choices=ALL_WORKLOADS)
     metr.add_argument("--scale", type=float, default=1.0)
     metr.add_argument("--perfect-bp", action="store_true")
     metr.add_argument("--icache-kb", type=int, default=64)
@@ -844,7 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cycle pipeline occupancy reconstructed from the "
         "event trace",
     )
-    timeline.add_argument("workload", choices=list(SUITE))
+    timeline.add_argument("workload", choices=ALL_WORKLOADS)
     timeline.add_argument(
         "--isa", choices=["conventional", "block"], default="block"
     )
@@ -863,7 +900,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="simulate one workload and dump pipeline events (JSONL)"
     )
-    trace.add_argument("workload", choices=list(SUITE))
+    trace.add_argument("workload", choices=ALL_WORKLOADS)
     trace.add_argument("--scale", type=float, default=1.0)
     trace.add_argument("--perfect-bp", action="store_true")
     trace.add_argument("--icache-kb", type=int, default=64)
@@ -917,11 +954,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the oracle on one saved corpus program and exit",
     )
     fuzzp.add_argument(
+        "--array-ops", type=int, default=2, metavar="N",
+        help="max array store/print pairs per generated array statement "
+        "(0 disables array statements; default 2)",
+    )
+    fuzzp.add_argument(
+        "--struct-depth", type=int, default=2, metavar="D",
+        help="nesting depth of generated struct chains "
+        "(0 disables structs; default 2)",
+    )
+    fuzzp.add_argument(
+        "--switch-arms", type=int, default=4, metavar="N",
+        help="max case arms per generated switch "
+        "(0 disables switches; default 4)",
+    )
+    fuzzp.add_argument(
         "--metrics-json",
         metavar="PATH",
         help="write the unified telemetry artifact (metrics+spans+trace)",
     )
     fuzzp.set_defaults(fn=_cmd_fuzz)
+
+    explore = sub.add_parser(
+        "explore",
+        help="walk one MiniC file through source -> IR -> conventional "
+        "and block-structured encodings, with per-block enlargement "
+        "diffs",
+    )
+    explore.add_argument("file", help="MiniC source file")
+    explore.add_argument(
+        "--function",
+        metavar="NAME",
+        default=None,
+        help="restrict the listings to one function",
+    )
+    explore.add_argument(
+        "--opt-level",
+        type=int,
+        choices=[0, 1, 2],
+        default=2,
+        help="optimizer level for the IR stage (default 2)",
+    )
+    explore.set_defaults(fn=_cmd_explore)
     return parser
 
 

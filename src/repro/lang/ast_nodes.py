@@ -14,17 +14,37 @@ class BaseType(enum.Enum):
     INT = "int"
     FLOAT = "float"
     VOID = "void"
+    STRUCT = "struct"
 
 
 @dataclass(frozen=True)
 class Type:
-    """A MiniC type: a base type, optionally an array of it."""
+    """A MiniC type: a base type, optionally an array of it.
+
+    Struct types carry the struct's name (``base is BaseType.STRUCT``);
+    ``Type(BaseType.STRUCT, struct_name="Point")`` is ``struct Point``
+    and ``Type(BaseType.STRUCT, True, "Point")`` is ``struct Point[]``.
+    """
 
     base: BaseType
     is_array: bool = False
+    struct_name: str | None = None
+
+    @property
+    def is_struct(self) -> bool:
+        return self.base is BaseType.STRUCT
 
     def __str__(self) -> str:
-        return f"{self.base.value}[]" if self.is_array else self.base.value
+        name = (
+            f"struct {self.struct_name}"
+            if self.base is BaseType.STRUCT
+            else self.base.value
+        )
+        return f"{name}[]" if self.is_array else name
+
+
+def struct_type(name: str, is_array: bool = False) -> Type:
+    return Type(BaseType.STRUCT, is_array, name)
 
 
 INT = Type(BaseType.INT)
@@ -68,6 +88,14 @@ class Name(Expr):
 class Index(Expr):
     base: Expr = None  # type: ignore[assignment]
     index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Member(Expr):
+    """Struct field access ``base.field`` (v2)."""
+
+    base: Expr = None  # type: ignore[assignment]
+    field_name: str = ""
 
 
 @dataclass
@@ -151,6 +179,26 @@ class For(Stmt):
 
 
 @dataclass
+class Case(Node):
+    """One ``case N:`` (or ``default:`` when ``value is None``) clause.
+
+    A clause with an empty body falls through to the next clause, so
+    stacked labels (``case 1: case 2: stmt``) need no special AST shape.
+    """
+
+    value: int | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    """C-style ``switch`` with fallthrough; ``break`` exits (v2)."""
+
+    scrutinee: Expr = None  # type: ignore[assignment]
+    cases: list[Case] = field(default_factory=list)
+
+
+@dataclass
 class Return(Stmt):
     value: Expr | None = None
 
@@ -194,6 +242,22 @@ class GlobalDecl(Node):
 
 
 @dataclass
+class FieldDecl(Node):
+    """One field of a struct: a scalar, a fixed array, or a nested struct."""
+
+    name: str = ""
+    ty: Type = VOID
+    array_size: int | None = None
+
+
+@dataclass
+class StructDecl(Node):
+    name: str = ""
+    fields: list[FieldDecl] = field(default_factory=list)
+
+
+@dataclass
 class Program(Node):
     globals: list[GlobalDecl] = field(default_factory=list)
     functions: list[FuncDecl] = field(default_factory=list)
+    structs: list[StructDecl] = field(default_factory=list)

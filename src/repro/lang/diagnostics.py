@@ -1,0 +1,146 @@
+"""Source-level diagnostics for the MiniC frontend.
+
+Every lexer/parser (and the identifier-suggestion half of the semantic)
+error is built from a :class:`Diagnostic`: a message anchored to a
+:class:`Span` in the source text, optionally carrying the set of token
+texts the parser would have accepted and a "did you mean" hint for
+near-miss identifiers/keywords. :meth:`Diagnostic.render` produces the
+user-facing multi-line message::
+
+    3:11: expected ';', found '}'
+      |
+    3 |     x = 1 }
+      |           ^
+      = expected one of: ';', and 14 more
+      = help: did you mean 'counter'?
+
+The first line keeps the historical ``line:column: message`` shape, so
+existing callers that only ever looked at ``str(err)`` (the cosim
+oracle's ``cosim.invalid_program`` violations, test assertions on
+substrings) keep working; the excerpt lines are purely additive.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open single-line range ``[column, end_column)`` in *line*.
+
+    MiniC tokens never span lines, so one line + a column range is
+    enough; a zero-width span (``end_column == column``) still renders a
+    single caret.
+    """
+
+    line: int
+    column: int
+    end_column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_column < self.column:
+            object.__setattr__(self, "end_column", self.column)
+
+    @property
+    def width(self) -> int:
+        return max(1, self.end_column - self.column)
+
+
+def token_span(token) -> Span:
+    """The span of a lexed token (EOF renders as a one-column caret)."""
+    width = len(token.text) if token.text else 1
+    return Span(token.line, token.column, token.column + width)
+
+
+#: How many expected-token alternatives to spell out before eliding.
+_MAX_EXPECTED_SHOWN = 6
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One frontend error: a message, where, and how to fix it."""
+
+    message: str
+    span: Span
+    #: the source text being compiled; ``None`` when unavailable (e.g.
+    #: ``parse_tokens`` called without the original text) — the excerpt
+    #: is then omitted but the location survives.
+    source: str | None = None
+    #: token texts the parser would have accepted at this position
+    expected: tuple[str, ...] = ()
+    #: a "did you mean 'x'?"-style suggestion
+    hint: str | None = None
+    #: extra context lines, each rendered as ``= note: ...``
+    notes: tuple[str, ...] = field(default=())
+
+    # ------------------------------------------------------------------
+
+    def _source_line(self) -> str | None:
+        if self.source is None or self.span.line < 1:
+            return None
+        lines = self.source.splitlines()
+        if self.span.line > len(lines):
+            # error at EOF: point one past the last line
+            return lines[-1] if lines else ""
+        return lines[self.span.line - 1]
+
+    def excerpt(self) -> str | None:
+        """The caret-underlined source excerpt, or ``None`` without source."""
+        text = self._source_line()
+        if text is None:
+            return None
+        # Tabs would desynchronize the caret column; render them as one
+        # space so the underline stays aligned with what we print.
+        shown = text.replace("\t", " ")
+        gutter = str(self.span.line)
+        pad = " " * len(gutter)
+        caret_col = max(1, min(self.span.column, len(shown) + 1))
+        width = self.span.width
+        if caret_col <= len(shown):
+            width = min(width, len(shown) - caret_col + 1)
+        underline = " " * (caret_col - 1) + "^" * max(1, width)
+        return "\n".join(
+            [
+                f"{pad} |",
+                f"{gutter} | {shown}",
+                f"{pad} | {underline}",
+            ]
+        )
+
+    def render(self) -> str:
+        """The full multi-line message (location header + excerpt + notes)."""
+        header = self.message
+        if self.span.line:
+            header = f"{self.span.line}:{self.span.column}: {self.message}"
+        parts = [header]
+        excerpt = self.excerpt()
+        if excerpt is not None:
+            parts.append(excerpt)
+        if self.expected:
+            shown = ", ".join(repr(t) for t in self.expected[:_MAX_EXPECTED_SHOWN])
+            more = len(self.expected) - _MAX_EXPECTED_SHOWN
+            if more > 0:
+                shown += f", and {more} more"
+            parts.append(f"  = expected one of: {shown}")
+        if self.hint:
+            parts.append(f"  = help: {self.hint}")
+        for note in self.notes:
+            parts.append(f"  = note: {note}")
+        return "\n".join(parts)
+
+
+def suggest(name: str, candidates, cutoff: float = 0.6) -> str | None:
+    """The best near-miss candidate for *name*, or ``None``.
+
+    Used for "did you mean" hints on unknown identifiers (semantic
+    pass) and misspelled keywords (parser). Deterministic: ties break
+    by ``difflib`` ranking, which is stable for a fixed candidate
+    order.
+    """
+    matches = difflib.get_close_matches(name, list(candidates), n=1, cutoff=cutoff)
+    return matches[0] if matches else None
+
+
+__all__ = ["Span", "Diagnostic", "token_span", "suggest"]

@@ -1,8 +1,16 @@
-"""Hand-written lexer for MiniC."""
+"""Hand-written lexer for MiniC.
+
+Lex errors carry a :class:`~repro.lang.diagnostics.Diagnostic`: the
+rendered message always includes line/column and a caret-underlined
+source excerpt (the worst offenders historically — an unterminated
+``/* ... `` block comment and a stray character — used to point at
+nothing useful).
+"""
 
 from __future__ import annotations
 
 from repro.errors import LexError
+from repro.lang.diagnostics import Diagnostic, Span
 from repro.lang.tokens import KEYWORDS, TokKind, Token
 
 _TWO_CHAR = {
@@ -25,6 +33,8 @@ _ONE_CHAR = {
     "]": TokKind.RBRACKET,
     ";": TokKind.SEMI,
     ",": TokKind.COMMA,
+    ".": TokKind.DOT,
+    ":": TokKind.COLON,
     "+": TokKind.PLUS,
     "-": TokKind.MINUS,
     "*": TokKind.STAR,
@@ -65,6 +75,26 @@ class _Cursor:
     def at_end(self) -> bool:
         return self.pos >= len(self.text)
 
+    def error(
+        self,
+        message: str,
+        line: int,
+        col: int,
+        width: int = 1,
+        hint: str | None = None,
+        notes: tuple[str, ...] = (),
+    ) -> LexError:
+        return LexError(
+            message,
+            diagnostic=Diagnostic(
+                message,
+                Span(line, col, col + width),
+                source=self.text,
+                hint=hint,
+                notes=notes,
+            ),
+        )
+
 
 def _skip_trivia(cur: _Cursor) -> None:
     while not cur.at_end:
@@ -79,7 +109,17 @@ def _skip_trivia(cur: _Cursor) -> None:
             cur.advance(2)
             while not (cur.peek() == "*" and cur.peek(1) == "/"):
                 if cur.at_end:
-                    raise LexError("unterminated block comment", line, col)
+                    raise cur.error(
+                        "unterminated block comment",
+                        line,
+                        col,
+                        width=2,
+                        hint="add the closing '*/'",
+                        notes=(
+                            f"the comment opened here (line {line}) is "
+                            "still open at end of input",
+                        ),
+                    )
                 cur.advance()
             cur.advance(2)
         else:
@@ -98,7 +138,9 @@ def _lex_number(cur: _Cursor) -> Token:
         try:
             return Token(TokKind.INT_LIT, literal, line, col, int(literal, 16))
         except ValueError:
-            raise LexError(f"invalid hex literal {literal!r}", line, col)
+            raise cur.error(
+                f"invalid hex literal {literal!r}", line, col, width=len(literal)
+            )
     while cur.peek().isdigit():
         cur.advance()
     is_float = False
@@ -153,4 +195,4 @@ def tokenize(source: str) -> list[Token]:
             cur.advance()
             tokens.append(Token(_ONE_CHAR[ch], ch, line, col))
             continue
-        raise LexError(f"unexpected character {ch!r}", line, col)
+        raise cur.error(f"unexpected character {ch!r}", line, col)

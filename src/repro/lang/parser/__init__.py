@@ -1,0 +1,47 @@
+"""Parser assembly: the grammar mixins composed onto the diagnostics base.
+
+The split mirrors the grammar: :class:`DeclarationParserMixin` owns the
+top level (structs, globals, functions), :class:`StatementParserMixin`
+the statement forms, :class:`ExpressionParserMixin` the precedence
+climber; :class:`~repro.lang.parser.core.ParserBase` owns the token
+cursor, the probed expected-token set, and diagnostic construction.
+
+Public API is unchanged from the old monolithic ``repro.lang.parser``
+module: :func:`parse` and :func:`parse_tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser.core import ParserBase
+from repro.lang.parser.declarations import DeclarationParserMixin
+from repro.lang.parser.expressions import ExpressionParserMixin
+from repro.lang.parser.statements import StatementParserMixin
+from repro.lang.tokens import Token
+
+
+class Parser(
+    DeclarationParserMixin,
+    StatementParserMixin,
+    ExpressionParserMixin,
+    ParserBase,
+):
+    """Recursive-descent parser for MiniC."""
+
+
+def parse_tokens(tokens: list[Token], source: str | None = None) -> ast.Program:
+    """Parse an already-lexed token list into an (un-typed) AST.
+
+    Pass the original *source* when you have it: parse errors then
+    render a caret-underlined excerpt instead of a bare location.
+    """
+    return Parser(tokens, source).parse_program()
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC *source* into an (un-typed) AST."""
+    return parse_tokens(tokenize(source), source)
+
+
+__all__ = ["Parser", "parse", "parse_tokens"]

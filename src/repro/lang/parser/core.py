@@ -1,0 +1,121 @@
+"""Recursive-descent parser base: token plumbing and diagnostics.
+
+:class:`ParserBase` owns the cursor and everything error-shaped. The
+grammar lives in the mixins (:mod:`~repro.lang.parser.declarations`,
+:mod:`~repro.lang.parser.statements`,
+:mod:`~repro.lang.parser.expressions`) that are assembled into the
+final :class:`~repro.lang.parser.Parser`.
+
+The base tracks every token kind the grammar *probed for* at the
+current position (``check``/``accept`` record their argument until the
+cursor moves), so when a parse fails, the diagnostic can honestly list
+the full expected-token set rather than just the one token the failing
+``expect`` happened to ask for.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.diagnostics import Diagnostic, Span, suggest, token_span
+from repro.lang.tokens import KEYWORDS, TokKind, Token
+
+#: Type keywords that can open a declaration (shared by the
+#: declaration and statement mixins).
+TYPE_KEYWORDS = {
+    TokKind.KW_INT: ast.BaseType.INT,
+    TokKind.KW_FLOAT: ast.BaseType.FLOAT,
+    TokKind.KW_VOID: ast.BaseType.VOID,
+}
+
+
+class ParserBase:
+    def __init__(self, tokens: list[Token], source: str | None = None):
+        self.tokens = tokens
+        self.source = source
+        self.pos = 0
+        #: token kinds probed at ``_probe_pos`` (the expected set)
+        self._probes: list[TokKind] = []
+        self._probe_pos = 0
+
+    # ---- token plumbing -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _note(self, kind: TokKind) -> None:
+        if self._probe_pos != self.pos:
+            self._probes = []
+            self._probe_pos = self.pos
+        if kind not in self._probes:
+            self._probes.append(kind)
+
+    def check(self, kind: TokKind) -> bool:
+        self._note(kind)
+        return self.peek().kind is kind
+
+    def accept(self, kind: TokKind) -> Token | None:
+        if self.check(kind):
+            return self.next()
+        return None
+
+    def expect(self, kind: TokKind) -> Token:
+        if self.check(kind):
+            return self.next()
+        tok = self.peek()
+        raise self.error(
+            f"expected {kind.value!r}, found {self._describe(tok)}",
+            tok,
+            expected=self.expected_texts(),
+        )
+
+    # ---- diagnostics ----------------------------------------------------
+
+    @staticmethod
+    def _describe(tok: Token) -> str:
+        return repr(tok.text) if tok.text else "end of input"
+
+    def expected_texts(self) -> tuple[str, ...]:
+        """Every token text probed at the current position, probe order."""
+        if self._probe_pos != self.pos:
+            return ()
+        return tuple(k.value for k in self._probes)
+
+    def error(
+        self,
+        message: str,
+        tok: Token | None = None,
+        *,
+        span: Span | None = None,
+        expected: tuple[str, ...] = (),
+        hint: str | None = None,
+        notes: tuple[str, ...] = (),
+    ) -> ParseError:
+        """Build (not raise) a :class:`ParseError` anchored at *tok*."""
+        if span is None:
+            span = token_span(tok if tok is not None else self.peek())
+        return ParseError(
+            message,
+            diagnostic=Diagnostic(
+                message,
+                span,
+                source=self.source,
+                expected=expected,
+                hint=hint,
+                notes=notes,
+            ),
+        )
+
+    def keyword_hint(self, tok: Token) -> str | None:
+        """A "did you mean" hint when *tok* looks like a typo'd keyword."""
+        if tok.kind is not TokKind.IDENT:
+            return None
+        near = suggest(tok.text, KEYWORDS)
+        return f"did you mean {near!r}?" if near else None

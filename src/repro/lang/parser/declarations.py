@@ -1,0 +1,216 @@
+"""Top-level grammar: struct declarations, globals, and functions."""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser.core import ParserBase, TYPE_KEYWORDS
+from repro.lang.tokens import TokKind, Token
+
+
+class DeclarationParserMixin(ParserBase):
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check(TokKind.EOF):
+            if self.check(TokKind.KW_STRUCT):
+                self._struct_or_global(program)
+                continue
+            is_library = self.accept(TokKind.KW_LIBRARY) is not None
+            ty_tok = self.peek()
+            if ty_tok.kind not in TYPE_KEYWORDS:
+                raise self.error(
+                    f"expected a declaration, found {self._describe(ty_tok)}",
+                    ty_tok,
+                    expected=("int", "float", "void", "struct", "library"),
+                    hint=self.keyword_hint(ty_tok),
+                )
+            self.next()
+            base = TYPE_KEYWORDS[ty_tok.kind]
+            name = self.expect(TokKind.IDENT)
+            if self.check(TokKind.LPAREN):
+                program.functions.append(
+                    self._function_rest(base, name, is_library)
+                )
+            else:
+                if is_library:
+                    raise self.error(
+                        "'library' applies only to functions", ty_tok
+                    )
+                program.globals.append(self._global_rest(base, name))
+        return program
+
+    # ---- structs ---------------------------------------------------------
+
+    def _struct_or_global(self, program: ast.Program) -> None:
+        """``struct S { ... };`` declares a type; ``struct S name;`` a
+        global variable of it."""
+        struct_tok = self.expect(TokKind.KW_STRUCT)
+        name = self.expect(TokKind.IDENT)
+        if self.check(TokKind.LBRACE):
+            program.structs.append(self._struct_rest(name))
+            return
+        if not self.check(TokKind.IDENT):
+            tok = self.peek()
+            raise self.error(
+                f"expected '{{' (struct declaration) or a variable name "
+                f"after 'struct {name.text}', found {self._describe(tok)}",
+                tok,
+                expected=self.expected_texts(),
+            )
+        var_name = self.next()
+        decl = ast.GlobalDecl(
+            name=var_name.text,
+            ty=ast.struct_type(name.text),
+            line=var_name.line,
+        )
+        if self.accept(TokKind.LBRACKET):
+            size = self.expect(TokKind.INT_LIT)
+            decl.array_size = int(size.value)  # type: ignore[arg-type]
+            decl.ty = ast.struct_type(name.text, is_array=True)
+            if decl.array_size < 1:
+                raise self.error(
+                    f"array size must be positive, got {size.text}", size
+                )
+            self.expect(TokKind.RBRACKET)
+        if self.check(TokKind.ASSIGN):
+            raise self.error(
+                "struct globals cannot have initializers",
+                var_name,
+                hint="assign fields in 'main' instead",
+            )
+        self.expect(TokKind.SEMI)
+        del struct_tok
+        program.globals.append(decl)
+
+    def _struct_rest(self, name: Token) -> ast.StructDecl:
+        open_tok = self.expect(TokKind.LBRACE)
+        decl = ast.StructDecl(name=name.text, line=name.line)
+        while not self.check(TokKind.RBRACE):
+            if self.check(TokKind.EOF):
+                raise self.error(
+                    f"unterminated struct {name.text!r}: missing '}}' "
+                    "before end of input",
+                    self.peek(),
+                    notes=(
+                        f"the struct opened at line {open_tok.line} is "
+                        "still open",
+                    ),
+                )
+            decl.fields.append(self._field_decl())
+        self.expect(TokKind.RBRACE)
+        self.expect(TokKind.SEMI)
+        return decl
+
+    def _field_decl(self) -> ast.FieldDecl:
+        ty_tok = self.peek()
+        if ty_tok.kind is TokKind.KW_STRUCT:
+            self.next()
+            inner = self.expect(TokKind.IDENT)
+            ty = ast.struct_type(inner.text)
+        elif ty_tok.kind in (TokKind.KW_INT, TokKind.KW_FLOAT):
+            self.next()
+            ty = ast.Type(TYPE_KEYWORDS[ty_tok.kind])
+        else:
+            raise self.error(
+                f"expected a field type, found {self._describe(ty_tok)}",
+                ty_tok,
+                expected=("int", "float", "struct"),
+                hint=self.keyword_hint(ty_tok),
+            )
+        fname = self.expect(TokKind.IDENT)
+        field = ast.FieldDecl(name=fname.text, ty=ty, line=fname.line)
+        if self.accept(TokKind.LBRACKET):
+            if ty.is_struct:
+                raise self.error(
+                    "array-of-struct fields are not supported",
+                    fname,
+                    hint="declare an array of structs as a variable instead",
+                )
+            size = self.expect(TokKind.INT_LIT)
+            field.array_size = int(size.value)  # type: ignore[arg-type]
+            field.ty = ast.Type(ty.base, True)
+            if field.array_size < 1:
+                raise self.error(
+                    f"array size must be positive, got {size.text}", size
+                )
+            self.expect(TokKind.RBRACKET)
+        self.expect(TokKind.SEMI)
+        return field
+
+    # ---- globals and functions -------------------------------------------
+
+    def _global_rest(self, base: ast.BaseType, name: Token) -> ast.GlobalDecl:
+        decl = ast.GlobalDecl(
+            name=name.text, ty=ast.Type(base), line=name.line
+        )
+        if base is ast.BaseType.VOID:
+            raise self.error("globals cannot be void", name)
+        if self.accept(TokKind.LBRACKET):
+            size = self.expect(TokKind.INT_LIT)
+            decl.array_size = int(size.value)  # type: ignore[arg-type]
+            decl.ty = ast.Type(base, is_array=True)
+            if decl.array_size < 1:
+                raise self.error(
+                    f"array size must be positive, got {size.text}", size
+                )
+            self.expect(TokKind.RBRACKET)
+        if self.accept(TokKind.ASSIGN):
+            negative = self.accept(TokKind.MINUS) is not None
+            lit = self.next()
+            if lit.kind not in (TokKind.INT_LIT, TokKind.FLOAT_LIT):
+                raise self.error(
+                    "global initializers must be literals", lit
+                )
+            value = lit.value
+            decl.init = -value if negative else value  # type: ignore[operator]
+        self.expect(TokKind.SEMI)
+        return decl
+
+    def _function_rest(
+        self, base: ast.BaseType, name: Token, is_library: bool
+    ) -> ast.FuncDecl:
+        self.expect(TokKind.LPAREN)
+        params: list[ast.Param] = []
+        if not self.check(TokKind.RPAREN):
+            while True:
+                p_ty = self.peek()
+                if p_ty.kind is TokKind.KW_STRUCT:
+                    raise self.error(
+                        "struct parameters are not supported",
+                        p_ty,
+                        hint="keep struct data in globals, or pass a "
+                        "scalar index into a struct array",
+                    )
+                if p_ty.kind not in TYPE_KEYWORDS or p_ty.kind is TokKind.KW_VOID:
+                    raise self.error(
+                        f"expected parameter type, found "
+                        f"{self._describe(p_ty)}",
+                        p_ty,
+                        expected=("int", "float"),
+                        hint=self.keyword_hint(p_ty),
+                    )
+                self.next()
+                p_base = TYPE_KEYWORDS[p_ty.kind]
+                p_name = self.expect(TokKind.IDENT)
+                is_array = False
+                if self.accept(TokKind.LBRACKET):
+                    self.expect(TokKind.RBRACKET)
+                    is_array = True
+                params.append(
+                    ast.Param(
+                        name=p_name.text,
+                        ty=ast.Type(p_base, is_array),
+                        line=p_name.line,
+                    )
+                )
+                if not self.accept(TokKind.COMMA):
+                    break
+        self.expect(TokKind.RPAREN)
+        body = self.parse_block()
+        return ast.FuncDecl(
+            name=name.text,
+            ret=ast.Type(base),
+            params=params,
+            body=body,
+            is_library=is_library,
+            line=name.line,
+        )

@@ -1,0 +1,213 @@
+"""Statement grammar: blocks, declarations-in-blocks, control flow.
+
+v2 adds ``switch``/``case``/``default`` and ``struct``-typed local
+variable declarations.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser.core import ParserBase, TYPE_KEYWORDS
+from repro.lang.tokens import TokKind
+
+
+class StatementParserMixin(ParserBase):
+    def parse_block(self) -> ast.Block:
+        open_tok = self.expect(TokKind.LBRACE)
+        block = ast.Block(line=open_tok.line)
+        while not self.check(TokKind.RBRACE):
+            if self.check(TokKind.EOF):
+                raise self.error(
+                    "unterminated block: missing '}' before end of input",
+                    self.peek(),
+                    hint="add the closing '}'",
+                    notes=(
+                        f"the block opened at line {open_tok.line} is "
+                        "still open",
+                    ),
+                )
+            block.stmts.append(self.parse_stmt())
+        self.expect(TokKind.RBRACE)
+        return block
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind is TokKind.LBRACE:
+            return self.parse_block()
+        if tok.kind in (TokKind.KW_INT, TokKind.KW_FLOAT):
+            # A declaration unless this is a cast expression `int(...)`.
+            if self.peek(1).kind is not TokKind.LPAREN:
+                return self._var_decl()
+        if tok.kind is TokKind.KW_STRUCT:
+            return self._var_decl()
+        if tok.kind is TokKind.KW_IF:
+            return self._if_stmt()
+        if tok.kind is TokKind.KW_WHILE:
+            return self._while_stmt()
+        if tok.kind is TokKind.KW_FOR:
+            return self._for_stmt()
+        if tok.kind is TokKind.KW_SWITCH:
+            return self._switch_stmt()
+        if tok.kind is TokKind.KW_RETURN:
+            self.next()
+            value = None
+            if not self.check(TokKind.SEMI):
+                value = self.parse_expr()
+            self.expect(TokKind.SEMI)
+            return ast.Return(value=value, line=tok.line)
+        if tok.kind is TokKind.KW_BREAK:
+            self.next()
+            self.expect(TokKind.SEMI)
+            return ast.Break(line=tok.line)
+        if tok.kind is TokKind.KW_CONTINUE:
+            self.next()
+            self.expect(TokKind.SEMI)
+            return ast.Continue(line=tok.line)
+        if tok.kind in (TokKind.KW_CASE, TokKind.KW_DEFAULT):
+            raise self.error(
+                f"{tok.text!r} label outside a switch statement", tok
+            )
+        stmt = self._simple_stmt()
+        self.expect(TokKind.SEMI)
+        return stmt
+
+    def _var_decl(self) -> ast.VarDecl:
+        ty_tok = self.next()
+        if ty_tok.kind is TokKind.KW_STRUCT:
+            struct_name = self.expect(TokKind.IDENT)
+            base_ty = ast.struct_type(struct_name.text)
+        else:
+            base_ty = ast.Type(TYPE_KEYWORDS[ty_tok.kind])
+        name = self.expect(TokKind.IDENT)
+        decl = ast.VarDecl(name=name.text, ty=base_ty, line=name.line)
+        if self.accept(TokKind.LBRACKET):
+            size = self.expect(TokKind.INT_LIT)
+            decl.array_size = int(size.value)  # type: ignore[arg-type]
+            decl.ty = ast.Type(base_ty.base, True, base_ty.struct_name)
+            if decl.array_size < 1:
+                raise self.error(
+                    f"array size must be positive, got {size.text}", size
+                )
+            self.expect(TokKind.RBRACKET)
+        if self.accept(TokKind.ASSIGN):
+            if decl.array_size is not None:
+                raise self.error(
+                    "array declarations cannot have initializers",
+                    name,
+                    hint="assign elements individually after the declaration",
+                )
+            if base_ty.is_struct:
+                raise self.error(
+                    "struct declarations cannot have initializers",
+                    name,
+                    hint="assign fields individually after the declaration",
+                )
+            decl.init = self.parse_expr()
+        self.expect(TokKind.SEMI)
+        return decl
+
+    def _simple_stmt(self) -> ast.Stmt:
+        """An assignment or a bare expression (no trailing semicolon)."""
+        tok = self.peek()
+        expr = self.parse_expr()
+        if self.check(TokKind.ASSIGN):
+            if not isinstance(expr, (ast.Name, ast.Index, ast.Member)):
+                raise self.error(
+                    "assignment target must be a variable, array element, "
+                    "or struct field",
+                    tok,
+                )
+            self.next()
+            value = self.parse_expr()
+            return ast.Assign(target=expr, value=value, line=tok.line)
+        return ast.ExprStmt(expr=expr, line=tok.line)
+
+    def _if_stmt(self) -> ast.If:
+        tok = self.expect(TokKind.KW_IF)
+        self.expect(TokKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokKind.RPAREN)
+        then = self._stmt_as_block()
+        orelse = None
+        if self.accept(TokKind.KW_ELSE):
+            orelse = self._stmt_as_block()
+        return ast.If(cond=cond, then=then, orelse=orelse, line=tok.line)
+
+    def _while_stmt(self) -> ast.While:
+        tok = self.expect(TokKind.KW_WHILE)
+        self.expect(TokKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokKind.RPAREN)
+        body = self._stmt_as_block()
+        return ast.While(cond=cond, body=body, line=tok.line)
+
+    def _for_stmt(self) -> ast.For:
+        tok = self.expect(TokKind.KW_FOR)
+        self.expect(TokKind.LPAREN)
+        init: ast.Stmt | None = None
+        if not self.check(TokKind.SEMI):
+            if self.peek().kind in (TokKind.KW_INT, TokKind.KW_FLOAT):
+                init = self._var_decl()  # consumes the semicolon
+            else:
+                init = self._simple_stmt()
+                self.expect(TokKind.SEMI)
+        else:
+            self.expect(TokKind.SEMI)
+        cond = None
+        if not self.check(TokKind.SEMI):
+            cond = self.parse_expr()
+        self.expect(TokKind.SEMI)
+        step = None
+        if not self.check(TokKind.RPAREN):
+            step = self._simple_stmt()
+        self.expect(TokKind.RPAREN)
+        body = self._stmt_as_block()
+        return ast.For(init=init, cond=cond, step=step, body=body, line=tok.line)
+
+    def _switch_stmt(self) -> ast.Switch:
+        tok = self.expect(TokKind.KW_SWITCH)
+        self.expect(TokKind.LPAREN)
+        scrutinee = self.parse_expr()
+        self.expect(TokKind.RPAREN)
+        open_tok = self.expect(TokKind.LBRACE)
+        switch = ast.Switch(scrutinee=scrutinee, line=tok.line)
+        while not self.check(TokKind.RBRACE):
+            if self.check(TokKind.EOF):
+                raise self.error(
+                    "unterminated switch: missing '}' before end of input",
+                    self.peek(),
+                    notes=(
+                        f"the switch opened at line {open_tok.line} is "
+                        "still open",
+                    ),
+                )
+            case_tok = self.peek()
+            if case_tok.kind is TokKind.KW_CASE:
+                self.next()
+                negative = self.accept(TokKind.MINUS) is not None
+                lit = self.expect(TokKind.INT_LIT)
+                value = int(lit.value)  # type: ignore[arg-type]
+                if negative:
+                    value = -value
+                self.expect(TokKind.COLON)
+                switch.cases.append(ast.Case(value=value, line=case_tok.line))
+            elif case_tok.kind is TokKind.KW_DEFAULT:
+                self.next()
+                self.expect(TokKind.COLON)
+                switch.cases.append(ast.Case(value=None, line=case_tok.line))
+            elif not switch.cases:
+                raise self.error(
+                    "statement before the first 'case' label in a switch",
+                    case_tok,
+                    hint="start the switch body with 'case N:' or 'default:'",
+                )
+            else:
+                switch.cases[-1].body.append(self.parse_stmt())
+        self.expect(TokKind.RBRACE)
+        return switch
+
+    def _stmt_as_block(self) -> ast.Block:
+        if self.check(TokKind.LBRACE):
+            return self.parse_block()
+        stmt = self.parse_stmt()
+        return ast.Block(stmts=[stmt], line=stmt.line)

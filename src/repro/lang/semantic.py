@@ -13,6 +13,31 @@ from dataclasses import dataclass, field
 from repro.errors import TypeCheckError
 from repro.lang import ast_nodes as ast
 from repro.lang.ast_nodes import FLOAT, INT, VOID, BaseType, Type
+from repro.lang.diagnostics import suggest
+
+
+@dataclass(frozen=True)
+class StructField:
+    """One field of a laid-out struct."""
+
+    name: str
+    ty: Type
+    #: word offset from the start of the struct
+    offset: int
+    #: total field size in 8-byte words (array/nested-struct fields > 1)
+    words: int
+    array_size: int | None = None
+
+
+@dataclass(frozen=True)
+class StructInfo:
+    """A struct type with its computed word-based layout."""
+
+    name: str
+    fields: dict[str, StructField]
+    #: total struct size in 8-byte words
+    words: int
+    line: int = 0
 
 
 @dataclass
@@ -64,6 +89,14 @@ class _Scope:
             scope = scope.parent
         return None
 
+    def visible_names(self) -> list[str]:
+        names: list[str] = []
+        scope: _Scope | None = self
+        while scope is not None:
+            names.extend(scope.symbols)
+            scope = scope.parent
+        return names
+
 
 @dataclass
 class AnalyzedProgram:
@@ -74,6 +107,8 @@ class AnalyzedProgram:
     globals: dict[str, Symbol]
     #: per-function list of local symbols (for frame layout)
     locals_of: dict[str, list[Symbol]] = field(default_factory=dict)
+    #: struct layouts by name, in declaration order
+    structs: dict[str, StructInfo] = field(default_factory=dict)
 
 
 class _Analyzer:
@@ -82,8 +117,10 @@ class _Analyzer:
         self.functions: dict[str, FuncSig] = dict(BUILTINS)
         self.globals: dict[str, Symbol] = {}
         self.locals_of: dict[str, list[Symbol]] = {}
+        self.structs: dict[str, StructInfo] = {}
         self._uid = 0
         self._loop_depth = 0
+        self._switch_depth = 0
         self._current: FuncSig | None = None
         self._current_locals: list[Symbol] = []
 
@@ -94,9 +131,12 @@ class _Analyzer:
     # ---- top level --------------------------------------------------------
 
     def run(self) -> AnalyzedProgram:
+        self._layout_structs()
         for g in self.program.globals:
             if g.name in self.globals:
                 raise TypeCheckError(f"redefinition of global {g.name!r}", g.line)
+            if g.ty.is_struct:
+                self._struct_of(g.ty, g.line)
             if g.init is not None:
                 want_float = g.ty.base is BaseType.FLOAT
                 if want_float != isinstance(g.init, float):
@@ -119,7 +159,60 @@ class _Analyzer:
             raise TypeCheckError("'main' must take no parameters and return int or void")
         for f in self.program.functions:
             self._check_function(f)
-        return AnalyzedProgram(self.program, self.functions, self.globals, self.locals_of)
+        return AnalyzedProgram(
+            self.program, self.functions, self.globals, self.locals_of, self.structs
+        )
+
+    # ---- struct layout ------------------------------------------------------
+
+    def _layout_structs(self) -> None:
+        """Compute word-based field offsets, in declaration order.
+
+        A struct field's type must already be declared, which rules out
+        recursive structs by construction.
+        """
+        for decl in self.program.structs:
+            if decl.name in self.structs:
+                raise TypeCheckError(
+                    f"redefinition of struct {decl.name!r}", decl.line
+                )
+            fields: dict[str, StructField] = {}
+            offset = 0
+            for f in decl.fields:
+                if f.name in fields:
+                    raise TypeCheckError(
+                        f"duplicate field {f.name!r} in struct {decl.name!r}",
+                        f.line,
+                    )
+                if f.ty.is_struct:
+                    inner = self._struct_of(f.ty, f.line)
+                    words = inner.words
+                elif f.array_size is not None:
+                    words = f.array_size
+                else:
+                    words = 1
+                fields[f.name] = StructField(
+                    f.name, f.ty, offset, words, f.array_size
+                )
+                offset += words
+            if not fields:
+                raise TypeCheckError(
+                    f"struct {decl.name!r} has no fields", decl.line
+                )
+            self.structs[decl.name] = StructInfo(
+                decl.name, fields, offset, decl.line
+            )
+
+    def _struct_of(self, ty: Type, line: int) -> StructInfo:
+        assert ty.struct_name is not None
+        info = self.structs.get(ty.struct_name)
+        if info is None:
+            near = suggest(ty.struct_name, self.structs)
+            extra = f"; did you mean {near!r}?" if near else ""
+            raise TypeCheckError(
+                f"undefined struct {ty.struct_name!r}{extra}", line
+            )
+        return info
 
     def _check_function(self, f: ast.FuncDecl) -> None:
         self._current = self.functions[f.name]
@@ -146,6 +239,8 @@ class _Analyzer:
         if isinstance(stmt, ast.VarDecl):
             if stmt.ty.base is BaseType.VOID:
                 raise TypeCheckError("variables cannot be void", stmt.line)
+            if stmt.ty.is_struct:
+                self._struct_of(stmt.ty, stmt.line)
             sym = Symbol(stmt.name, stmt.ty, "local", stmt.array_size, self._new_uid())
             if stmt.init is not None:
                 ty = self._check_expr(stmt.init, scope)
@@ -160,8 +255,13 @@ class _Analyzer:
             setattr(stmt, "binding", sym)
         elif isinstance(stmt, ast.Assign):
             target_ty = self._check_expr(stmt.target, scope)
-            if isinstance(stmt.target, ast.Name) and stmt.target.ty.is_array:
+            if target_ty.is_array:
                 raise TypeCheckError("cannot assign to an array", stmt.line)
+            if target_ty.is_struct:
+                raise TypeCheckError(
+                    "cannot assign whole structs; assign fields individually",
+                    stmt.line,
+                )
             value_ty = self._check_expr(stmt.value, scope)
             if target_ty != value_ty:
                 raise TypeCheckError(
@@ -208,10 +308,36 @@ class _Analyzer:
                         f"got {ty}",
                         stmt.line,
                     )
-        elif isinstance(stmt, (ast.Break, ast.Continue)):
+        elif isinstance(stmt, ast.Switch):
+            self._expect_int(stmt.scrutinee, scope, "switch scrutinee")
+            seen: set[int] = set()
+            default_seen = False
+            for case in stmt.cases:
+                if case.value is None:
+                    if default_seen:
+                        raise TypeCheckError(
+                            "duplicate 'default' label in switch", case.line
+                        )
+                    default_seen = True
+                elif case.value in seen:
+                    raise TypeCheckError(
+                        f"duplicate case value {case.value} in switch",
+                        case.line,
+                    )
+                else:
+                    seen.add(case.value)
+            self._switch_depth += 1
+            for case in stmt.cases:
+                clause_scope = _Scope(scope)
+                for s in case.body:
+                    self._check_stmt(s, clause_scope)
+            self._switch_depth -= 1
+        elif isinstance(stmt, ast.Break):
+            if self._loop_depth == 0 and self._switch_depth == 0:
+                raise TypeCheckError("'break' outside a loop or switch", stmt.line)
+        elif isinstance(stmt, ast.Continue):
             if self._loop_depth == 0:
-                word = "break" if isinstance(stmt, ast.Break) else "continue"
-                raise TypeCheckError(f"{word!r} outside a loop", stmt.line)
+                raise TypeCheckError("'continue' outside a loop", stmt.line)
         else:  # pragma: no cover - parser produces no other nodes
             raise TypeCheckError(f"unknown statement {type(stmt).__name__}", stmt.line)
 
@@ -227,6 +353,30 @@ class _Analyzer:
         expr.ty = ty
         return ty
 
+    def _check_const_index(self, expr: ast.Index) -> None:
+        """Reject constant indices that are provably out of bounds.
+
+        Only indices that are literal ``IntLit`` nodes into arrays whose
+        length is statically known (named arrays and array fields — not
+        array parameters) can be checked here; everything else is a
+        run-time concern.
+        """
+        if not isinstance(expr.index, ast.IntLit):
+            return
+        length: int | None = None
+        if isinstance(expr.base, ast.Name):
+            sym = getattr(expr.base, "binding", None)
+            length = sym.array_size if sym is not None else None
+        elif isinstance(expr.base, ast.Member):
+            fld = getattr(expr.base, "field", None)
+            length = fld.array_size if fld is not None else None
+        if length is not None and not 0 <= expr.index.value < length:
+            raise TypeCheckError(
+                f"constant index {expr.index.value} is out of bounds for an "
+                f"array of length {length}",
+                expr.line,
+            )
+
     def _infer(self, expr: ast.Expr, scope: _Scope) -> Type:
         if isinstance(expr, ast.IntLit):
             return INT
@@ -235,7 +385,11 @@ class _Analyzer:
         if isinstance(expr, ast.Name):
             sym = scope.lookup(expr.ident)
             if sym is None:
-                raise TypeCheckError(f"undefined variable {expr.ident!r}", expr.line)
+                near = suggest(expr.ident, scope.visible_names())
+                extra = f"; did you mean {near!r}?" if near else ""
+                raise TypeCheckError(
+                    f"undefined variable {expr.ident!r}{extra}", expr.line
+                )
             setattr(expr, "binding", sym)
             return sym.ty
         if isinstance(expr, ast.Index):
@@ -243,10 +397,42 @@ class _Analyzer:
             if not base_ty.is_array:
                 raise TypeCheckError("indexing a non-array value", expr.line)
             self._expect_int(expr.index, scope, "array index")
+            self._check_const_index(expr)
+            if base_ty.is_struct:
+                return ast.struct_type(base_ty.struct_name)
             return Type(base_ty.base)
+        if isinstance(expr, ast.Member):
+            base_ty = self._check_expr(expr.base, scope)
+            if base_ty.is_array:
+                raise TypeCheckError(
+                    "cannot access a field of an array; index an element first",
+                    expr.line,
+                )
+            if not base_ty.is_struct:
+                raise TypeCheckError(
+                    f"field access on non-struct value of type {base_ty}",
+                    expr.line,
+                )
+            info = self._struct_of(base_ty, expr.line)
+            fld = info.fields.get(expr.field_name)
+            if fld is None:
+                near = suggest(expr.field_name, info.fields)
+                extra = f"; did you mean {near!r}?" if near else ""
+                raise TypeCheckError(
+                    f"struct {info.name!r} has no field {expr.field_name!r}"
+                    f"{extra}",
+                    expr.line,
+                )
+            setattr(expr, "field", fld)
+            return fld.ty
         if isinstance(expr, ast.BinOp):
             lt = self._check_expr(expr.left, scope)
             rt = self._check_expr(expr.right, scope)
+            if lt.is_struct or rt.is_struct:
+                raise TypeCheckError(
+                    f"operator {expr.op!r} cannot apply to struct values",
+                    expr.line,
+                )
             if lt.is_array or rt.is_array:
                 raise TypeCheckError(
                     f"operator {expr.op!r} cannot apply to arrays", expr.line
@@ -274,19 +460,27 @@ class _Analyzer:
                     raise TypeCheckError("'!' requires an int operand", expr.line)
                 return INT
             if expr.op == "-":
-                if ty.is_array:
-                    raise TypeCheckError("cannot negate an array", expr.line)
+                if ty.is_array or ty.is_struct:
+                    raise TypeCheckError(
+                        f"cannot negate a value of type {ty}", expr.line
+                    )
                 return ty
             raise TypeCheckError(f"unknown unary operator {expr.op!r}", expr.line)
         if isinstance(expr, ast.Cast):
             ty = self._check_expr(expr.operand, scope)
             if ty.is_array:
                 raise TypeCheckError("cannot cast an array", expr.line)
+            if ty.is_struct:
+                raise TypeCheckError("cannot cast a struct", expr.line)
             return expr.target
         if isinstance(expr, ast.Call):
             sig = self.functions.get(expr.func)
             if sig is None:
-                raise TypeCheckError(f"undefined function {expr.func!r}", expr.line)
+                near = suggest(expr.func, self.functions)
+                extra = f"; did you mean {near!r}?" if near else ""
+                raise TypeCheckError(
+                    f"undefined function {expr.func!r}{extra}", expr.line
+                )
             if len(expr.args) != len(sig.params):
                 raise TypeCheckError(
                     f"{expr.func!r} expects {len(sig.params)} arguments, "

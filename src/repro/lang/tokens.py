@@ -23,6 +23,10 @@ class TokKind(enum.Enum):
     KW_BREAK = "break"
     KW_CONTINUE = "continue"
     KW_LIBRARY = "library"
+    KW_STRUCT = "struct"
+    KW_SWITCH = "switch"
+    KW_CASE = "case"
+    KW_DEFAULT = "default"
     # punctuation
     LPAREN = "("
     RPAREN = ")"
@@ -32,6 +36,8 @@ class TokKind(enum.Enum):
     RBRACKET = "]"
     SEMI = ";"
     COMMA = ","
+    DOT = "."
+    COLON = ":"
     # operators
     PLUS = "+"
     MINUS = "-"
@@ -68,6 +74,10 @@ KEYWORDS: dict[str, TokKind] = {
     "break": TokKind.KW_BREAK,
     "continue": TokKind.KW_CONTINUE,
     "library": TokKind.KW_LIBRARY,
+    "struct": TokKind.KW_STRUCT,
+    "switch": TokKind.KW_SWITCH,
+    "case": TokKind.KW_CASE,
+    "default": TokKind.KW_DEFAULT,
 }
 
 
@@ -78,6 +88,11 @@ class Token:
     line: int
     column: int
     value: int | float | None = None
+
+    @property
+    def end_column(self) -> int:
+        """One past the last column of the token (EOF is 1 wide)."""
+        return self.column + (len(self.text) or 1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

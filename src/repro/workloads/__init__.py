@@ -24,7 +24,7 @@ from repro.workloads import (
     vortex_w,
 )
 
-from repro.workloads import scientific_w
+from repro.workloads import dispatch_w, scientific_w
 
 #: The SPECint95 suite, in the paper's Table 2 order.
 SUITE: dict[str, Workload] = {
@@ -44,6 +44,7 @@ SUITE: dict[str, Workload] = {
 #: Beyond-the-paper workloads (§6 outlook): not part of Table 2.
 EXTRA: dict[str, Workload] = {
     scientific_w.WORKLOAD.name: scientific_w.WORKLOAD,
+    dispatch_w.WORKLOAD.name: dispatch_w.WORKLOAD,
 }
 
 

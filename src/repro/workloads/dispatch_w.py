@@ -1,0 +1,133 @@
+"""Dispatch workload — MiniC v2 exerciser (structs + switch), §6 outlook.
+
+A bytecode-interpreter stand-in built from the v2 language surface:
+a ``struct``-of-arrays node pool traversed through ``next`` links, with
+a hot ``switch`` dispatch loop over a dense opcode stream. The switch
+lowers to a binary-search branch tree whose comparison blocks are prime
+enlargement targets (short, biased, rejoining) — the shape the paper
+predicts benefits most from block enlargement.
+
+Not a Table 2 benchmark: registered in :data:`repro.workloads.EXTRA`
+alongside ``scientific`` and measured by ``benchmarks/test_extensions.py``.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LCG, RNG_FILL, Workload, iterations
+
+_POOL = 64
+_CODE = 256
+
+
+def source(scale: float) -> str:
+    sweeps = iterations(6, scale, minimum=1)
+    return f"""
+// dispatch stand-in: struct-of-arrays pool + hot switch interpreter
+struct Node {{
+    int key;
+    int next;
+    int vals[4];
+}};
+
+struct Regs {{
+    int acc;
+    int pc;
+    int steps;
+    int taken;
+}};
+
+struct Node pool[{_POOL}];
+struct Regs vm;
+int code[{_CODE}];
+int seedbuf[{_CODE}];
+
+{LCG}
+{RNG_FILL}
+
+void build_pool() {{
+    int i;
+    int j;
+    for (i = 0; i < {_POOL}; i = i + 1) {{
+        pool[i].key = seedbuf[i] % 997;
+        pool[i].next = (i * 7 + 3) % {_POOL};   // 7 coprime to 64: full cycle
+        for (j = 0; j < 4; j = j + 1) {{
+            pool[i].vals[j] = (seedbuf[i] >> (j * 4)) & 255;
+        }}
+    }}
+}}
+
+int walk(int start, int hops) {{
+    int node = start;
+    int sum = 0;
+    int h;
+    for (h = 0; h < hops; h = h + 1) {{
+        sum = sum + pool[node].key;
+        node = pool[node].next;
+    }}
+    return sum;
+}}
+
+void step(int op, int node) {{
+    vm.steps = vm.steps + 1;
+    switch (op & 7) {{
+        case 0:
+            vm.acc = vm.acc + pool[node].key;
+            break;
+        case 1:
+            vm.acc = vm.acc ^ pool[node].vals[0];
+            break;
+        case 2:
+            vm.acc = vm.acc + pool[node].vals[1] - pool[node].vals[2];
+            break;
+        case 3:
+            pool[node].vals[3] = (vm.acc + pool[node].vals[3]) & 255;
+            break;
+        case 4:
+            vm.acc = (vm.acc * 3 + 1) & 65535;
+            break;
+        case 5:
+            // fallthrough: shift then count, like case 6
+            vm.acc = vm.acc >> 1;
+        case 6:
+            vm.taken = vm.taken + 1;
+            break;
+        default:
+            vm.acc = vm.acc - 1;
+    }}
+}}
+
+void main() {{
+    int s;
+    rng_fill(seedbuf, {_CODE}, 20260808);
+    rng_fill(code, {_CODE}, 777);
+    build_pool();
+
+    vm.acc = 1;
+    vm.steps = 0;
+    vm.taken = 0;
+    for (s = 0; s < {sweeps}; s = s + 1) {{
+        for (vm.pc = 0; vm.pc < {_CODE}; vm.pc = vm.pc + 1) {{
+            step(code[vm.pc], code[vm.pc] % {_POOL});
+        }}
+        vm.acc = vm.acc + walk(s % {_POOL}, {_POOL});
+    }}
+
+    int checksum = 0;
+    int i;
+    for (i = 0; i < {_POOL}; i = i + 1) {{
+        checksum = (checksum * 31 + pool[i].vals[3]) & 2147483647;
+    }}
+    print_int(vm.acc);
+    print_int(vm.steps);
+    print_int(vm.taken);
+    print_int(checksum);
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="dispatch",
+    description="struct-of-arrays pool + hot switch interpreter (MiniC v2)",
+    paper_input="(beyond the paper: v2 language-surface exerciser)",
+    source_fn=source,
+)

@@ -105,3 +105,43 @@ def test_fuzz_clean_budget_exits_0(tmp_path, capsys):
     )
     assert rc == cli.EXIT_OK
     assert "fuzz ok" in capsys.readouterr().out
+
+
+def test_explore_renders_pipeline_and_exits_0(tmp_path, capsys):
+    src = tmp_path / "tiny.minic"
+    src.write_text(
+        "int g;\nvoid main() { int i;\n"
+        "for (i = 0; i < 4; i = i + 1) { g = g + i; }\nprint_int(g); }\n"
+    )
+    rc = main(["explore", str(src)])
+    assert rc == cli.EXIT_OK
+    out = capsys.readouterr().out
+    assert "SOURCE (tiny.minic)" in out
+    assert "OPTIMIZED IR" in out
+    assert "CONVENTIONAL ISA" in out
+    assert "BLOCK-STRUCTURED ISA" in out
+    assert "family rooted at" in out
+
+
+def test_explore_missing_file_exits_2(tmp_path, capsys):
+    rc = main(["explore", str(tmp_path / "absent.minic")])
+    assert rc == cli.EXIT_USAGE
+
+
+def test_explore_unknown_function_exits_2(tmp_path, capsys):
+    src = tmp_path / "tiny.minic"
+    src.write_text("void main() { print_int(1); }\n")
+    rc = main(["explore", str(src), "--function", "nonesuch"])
+    assert rc == cli.EXIT_USAGE
+    assert "no function" in capsys.readouterr().err
+
+
+def test_explore_malformed_source_exits_1_with_diagnostic(tmp_path, capsys):
+    src = tmp_path / "broken.minic"
+    src.write_text("void main() {\n    x = 1 }\n")
+    rc = main(["explore", str(src)])
+    assert rc == cli.EXIT_FAILURE
+    captured = capsys.readouterr()
+    combined = captured.out + captured.err
+    assert "expected ';'" in combined
+    assert "^" in combined  # the caret excerpt travels through the CLI

@@ -44,9 +44,12 @@ def test_float_literals():
 
 
 def test_integer_followed_by_dot_without_digits_is_int():
-    # "3." with no following digit: the dot is not consumed as a float
-    with pytest.raises(LexError):
-        tokenize("3.x")
+    # "3." with no following digit: the dot is a member-access token, not
+    # part of a float literal
+    toks = tokenize("3.x")
+    assert [t.kind for t in toks[:-1]] == [
+        TokKind.INT_LIT, TokKind.DOT, TokKind.IDENT,
+    ]
 
 
 def test_two_char_operators_win_over_one_char():

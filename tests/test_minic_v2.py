@@ -1,0 +1,348 @@
+"""MiniC v2 surface: structs, switch, diagnostics, and the fuzz knobs.
+
+Four layers under one roof, mirroring how a v2 feature travels the
+pipeline:
+
+1. golden diagnostics — the exact rendered text of representative
+   lexer/parser/semantic errors (caret excerpts, expected-token sets,
+   "did you mean" hints) is pinned so regressions in the diagnostic
+   machinery are loud;
+2. struct layout + const-index bounds checks in the semantic pass;
+3. end-to-end execution equivalence of struct/switch programs across
+   all three executors (IR interpreter, conventional, block-structured);
+4. the generator knobs (:class:`repro.check.GenConfig`) feeding the
+   cosim oracle, plus pinned-seed determinism of v2 program generation.
+"""
+
+import random
+import textwrap
+
+import pytest
+
+from repro.check import CosimChecker, GenConfig, generate_program
+from repro.core.toolchain import Toolchain
+from repro.errors import LexError, ParseError, TypeCheckError
+from repro.exec import run_block_structured, run_conventional
+from repro.exec.interp_ir import interpret_module
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.semantic import analyze
+
+
+def check(source: str):
+    return analyze(parse(source))
+
+
+def run_all_executors(source: str, name: str = "t", opt_level: int = 2):
+    pair = Toolchain(opt_level=opt_level).compile(source, name)
+    interp = interpret_module(pair.module)
+    conv = run_conventional(pair.conventional).outputs
+    block = run_block_structured(pair.block).outputs
+    assert interp == conv == block
+    return interp
+
+
+# ---------------------------------------------------------------------------
+# 1. golden diagnostics
+
+
+def render(exc_info) -> str:
+    return str(exc_info.value)
+
+
+def test_golden_missing_semicolon_excerpt():
+    with pytest.raises(ParseError) as exc:
+        parse("void main() {\n    x = 1 }\n")
+    assert render(exc) == textwrap.dedent("""\
+        2:11: expected ';', found '}'
+          |
+        2 |     x = 1 }
+          |           ^
+          = expected one of: ';'""")
+
+
+def test_golden_keyword_typo_did_you_mean():
+    with pytest.raises(ParseError) as exc:
+        parse("vodi main() { }\n")
+    assert render(exc) == textwrap.dedent("""\
+        1:1: expected a declaration, found 'vodi'
+          |
+        1 | vodi main() { }
+          | ^^^^
+          = expected one of: 'int', 'float', 'void', 'struct', 'library'
+          = help: did you mean 'void'?""")
+
+
+def test_golden_unterminated_block_notes_open_line():
+    with pytest.raises(ParseError) as exc:
+        parse("void main() {\n  x = 1;\n")
+    assert render(exc) == textwrap.dedent("""\
+        3:1: unterminated block: missing '}' before end of input
+          |
+        3 |   x = 1;
+          | ^
+          = help: add the closing '}'
+          = note: the block opened at line 1 is still open""")
+
+
+def test_golden_switch_statement_before_case():
+    with pytest.raises(ParseError) as exc:
+        parse("void main() { switch (x) { y = 1; } }\n")
+    assert render(exc) == textwrap.dedent("""\
+        1:28: statement before the first 'case' label in a switch
+          |
+        1 | void main() { switch (x) { y = 1; } }
+          |                            ^
+          = help: start the switch body with 'case N:' or 'default:'""")
+
+
+def test_golden_unterminated_block_comment():
+    with pytest.raises(LexError) as exc:
+        tokenize("void main() { /* oops\n}\n")
+    assert render(exc) == textwrap.dedent("""\
+        1:15: unterminated block comment
+          |
+        1 | void main() { /* oops
+          |               ^^
+          = help: add the closing '*/'
+          = note: the comment opened here (line 1) is still open at end of input""")
+
+
+def test_golden_unexpected_character_caret():
+    with pytest.raises(LexError) as exc:
+        tokenize("void main() { x = 1 @ 2; }\n")
+    assert render(exc) == textwrap.dedent("""\
+        1:21: unexpected character '@'
+          |
+        1 | void main() { x = 1 @ 2; }
+          |                     ^""")
+
+
+def test_semantic_undefined_variable_did_you_mean():
+    with pytest.raises(TypeCheckError, match="did you mean 'counter'"):
+        check("void main() { int counter = 0; countr = 1; }")
+
+
+def test_semantic_unknown_field_suggestion():
+    with pytest.raises(TypeCheckError, match="did you mean 'total'"):
+        check(
+            "struct P { int total; int count; };\n"
+            "struct P p;\n"
+            "void main() { p.totl = 1; }"
+        )
+
+
+# ---------------------------------------------------------------------------
+# 2. struct layout + bounds
+
+
+def test_struct_layout_offsets_in_words():
+    analyzed = check(
+        """
+        struct Inner { int a; int b[4]; };
+        struct Outer { int x; struct Inner mid; float y; };
+        struct Outer o;
+        void main() { o.x = 1; }
+        """
+    )
+    inner = analyzed.structs["Inner"]
+    outer = analyzed.structs["Outer"]
+    assert inner.words == 5
+    assert inner.fields["a"].offset == 0
+    assert inner.fields["b"].offset == 1
+    assert inner.fields["b"].array_size == 4
+    assert outer.words == 7
+    assert outer.fields["x"].offset == 0
+    assert outer.fields["mid"].offset == 1
+    assert outer.fields["mid"].words == 5
+    assert outer.fields["y"].offset == 6
+
+
+def test_struct_duplicate_field_rejected():
+    with pytest.raises(TypeCheckError, match="duplicate field"):
+        check("struct P { int a; int a; };\nvoid main() { }")
+
+
+def test_struct_use_before_declaration_rejected():
+    with pytest.raises(TypeCheckError):
+        check(
+            "struct A { struct B inner; };\n"
+            "struct B { int x; };\n"
+            "void main() { }"
+        )
+
+
+def test_whole_struct_assignment_rejected():
+    with pytest.raises(TypeCheckError, match="assign fields individually"):
+        check(
+            "struct P { int x; };\n"
+            "struct P a;\nstruct P b;\n"
+            "void main() { a = b; }"
+        )
+
+
+def test_constant_index_out_of_bounds():
+    with pytest.raises(TypeCheckError, match="constant index 9 is out of bounds"):
+        check("int a[4];\nvoid main() { a[9] = 1; }")
+
+
+def test_constant_index_out_of_bounds_on_struct_field():
+    with pytest.raises(TypeCheckError, match="constant index 4 is out of bounds"):
+        check(
+            "struct P { int v[4]; };\nstruct P p;\n"
+            "void main() { p.v[4] = 1; }"
+        )
+
+
+def test_duplicate_case_value_rejected():
+    with pytest.raises(TypeCheckError, match="duplicate case"):
+        check("void main() { switch (1) { case 2: break; case 2: break; } }")
+
+
+def test_break_outside_loop_or_switch_rejected():
+    with pytest.raises(TypeCheckError, match="outside a loop or switch"):
+        check("void main() { break; }")
+
+
+# ---------------------------------------------------------------------------
+# 3. end-to-end struct/switch execution
+
+
+SWITCH_PROGRAM = """
+int out;
+
+int classify(int v) {
+    int r = 0;
+    switch (v % 5) {
+        case 0:
+            r = 100;
+            break;
+        case 1:
+        case 2:
+            r = 200;          // shared clause via fallthrough labels
+            break;
+        case 3:
+            r = 300;          // falls through into default
+        default:
+            r = r + 7;
+    }
+    return r;
+}
+
+void main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 10; i = i + 1) { sum = sum + classify(i); }
+    print_int(sum);
+}
+"""
+
+
+STRUCT_PROGRAM = """
+struct Point { int x; int y; };
+struct Seg { struct Point a; struct Point b; int tags[3]; };
+struct Seg segs[4];
+
+int manhattan(int i) {
+    int dx = segs[i].b.x - segs[i].a.x;
+    int dy = segs[i].b.y - segs[i].a.y;
+    if (dx < 0) { dx = 0 - dx; }
+    if (dy < 0) { dy = 0 - dy; }
+    return dx + dy;
+}
+
+void main() {
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        segs[i].a.x = i;
+        segs[i].a.y = i * 2;
+        segs[i].b.x = 10 - i;
+        segs[i].b.y = i * i;
+        segs[i].tags[i % 3] = i + 1;
+    }
+    int total = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        total = total + manhattan(i) * (segs[i].tags[i % 3] + 1);
+    }
+    print_int(total);
+}
+"""
+
+
+@pytest.mark.parametrize("opt_level", [0, 1, 2])
+def test_switch_program_equivalent_across_executors(opt_level):
+    outputs = run_all_executors(SWITCH_PROGRAM, "switchy", opt_level)
+    # 2x100 (0,5) + 4x200 (1,2,6,7) + 2x307 (3,8) + 2x7 (4,9)
+    assert outputs == [("i", 1628)]
+
+
+@pytest.mark.parametrize("opt_level", [0, 1, 2])
+def test_struct_program_equivalent_across_executors(opt_level):
+    outputs = run_all_executors(STRUCT_PROGRAM, "structs", opt_level)
+    assert len(outputs) == 1 and outputs[0][0] == "i"
+
+
+def test_struct_local_and_switch_fallthrough_to_default():
+    outputs = run_all_executors(
+        """
+        struct Acc { int lo; int hi; };
+        void main() {
+            struct Acc a;
+            a.lo = 0;
+            a.hi = 0;
+            int i;
+            for (i = 0; i < 6; i = i + 1) {
+                switch (i & 3) {
+                    case 0: a.lo = a.lo + 1; break;
+                    case 3: a.hi = a.hi + 10;     // fallthrough
+                    default: a.hi = a.hi + 1;
+                }
+            }
+            print_int(a.lo);
+            print_int(a.hi);
+        }
+        """
+    )
+    # i=0,4 -> lo; i=3 -> +10 then +1; i=1,2,5 -> +1 each
+    assert outputs == [("i", 2), ("i", 14)]
+
+
+# ---------------------------------------------------------------------------
+# 4. generator knobs + cosim
+
+
+def test_genconfig_defaults_enable_v2_features():
+    cfg = GenConfig()
+    assert cfg.array_ops >= 1
+    assert cfg.struct_depth >= 1
+    assert cfg.switch_arms >= 1
+
+
+def test_generated_v2_program_is_deterministic_for_seed():
+    cfg = GenConfig(array_ops=3, struct_depth=2, switch_arms=5)
+    a = generate_program(random.Random(1234), cfg)
+    b = generate_program(random.Random(1234), cfg)
+    assert a == b
+
+
+def test_generated_v2_programs_use_new_surface():
+    cfg = GenConfig(array_ops=2, struct_depth=2, switch_arms=4)
+    corpus = [generate_program(random.Random(s), cfg) for s in range(40)]
+    assert any("switch (" in src for src in corpus)
+    assert any("struct S" in src for src in corpus)
+
+
+def test_zeroed_knobs_suppress_v2_constructs():
+    cfg = GenConfig(array_ops=0, struct_depth=0, switch_arms=0)
+    for seed in range(20):
+        src = generate_program(random.Random(seed), cfg)
+        assert "switch" not in src
+        assert "struct" not in src
+
+
+@pytest.mark.parametrize("seed", [7, 99, 20260808])
+def test_cosim_matrix_on_generated_v2_programs(seed):
+    cfg = GenConfig(array_ops=2, struct_depth=2, switch_arms=4)
+    src = generate_program(random.Random(seed), cfg)
+    report = CosimChecker().check_source(src, name=f"v2fuzz{seed}")
+    assert report.ok, report.violations

@@ -107,3 +107,20 @@ def test_extra_scientific_workload():
 
     opcodes = {op.opcode for op in pair.conventional.ops}
     assert Opcode.FMUL in opcodes and Opcode.FADD in opcodes
+
+
+def test_extra_dispatch_workload():
+    from repro.workloads import EXTRA, get_workload
+
+    w = get_workload("dispatch")
+    assert w is EXTRA["dispatch"]
+    src = w.source(0.3)
+    # the v2 surface is the point of this workload
+    assert "struct Node" in src and "switch (" in src
+    pair = _toolchain.compile(src, "dispatch")
+    golden = interpret_module(pair.module)
+    assert len(golden) == 4  # acc, steps, taken, pool checksum
+    assert run_conventional(pair.conventional).outputs == golden
+    assert run_block_structured(pair.block).outputs == golden
+    # the switch dispatch tree must produce enlargeable comparison blocks
+    assert any("swcmp" in b.label for b in pair.block.blocks)
