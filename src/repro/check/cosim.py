@@ -16,6 +16,13 @@ every layer against every other:
   counter (committed ops/units, mispredicts, squashes) — the
   "retired-op stream" check; and (c) satisfy every identity in
   :mod:`repro.check.invariants`;
+* the **vectorized replay kernel** (:mod:`repro.sim.vector`) replays
+  the same captured trace as a third implementation whenever numpy is
+  importable: its ``SimResult`` must be bit-identical to the scalar
+  replay (``cosim.kernel_divergence``), its :class:`InsightReport`
+  path-independent (``cosim.insight_divergence``), and it must satisfy
+  the same invariant library — so ``bsisa fuzz`` shrinks kernel bugs
+  exactly like engine bugs;
 * the whole matrix repeats across **enlargement configurations** and
   **machine configurations** (real and perfect prediction by default).
 
@@ -26,6 +33,7 @@ Telemetry: one ``check.cosim{program=}`` span per checked program,
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.backend.enlarge import EnlargeConfig
@@ -35,9 +43,10 @@ from repro.errors import SourceError
 from repro.exec import interpret_module, run_block_structured, run_conventional
 from repro.insight import InsightCollector
 from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.sim import vector
 from repro.sim.config import MachineConfig
 from repro.sim.predictors import BlockPredictor, GsharePredictor
-from repro.sim.run import simulate_block_structured, simulate_conventional
+from repro.sim.run import capture_run, replay_captured
 
 #: Enlargement matrix: the paper's default, enlargement off, and a
 #: deliberately tight budget that forces many small families.
@@ -215,11 +224,9 @@ class CosimChecker:
         )
         block_ref = run_block_structured(pair.block, predictor=block_pred)
 
-        for ref_stats, ref_outputs, simulate, prog, isa in (
-            (conv_ref, conv_ref.outputs, simulate_conventional,
-             pair.conventional, "conventional"),
-            (block_ref, block_ref.outputs, simulate_block_structured,
-             pair.block, "block"),
+        for ref_stats, ref_outputs, prog, isa in (
+            (conv_ref, conv_ref.outputs, pair.conventional, "conventional"),
+            (block_ref, block_ref.outputs, pair.block, "block"),
         ):
             where = (
                 f"[isa={isa} perfect_bp={machine.perfect_bp} "
@@ -234,9 +241,14 @@ class CosimChecker:
                     f"from the interpreter",
                 ))
                 continue
+            # One capture, replayed once per kernel: the sharpest
+            # differential — both implementations consume the same
+            # packed columns.
+            captured = capture_run(prog, isa, machine, _SILENT)
             collector = InsightCollector()
-            result = simulate(
-                prog, machine, telemetry=_SILENT, insight=collector
+            result = replay_captured(
+                captured, machine, _SILENT,
+                insight=collector, kernel="python",
             )
             if result.outputs != golden:
                 fail(Violation(
@@ -259,3 +271,45 @@ class CosimChecker:
                 fail(Violation(
                     violation.invariant, f"{where} {violation.message}"
                 ))
+            if vector.HAVE_NUMPY:
+                self._check_vector_kernel(
+                    captured, machine, result, collector, isa, where, fail
+                )
+
+    def _check_vector_kernel(
+        self, captured, machine, result, collector, isa, where, fail
+    ) -> None:
+        """Replay *captured* through the vectorized kernel and pin it
+        to the scalar replay: SimResult bit-identical, InsightReport
+        path-independent, invariants all green."""
+        vec_collector = InsightCollector()
+        vec_result = replay_captured(
+            captured, machine, _SILENT,
+            insight=vec_collector, kernel="numpy",
+        )
+        scalar = dataclasses.asdict(result)
+        vectored = dataclasses.asdict(vec_result)
+        if vectored != scalar:
+            fields = sorted(
+                k for k in scalar if vectored.get(k) != scalar[k]
+            )
+            fail(Violation(
+                "cosim.kernel_divergence",
+                f"{where} vectorized replay diverged from the scalar "
+                f"replay on: {', '.join(fields)}",
+            ))
+        if vec_collector.report("cosim", isa, machine) != collector.report(
+            "cosim", isa, machine
+        ):
+            fail(Violation(
+                "cosim.insight_divergence",
+                f"{where} vectorized replay produced a different "
+                f"InsightReport than the scalar replay",
+            ))
+        for violation in check_invariants(
+            vec_result, machine, insight=vec_collector
+        ):
+            fail(Violation(
+                violation.invariant,
+                f"{where} [kernel=numpy] {violation.message}",
+            ))

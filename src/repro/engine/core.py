@@ -66,6 +66,7 @@ class ExperimentEngine:
         cache: ArtifactCache | None = None,
         jobs: int = 1,
         insight: bool = False,
+        kernel: str = "auto",
     ):
         self.scale = scale if scale is not None else default_scale()
         self.benchmarks = list(benchmarks) if benchmarks else list(SUITE)
@@ -84,6 +85,10 @@ class ExperimentEngine:
         #: collect an InsightReport (cycle accounting + fetch-rate
         #: analytics) for every executed run
         self.insight = bool(insight)
+        #: replay kernel (repro.sim.run.VALID_KERNELS). Deliberately NOT
+        #: part of RunSpec / the cache keys: both kernels are bit-exact,
+        #: so cached results are kernel-independent.
+        self.kernel = kernel
         self._sources: dict[str, str] = {}
         self._pairs: dict[str, CompiledPair] = {}
         self._compile_keys: dict[str, str] = {}
@@ -249,7 +254,8 @@ class ExperimentEngine:
             collector = InsightCollector() if self.insight else None
             with tel.span("plan.run", **spec.labels()):
                 result = replay_captured(
-                    captured, spec.config, tel, insight=collector
+                    captured, spec.config, tel,
+                    insight=collector, kernel=self.kernel,
                 )
             tel.count("plan.trace_replays")
             if collector is not None:
@@ -306,7 +312,7 @@ class ExperimentEngine:
         # program object.
         work = [(spec, self.captured_run(spec)) for spec in missing]
         for spec, result, snapshot, report in execute_parallel(
-            work, self.jobs, tel.enabled, self.insight
+            work, self.jobs, tel.enabled, self.insight, self.kernel
         ):
             if snapshot is not None:
                 tel.merge_snapshot(snapshot)

@@ -62,6 +62,7 @@ def execute_run(
     spec: RunSpec,
     capture_telemetry: bool,
     collect_insight: bool = False,
+    kernel: str = "auto",
 ) -> tuple[SimResult, dict | None, InsightReport | None]:
     """Top-level worker entry point (must stay module-level so the
     process pool can pickle it). Replays the shipped packed trace under
@@ -72,7 +73,8 @@ def execute_run(
     collector = InsightCollector() if collect_insight else None
     if not capture_telemetry:
         result = replay_captured(
-            captured, spec.config, get_telemetry(), insight=collector
+            captured, spec.config, get_telemetry(),
+            insight=collector, kernel=kernel,
         )
         report = (
             collector.report(spec.benchmark, spec.isa, spec.config)
@@ -83,7 +85,7 @@ def execute_run(
     tel = Telemetry(trace_capacity=WORKER_TRACE_CAPACITY)
     with tel.span("plan.run", **spec.labels()):
         result = replay_captured(
-            captured, spec.config, tel, insight=collector
+            captured, spec.config, tel, insight=collector, kernel=kernel
         )
     report = None
     if collector is not None:
@@ -99,6 +101,7 @@ def execute_parallel(
     jobs: int,
     capture_telemetry: bool,
     collect_insight: bool = False,
+    kernel: str = "auto",
 ) -> list[tuple[RunSpec, SimResult, dict | None, InsightReport | None]]:
     """Execute *work* across a process pool; results in *work* order."""
     workers = max(1, min(jobs, len(work)))
@@ -108,7 +111,7 @@ def execute_parallel(
                 spec,
                 pool.submit(
                     execute_run, captured, spec,
-                    capture_telemetry, collect_insight,
+                    capture_telemetry, collect_insight, kernel,
                 ),
             )
             for spec, captured in work

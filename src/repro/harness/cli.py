@@ -17,6 +17,8 @@
     bsisa perf --benchmarks compress gcc    # capture/replay/streaming timings
     bsisa perf -o BENCH_sim.json        # schema-versioned perf artifact
     bsisa perf --compare BENCH_sim.json # speed deltas vs the committed baseline
+    bsisa perf --kernel numpy           # force the vectorized replay kernel
+    bsisa run all --kernel python       # force the scalar Python replayer
     bsisa analyze --benchmark compress  # CPI stack + fetch-rate histogram
     bsisa analyze -o INSIGHT.json       # repro.insight/v1 artifact
     bsisa timeline compress --limit 40  # per-cycle occupancy from the trace
@@ -33,8 +35,9 @@
 Exit codes are a contract (tests/test_cli_exit_codes.py): 0 success,
 1 operational failure (fuzz oracle violation, perf stats mismatch or
 >20% perf regression under ``--compare``, broken cycle accounting),
-2 usage error (argparse, unknown name, unknown ``--kind``), 3
-paper-claim failure from ``verify-paper``.
+2 usage error (argparse, unknown name, unknown ``--kind``,
+``--kernel numpy`` without numpy installed), 3 paper-claim failure
+from ``verify-paper``.
 """
 
 from __future__ import annotations
@@ -69,6 +72,21 @@ DEFAULT_VERIFY_SCALE = 0.35
 
 def default_verify_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_VERIFY_SCALE))
+
+
+def _kernel_usage_error(args) -> bool:
+    """True (after printing why) when ``--kernel numpy`` cannot run."""
+    from repro.sim import vector
+
+    if getattr(args, "kernel", "auto") == "numpy" and not vector.HAVE_NUMPY:
+        print(
+            "--kernel numpy: numpy is not importable in this environment; "
+            "install numpy or use --kernel python (the two kernels are "
+            "bit-identical)",
+            file=sys.stderr,
+        )
+        return True
+    return False
 
 
 def _cmd_list(_args) -> int:
@@ -109,6 +127,8 @@ def _cmd_run(args) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if _kernel_usage_error(args):
+        return EXIT_USAGE
     tel = _make_telemetry(args)
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
     runner = SuiteRunner(
@@ -117,6 +137,7 @@ def _cmd_run(args) -> int:
         jobs=args.jobs,
         cache=cache,
         insight=bool(args.insight),
+        kernel=args.kernel,
     )
     plan = runner.execute(names)
     for name in names:
@@ -363,6 +384,8 @@ def _cmd_perf(args) -> int:
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
         return EXIT_USAGE
+    if _kernel_usage_error(args):
+        return EXIT_USAGE
     baseline = None
     if args.compare:
         try:
@@ -383,7 +406,7 @@ def _cmd_perf(args) -> int:
             for err in errors:
                 print(f"  {err}", file=sys.stderr)
             return EXIT_USAGE
-    doc = benchmark_suite(args.benchmarks, args.scale)
+    doc = benchmark_suite(args.benchmarks, args.scale, kernel=args.kernel)
     print(render(doc))
     if args.output:
         try:
@@ -698,6 +721,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-run fetch-rate analytics across the plan and "
         "write the repro.insight/v1 artifact",
     )
+    run.add_argument(
+        "--kernel",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="replay kernel: auto (vectorized when numpy is available), "
+        "python (scalar replayer), numpy (vectorized; exit 2 when numpy "
+        "is missing) — both are bit-identical (docs/performance.md)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     verify = sub.add_parser(
@@ -838,7 +869,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare",
         metavar="PATH",
         help="diff against a baseline BENCH_sim.json; exit 1 when a "
-        "replay/streaming phase regresses more than 20%%",
+        "replay/streaming/vector phase regresses more than 20%%",
+    )
+    perf.add_argument(
+        "--kernel",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="replay kernel for the vector_s column: auto/numpy time "
+        "the vectorized kernel (numpy insists it is installed, exit 2 "
+        "otherwise), python skips the column",
     )
     perf.set_defaults(fn=_cmd_perf)
 

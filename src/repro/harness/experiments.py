@@ -86,6 +86,7 @@ class SuiteRunner:
         jobs: int = 1,
         cache: ArtifactCache | None = None,
         insight: bool = False,
+        kernel: str = "auto",
     ):
         self.engine = ExperimentEngine(
             scale=scale,
@@ -95,6 +96,7 @@ class SuiteRunner:
             cache=cache,
             jobs=jobs,
             insight=insight,
+            kernel=kernel,
         )
 
     @property

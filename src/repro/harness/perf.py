@@ -6,16 +6,21 @@ Times the three phases of the packed-trace pipeline per benchmark × ISA
 * **capture**  — functional execution + packing into a
   :class:`~repro.sim.packed.PackedTrace`;
 * **replay**   — :meth:`~repro.sim.engine.TimingEngine.run_packed` over
-  the flat arrays (what every warm sweep point costs);
+  the flat arrays (the scalar Python replayer);
 * **streaming** — the original single-pass pipeline
   (:func:`~repro.sim.run.simulate_streaming`), the baseline replay is
-  measured against.
+  measured against;
+* **vector**   — the vectorized column kernel
+  (:mod:`repro.sim.vector`), timed *warm*: one untimed replay first
+  builds the kernel's per-trace prep columns and proves its fast paths,
+  then the timed replay measures what every subsequent sweep point
+  costs. Skipped (no ``vector_s`` column) when numpy is absent or
+  ``kernel='python'`` is forced.
 
-Every replay is asserted bit-identical to the streaming run
-(``dataclasses.asdict`` equality) so the artifact doubles as an
-end-to-end correctness check — CI's perf-smoke job fails on
-``stats_match: false`` even though the timings themselves are
-non-gating. The document is schema-versioned
+Every replay — scalar and vectorized — is asserted bit-identical to the
+streaming run (``dataclasses.asdict`` equality) so the artifact doubles
+as an end-to-end correctness check — CI's perf-smoke job fails on
+``stats_match: false`` or ``vector_match: false``. The document is schema-versioned
 (:data:`~repro.obs.schema.BENCH_SCHEMA_ID`) and validated by
 ``python -m repro.obs.schema BENCH_sim.json``.
 
@@ -34,6 +39,7 @@ from time import perf_counter
 from repro.core.toolchain import Toolchain
 from repro.obs.schema import BENCH_SCHEMA_ID
 from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.sim import vector
 from repro.sim.config import MachineConfig
 from repro.sim.run import capture_run, replay_captured, simulate_streaming
 from repro.workloads import SUITE
@@ -55,10 +61,12 @@ def benchmark_one(
     scale: float,
     config: MachineConfig | None = None,
     telemetry: Telemetry | None = None,
+    kernel: str = "auto",
 ) -> list[dict]:
     """Capture/replay/streaming timings for one benchmark, both ISAs."""
     config = config or MachineConfig()
     tel = telemetry if telemetry is not None else get_telemetry()
+    time_vector = kernel != "python" and vector.HAVE_NUMPY
     source = SUITE[benchmark].source(scale)
     start = perf_counter()
     pair = Toolchain().compile(source, benchmark)
@@ -73,28 +81,43 @@ def benchmark_one(
         )
         replayed, replay_s = _timed(
             tel, "perf.replay",
-            lambda: replay_captured(captured, config), **labels
+            lambda: replay_captured(captured, config, kernel="python"),
+            **labels
         )
         streamed, streaming_s = _timed(
             tel, "perf.streaming",
             lambda: simulate_streaming(program, isa, config), **labels
         )
-        entries.append(
-            {
-                "benchmark": benchmark,
-                "isa": isa,
-                "compile_s": compile_s,
-                "capture_s": capture_s,
-                "replay_s": replay_s,
-                "streaming_s": streaming_s,
-                "units": captured.trace.num_units,
-                "ops": captured.trace.num_ops,
-                "trace_bytes": captured.trace.nbytes,
-                "cycles": replayed.cycles,
-                "stats_match": dataclasses.asdict(replayed)
-                == dataclasses.asdict(streamed),
-            }
-        )
+        entry = {
+            "benchmark": benchmark,
+            "isa": isa,
+            "compile_s": compile_s,
+            "capture_s": capture_s,
+            "replay_s": replay_s,
+            "streaming_s": streaming_s,
+            "units": captured.trace.num_units,
+            "ops": captured.trace.num_ops,
+            "trace_bytes": captured.trace.nbytes,
+            "cycles": replayed.cycles,
+            "stats_match": dataclasses.asdict(replayed)
+            == dataclasses.asdict(streamed),
+        }
+        if time_vector:
+            # Warm-up replay (untimed): builds the kernel's cached prep
+            # columns and runs its one-time exactness proofs, so the
+            # timed replay below measures the steady-state cost a sweep
+            # pays per config point (docs/performance.md).
+            replay_captured(captured, config, kernel="numpy")
+            vectored, vector_s = _timed(
+                tel, "perf.vector",
+                lambda: replay_captured(captured, config, kernel="numpy"),
+                **labels
+            )
+            entry["vector_s"] = vector_s
+            entry["vector_match"] = dataclasses.asdict(
+                vectored
+            ) == dataclasses.asdict(streamed)
+        entries.append(entry)
     return entries
 
 
@@ -102,7 +125,7 @@ def _totals(entries: list[dict]) -> dict:
     capture_s = sum(e["capture_s"] for e in entries)
     replay_s = sum(e["replay_s"] for e in entries)
     streaming_s = sum(e["streaming_s"] for e in entries)
-    return {
+    totals = {
         "capture_s": capture_s,
         "replay_s": replay_s,
         "streaming_s": streaming_s,
@@ -114,8 +137,21 @@ def _totals(entries: list[dict]) -> dict:
             if capture_s + replay_s
             else 0.0
         ),
-        "stats_match": all(e["stats_match"] for e in entries),
+        "stats_match": all(e["stats_match"] for e in entries)
+        and all(e.get("vector_match", True) for e in entries),
     }
+    if entries and all("vector_s" in e for e in entries):
+        vector_s = sum(e["vector_s"] for e in entries)
+        totals["vector_s"] = vector_s
+        #: streaming -> vector: the full-pipeline speedup
+        totals["speedup_vector"] = (
+            streaming_s / vector_s if vector_s else 0.0
+        )
+        #: python replay -> vector replay: ISSUE 8's >=5x target
+        totals["replay_vs_vector"] = (
+            replay_s / vector_s if vector_s else 0.0
+        )
+    return totals
 
 
 def benchmark_suite(
@@ -123,17 +159,21 @@ def benchmark_suite(
     scale: float,
     config: MachineConfig | None = None,
     telemetry: Telemetry | None = None,
+    kernel: str = "auto",
 ) -> dict:
     """The full ``BENCH_sim.json`` document for *benchmarks*."""
     entries: list[dict] = []
     for benchmark in benchmarks:
-        entries.extend(benchmark_one(benchmark, scale, config, telemetry))
+        entries.extend(
+            benchmark_one(benchmark, scale, config, telemetry, kernel)
+        )
     return {
         "schema": BENCH_SCHEMA_ID,
         "meta": {
             "command": "perf",
             "benchmarks": list(benchmarks),
             "scale": scale,
+            "kernel": kernel,
         },
         "benchmarks": entries,
         "totals": _totals(entries),
@@ -144,10 +184,11 @@ def benchmark_suite(
 #: more than this much slower than the committed baseline.
 REGRESSION_THRESHOLD = 0.20
 
-_COMPARE_FIELDS = ("capture_s", "replay_s", "streaming_s")
+_COMPARE_FIELDS = ("capture_s", "replay_s", "streaming_s", "vector_s")
 #: capture_s is informational (it runs once per sweep); the sim phases
-#: are what ROADMAP item 1's trajectory gates on.
-_GATED_FIELDS = ("replay_s", "streaming_s")
+#: are what ROADMAP item 1's trajectory gates on. vector_s only gates
+#: when both documents carry it (numpy present on both sides).
+_GATED_FIELDS = ("replay_s", "streaming_s", "vector_s")
 
 
 def compare_documents(
@@ -166,7 +207,7 @@ def compare_documents(
     }
     lines = [
         f"{'benchmark':12s} {'isa':13s} {'capture':>9s} {'replay':>9s} "
-        f"{'streaming':>9s}  vs baseline"
+        f"{'streaming':>9s} {'vector':>9s}  vs baseline"
     ]
     regressions: list[str] = []
     for entry in new["benchmarks"]:
@@ -175,12 +216,13 @@ def compare_documents(
         if base is None:
             lines.append(
                 f"{entry['benchmark']:12s} {entry['isa']:13s} "
-                f"{'—':>9s} {'—':>9s} {'—':>9s}  (no baseline entry)"
+                f"{'—':>9s} {'—':>9s} {'—':>9s} {'—':>9s}  "
+                f"(no baseline entry)"
             )
             continue
         deltas = []
         for field in _COMPARE_FIELDS:
-            if base[field] > 0:
+            if field in entry and base.get(field, 0) > 0:
                 deltas.append(
                     f"{100.0 * (entry[field] - base[field]) / base[field]:+8.1f}%"
                 )
@@ -191,6 +233,8 @@ def compare_documents(
             + " ".join(deltas)
         )
         for field in _GATED_FIELDS:
+            if field not in entry or field not in base:
+                continue
             if base[field] > 0 and entry[field] > base[field] * (
                 1.0 + threshold
             ):
@@ -213,19 +257,47 @@ def render(doc: dict) -> str:
     """Human-readable table of one perf document."""
     lines = [
         f"{'benchmark':12s} {'isa':13s} {'capture':>9s} {'replay':>9s} "
-        f"{'streaming':>9s} {'warm x':>7s} {'ops':>10s} match"
+        f"{'streaming':>9s} {'vector':>9s} {'warm x':>7s} {'vec x':>7s} "
+        f"{'ops':>10s} match"
     ]
     for e in doc["benchmarks"]:
         warm = e["streaming_s"] / e["replay_s"] if e["replay_s"] else 0.0
+        if "vector_s" in e:
+            vec_col = f"{e['vector_s']:8.3f}s"
+            vec_x = (
+                f"{e['replay_s'] / e['vector_s']:6.2f}x"
+                if e["vector_s"]
+                else f"{'—':>7s}"
+            )
+            match = (
+                "ok"
+                if e["stats_match"] and e.get("vector_match", True)
+                else "MISMATCH"
+            )
+        else:
+            vec_col = f"{'—':>9s}"
+            vec_x = f"{'—':>7s}"
+            match = "ok" if e["stats_match"] else "MISMATCH"
         lines.append(
             f"{e['benchmark']:12s} {e['isa']:13s} {e['capture_s']:8.3f}s "
-            f"{e['replay_s']:8.3f}s {e['streaming_s']:8.3f}s {warm:6.2f}x "
-            f"{e['ops']:10,d} {'ok' if e['stats_match'] else 'MISMATCH'}"
+            f"{e['replay_s']:8.3f}s {e['streaming_s']:8.3f}s {vec_col} "
+            f"{warm:6.2f}x {vec_x} {e['ops']:10,d} {match}"
         )
     t = doc["totals"]
+    if "vector_s" in t:
+        tail = (
+            f"{t['vector_s']:8.3f}s {t['speedup_warm']:6.2f}x "
+            f"(vector {t['speedup_vector']:.2f}x vs streaming, "
+            f"{t['replay_vs_vector']:.2f}x vs python replay, "
+            f"cold {t['speedup_cold']:.2f}x)"
+        )
+    else:
+        tail = (
+            f"{'—':>9s} {t['speedup_warm']:6.2f}x "
+            f"(cold {t['speedup_cold']:.2f}x)"
+        )
     lines.append(
         f"{'total':12s} {'':13s} {t['capture_s']:8.3f}s "
-        f"{t['replay_s']:8.3f}s {t['streaming_s']:8.3f}s "
-        f"{t['speedup_warm']:6.2f}x (cold {t['speedup_cold']:.2f}x)"
+        f"{t['replay_s']:8.3f}s {t['streaming_s']:8.3f}s " + tail
     )
     return "\n".join(lines)

@@ -184,6 +184,10 @@ _BENCH_TOTAL_NUMBERS = (
     "speedup_warm",
     "speedup_cold",
 )
+#: Present only when the vectorized replay kernel ran (numpy installed
+#: and the kernel not forced to 'python') — validated when present.
+_BENCH_ENTRY_VECTOR_NUMBERS = ("vector_s",)
+_BENCH_TOTAL_VECTOR_NUMBERS = ("vector_s", "speedup_vector", "replay_vs_vector")
 
 
 def bench_document_errors(doc) -> list[str]:
@@ -215,6 +219,15 @@ def bench_document_errors(doc) -> list[str]:
                 errors.append(f"{where}: {field} must be a non-negative number")
         if not isinstance(entry.get("stats_match"), bool):
             errors.append(f"{where}: stats_match must be a bool")
+        for field in _BENCH_ENTRY_VECTOR_NUMBERS:
+            if field in entry and (
+                not isinstance(entry[field], _NUMBER) or entry[field] < 0
+            ):
+                errors.append(f"{where}: {field} must be a non-negative number")
+        if "vector_match" in entry and not isinstance(
+            entry["vector_match"], bool
+        ):
+            errors.append(f"{where}: vector_match must be a bool")
     totals = doc.get("totals")
     if not isinstance(totals, dict):
         errors.append("totals must be an object")
@@ -224,6 +237,9 @@ def bench_document_errors(doc) -> list[str]:
                 errors.append(f"totals.{field} must be a number")
         if not isinstance(totals.get("stats_match"), bool):
             errors.append("totals.stats_match must be a bool")
+        for field in _BENCH_TOTAL_VECTOR_NUMBERS:
+            if field in totals and not isinstance(totals[field], _NUMBER):
+                errors.append(f"totals.{field} must be a number")
     return errors
 
 

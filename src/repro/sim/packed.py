@@ -96,7 +96,7 @@ def _native(arr: array) -> array:
 class PackedTrace:
     """One captured fetch-unit stream as flat columns."""
 
-    __slots__ = tuple(name for name, _ in _COLUMNS) + ("_spans",)
+    __slots__ = tuple(name for name, _ in _COLUMNS) + ("_spans", "_vprep")
 
     def __init__(
         self,
@@ -125,6 +125,9 @@ class PackedTrace:
         self.deps = deps
         #: line_bytes -> (first_line array, last_line array)
         self._spans: dict[int, tuple[array, array]] = {}
+        #: repro.sim.vector's per-trace prep cache (column decodings and
+        #: per-geometry cache-outcome vectors); same lifecycle as _spans
+        self._vprep: dict = {}
 
     # -- capture -------------------------------------------------------
 
@@ -341,6 +344,7 @@ class PackedTrace:
         for name, _ in _COLUMNS:
             setattr(self, name, getattr(other, name))
         self._spans = {}
+        self._vprep = {}
 
     # -- comparison / debugging ----------------------------------------
 

@@ -31,10 +31,20 @@ from repro.exec.block import BlockExecutor, BlockStats
 from repro.exec.conventional import ConventionalExecutor, ConventionalStats
 from repro.isa.program import BlockProgram, ConventionalProgram
 from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.sim import vector
 from repro.sim.config import MachineConfig
 from repro.sim.engine import TimingEngine, TimingStats
 from repro.sim.packed import PackedTrace
 from repro.sim.predictors import BlockPredictor, GsharePredictor
+
+#: Replay kernel names accepted by :func:`replay_captured` (and the
+#: CLI's ``--kernel``). ``auto`` uses the vectorized kernel when numpy
+#: is importable and the trace/config shape is covered, silently
+#: falling back to the Python replayer otherwise; ``numpy`` insists on
+#: numpy being present (unsupported shapes still fall back — the two
+#: paths are bit-identical, so the fallback is a speed matter only);
+#: ``python`` never touches numpy.
+VALID_KERNELS = ("auto", "python", "numpy")
 
 
 @dataclass
@@ -318,20 +328,42 @@ def replay_captured(
     config: MachineConfig | None = None,
     telemetry: Telemetry | None = None,
     insight=None,
+    kernel: str = "auto",
 ) -> SimResult:
     """Replay a captured run under *config*; bit-identical to the
     streaming path for any config sharing the capture's
     :func:`predictor_key`. Pass an
     :class:`~repro.insight.InsightCollector` as *insight* to accumulate
-    cycle-accounting and fetch-rate analytics alongside."""
+    cycle-accounting and fetch-rate analytics alongside.
+
+    *kernel* selects the replay implementation (:data:`VALID_KERNELS`):
+    the vectorized column kernel (:mod:`repro.sim.vector`) and the
+    scalar :meth:`~repro.sim.engine.TimingEngine.run_packed` loop
+    produce bit-identical results — all integer fields, no tolerance —
+    so the choice only affects speed (docs/performance.md)."""
     config = config or MachineConfig()
+    kern = kernel if kernel is not None else "auto"
+    if kern not in VALID_KERNELS:
+        raise SimulationError(
+            f"unknown replay kernel {kernel!r}; choose from "
+            f"{', '.join(VALID_KERNELS)}"
+        )
+    if kern == "numpy" and not vector.HAVE_NUMPY:
+        raise SimulationError(
+            "replay kernel 'numpy' requested but numpy is not "
+            "importable; install numpy or use the 'python' kernel"
+        )
     tel = telemetry if telemetry is not None else get_telemetry()
     atomic = captured.isa == "block"
     engine = TimingEngine(
         config, atomic_window=atomic, telemetry=tel, insight=insight
     )
     with tel.span("sim.simulate", benchmark=captured.name, isa=captured.isa):
-        timing = engine.run_packed(captured.trace)
+        timing = None
+        if kern != "python":
+            timing = vector.replay_packed_vector(engine, captured.trace)
+        if timing is None:
+            timing = engine.run_packed(captured.trace)
     build = _block_result if atomic else _conventional_result
     result = build(
         captured.name,
@@ -356,6 +388,7 @@ def simulate_conventional(
     telemetry: Telemetry | None = None,
     captured: CapturedRun | None = None,
     insight=None,
+    kernel: str = "auto",
 ) -> SimResult:
     """Run a timed simulation of a conventional-ISA program.
 
@@ -370,7 +403,9 @@ def simulate_conventional(
         raise SimulationError(
             f"captured trace is {captured.isa!r}, expected 'conventional'"
         )
-    return replay_captured(captured, config, telemetry, insight=insight)
+    return replay_captured(
+        captured, config, telemetry, insight=insight, kernel=kernel
+    )
 
 
 def simulate_block_structured(
@@ -379,6 +414,7 @@ def simulate_block_structured(
     telemetry: Telemetry | None = None,
     captured: CapturedRun | None = None,
     insight=None,
+    kernel: str = "auto",
 ) -> SimResult:
     """Run a timed simulation of a block-structured ISA program."""
     config = config or MachineConfig()
@@ -388,7 +424,9 @@ def simulate_block_structured(
         raise SimulationError(
             f"captured trace is {captured.isa!r}, expected 'block'"
         )
-    return replay_captured(captured, config, telemetry, insight=insight)
+    return replay_captured(
+        captured, config, telemetry, insight=insight, kernel=kernel
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,1229 @@
+"""Vectorized packed-trace replay: the hot loop at column speed.
+
+:func:`replay_packed_vector` replays a :class:`~repro.sim.packed.PackedTrace`
+on a :class:`~repro.sim.engine.TimingEngine` and produces
+:class:`~repro.sim.engine.TimingStats` **bit-identical** to
+``TimingEngine.run_packed`` — same integer counters, same event stream,
+same :class:`~repro.insight.InsightCollector` feed. There is no
+float-batching tolerance to document: every quantity the kernel computes
+is integer arithmetic, so equality with the scalar replayer is exact,
+not approximate (enforced by the three-way differential tests in
+``tests/test_vector_kernel.py``).
+
+The design splits the replay into three ingredients:
+
+* **timing-independent precompute**, fully vectorized over whole columns
+  and cached on the trace (``PackedTrace._vprep``): dependence columns
+  decoded once, :func:`span_lines` expands the icache line spans into
+  the flat access stream, LRU hit/miss outcomes come from
+  :func:`lru_hits` (cache behaviour is a pure function of the access
+  *sequence*, never of prior hit results), per-unit fetch costs and
+  effective op latencies with dcache-miss penalties folded in;
+* a **lean serial spine** carrying only the values with genuine
+  loop-carried dependences (fetch redirect chains and producer→consumer
+  completion times over the dense dep edges); the precomputed
+  :func:`wavefront_levels` bound how deep those chains can reach, and
+  on the fastest path the spine degenerates to pure array scans;
+* **closed-form retirement**: the in-order ``retire_width``-limited
+  retirement recurrence has exact solution
+  ``r[m] = max_j (ready[j] + (m - j) // W)``, which :func:`retire_scan`
+  evaluates with a handful of ``maximum.accumulate`` calls per
+  wavefront instead of per-op bookkeeping (atomic blocks retire through
+  an O(1) per-block closed form instead).
+
+Function-unit contention and (on the fastest path) window gating are
+handled *optimistically*: the spine assumes they never bind, then a
+vectorized post-pass proves it (per-cycle issue counts via ``bincount``,
+window release times against dispatch cycles). The proof is an induction
+on the first would-be violation: if the optimistic schedule never
+exceeds a capacity, the serial engine made identical decisions at every
+step. When validation fails, the kernel re-runs the spine with that
+resource modeled exactly; shapes the kernel does not model (mixed
+atomic/non-atomic streams, malformed resolve indices, zero-op
+conventional units) make :func:`replay_packed_vector` return ``None``
+and the caller falls back to the scalar replayer — never silently
+wrong, at worst slower.
+
+``numpy`` is optional everywhere: when absent ``HAVE_NUMPY`` is False,
+:func:`replay_packed_vector` returns ``None``, and
+:func:`repro.sim.run.replay_captured` silently keeps using the scalar
+loop (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.obs.events import (
+    EV_FAULT_SQUASH,
+    EV_FETCH,
+    EV_ICACHE_MISS,
+    EV_REDIRECT,
+    EV_RETIRE,
+)
+from repro.obs.telemetry import get_telemetry
+from repro.sim.cache import PerfectCache
+from repro.sim.packed import F_ATOMIC, F_MISPREDICT, F_SQUASHED, PackedTrace
+
+try:  # pragma: no cover - exercised via the monkeypatched-import tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: True when the vectorized kernel can run at all.
+HAVE_NUMPY = _np is not None
+
+#: Replays served by the vectorized kernel (tests assert it actually ran).
+KERNEL_RUNS = 0
+#: Replays the kernel declined (unsupported shape / numpy absent); the
+#: caller falls back to ``TimingEngine.run_packed``.
+FALLBACKS = 0
+
+#: Sentinel low enough that ``_NEG - row + row`` can never beat a real
+#: retire candidate (completion times are non-negative).
+_NEG = -(1 << 60)
+
+
+# ---------------------------------------------------------------------------
+# Primitives (property-tested against scalar references)
+# ---------------------------------------------------------------------------
+
+
+def span_lines(first, last):
+    """Expand per-unit icache line spans ``[first, last]`` into the flat
+    per-line access sequence the engine performs.
+
+    Returns ``(flat, starts)``: ``flat`` holds every accessed line in
+    stream order; unit *u* accesses ``flat[starts[u]:starts[u] +
+    (last[u] - first[u] + 1)]``.
+    """
+    first = _np.asarray(first, dtype=_np.int64)
+    last = _np.asarray(last, dtype=_np.int64)
+    nlines = last - first + 1
+    total = int(nlines.sum())
+    starts = _np.cumsum(nlines) - nlines
+    offsets = _np.arange(total, dtype=_np.int64) - _np.repeat(starts, nlines)
+    return _np.repeat(first, nlines) + offsets, starts
+
+
+def lru_hits(lines, num_sets, assoc):
+    """Hit/miss outcome per access for a set-associative LRU cache.
+
+    Exact for :class:`repro.sim.cache.Cache`: whether access *t* hits
+    depends only on which distinct same-set lines were touched since the
+    previous access to the same line — never on earlier hit/miss
+    outcomes — so the whole vector is decidable from the sequence alone.
+    Consecutive accesses to the same line always hit without disturbing
+    LRU order, which removes ~30-55% of a real stream before the
+    residual move-to-front pass.
+    """
+    lines = _np.asarray(lines, dtype=_np.int64)
+    n = len(lines)
+    hits = _np.zeros(n, dtype=bool)
+    if n == 0:
+        return hits
+    keep = _np.empty(n, dtype=bool)
+    keep[0] = True
+    _np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    hits[~keep] = True  # consecutive duplicates always hit
+    idx = _np.flatnonzero(keep)
+    sub = lines[idx].tolist()
+    out = [False] * len(sub)
+    sets: dict = {}
+    for k, line in enumerate(sub):
+        s = line % num_sets
+        ways = sets.get(s)
+        if ways is None:
+            ways = sets[s] = []
+        try:
+            ways.remove(line)
+        except ValueError:
+            if len(ways) >= assoc:
+                ways.pop()
+        else:
+            out[k] = True
+        ways.insert(0, line)
+    hits[idx] = out
+    return hits
+
+
+def retire_scan(mins, width, carry=None):
+    """Exact vectorized in-order bandwidth-limited retirement.
+
+    ``mins[m]`` is the earliest cycle op *m* may retire (its completion
+    time + 1). Returns ``(retire, carry)`` where ``retire[m]`` equals
+    the serial engine's ``retire_cycle`` after retiring op *m*, and
+    ``carry`` seeds the next wavefront (the last ``width`` retire
+    cycles). The serial recurrence
+
+        ``r[m] = max(mins[m], r[m-1], r[m-width] + 1)``
+
+    has least solution ``r[m] = max_{j<=m}(mins[j] + (m-j)//width)``;
+    splitting positions by residue class modulo ``width`` turns that
+    into row/column running maxima over a ``(blocks, width)`` grid.
+    """
+    width = int(width)
+    mins = _np.asarray(mins, dtype=_np.int64)
+    m = len(mins)
+    if carry is None:
+        # The engine's cold state (retire_cycle=0) behaves like a full
+        # wavefront retired at cycle 0 — it never binds because every
+        # real candidate is >= 1.
+        carry = _np.zeros(width, dtype=_np.int64)
+    if m == 0:
+        return _np.empty(0, dtype=_np.int64), carry
+    vals = _np.concatenate([carry, mins])
+    length = width + m
+    nblocks = -(-length // width)
+    pad = nblocks * width - length
+    if pad:
+        vals = _np.concatenate([vals, _np.full(pad, _NEG, dtype=_np.int64)])
+    rows = _np.arange(nblocks, dtype=_np.int64)[:, None]
+    grid = _np.maximum.accumulate(vals.reshape(nblocks, width) - rows, axis=0)
+    # Best candidate from columns <= t of any row <= r ...
+    left = _np.maximum.accumulate(grid, axis=1)
+    # ... and from columns > t, which cost one fewer whole block.
+    right = _np.full_like(grid, _NEG)
+    if width > 1:
+        right[:, :-1] = _np.maximum.accumulate(
+            grid[:, ::-1], axis=1
+        )[:, ::-1][:, 1:]
+    out = left + rows
+    out[1:] = _np.maximum(out[1:], right[:-1] + rows[1:] - 1)
+    out = out.reshape(-1)[width:width + m]
+    if m >= width:
+        carry = out[-width:].copy()
+    else:
+        carry = _np.concatenate([carry[m - width:], out])
+    return out, carry
+
+
+def wavefront_levels(dep_start, deps, num_ops):
+    """Dataflow level per op: 0 for ops with no producers, else
+    ``1 + max(level[producer])``.
+
+    The packed dep columns are topologically ordered (producers precede
+    consumers), so one forward sweep levelizes the whole DAG; ops
+    sharing a level form a wavefront that could resolve together. Used
+    by the differential tests to cross-check the spine's dependence
+    resolution and by trace analytics.
+    """
+    levels = [0] * num_ops
+    for i in range(num_ops):
+        top = -1
+        for d in range(dep_start[i], dep_start[i + 1]):
+            lvl = levels[deps[d]]
+            if lvl > top:
+                top = lvl
+        levels[i] = top + 1
+    return _np.array(levels, dtype=_np.int64) if _np is not None else levels
+
+
+# ---------------------------------------------------------------------------
+# Per-trace / per-geometry precompute (cached on the trace)
+# ---------------------------------------------------------------------------
+
+
+def _base_prep(trace: PackedTrace) -> dict:
+    """Config-independent column decodings, cached on the trace."""
+    prep = trace._vprep.get("base")
+    if prep is not None:
+        return prep
+    n = trace.num_ops
+    uos = _np.frombuffer(trace.unit_op_start, dtype=_np.int64)
+    uflags = _np.frombuffer(trace.unit_flags, dtype=_np.uint8)
+    resolve = _np.frombuffer(trace.unit_resolve, dtype=_np.int64)
+    lat = _np.frombuffer(trace.op_lat, dtype=_np.int64)
+    mem = _np.frombuffer(trace.op_mem, dtype=_np.int64)
+    oflags = _np.frombuffer(trace.op_flags, dtype=_np.uint8)
+    dep_start = _np.frombuffer(trace.op_dep_start, dtype=_np.int64)
+    dep_col = _np.frombuffer(trace.deps, dtype=_np.int64)
+
+    squashed = (uflags & F_SQUASHED) != 0
+    mispredict = (uflags & F_MISPREDICT) != 0
+    atomic = (uflags & F_ATOMIC) != 0
+    nops = _np.diff(uos)
+
+    dep_count = _np.diff(dep_start)
+    dbase = dep_start[:-1]
+
+    def nth_dep(k):
+        out = _np.full(n, -1, dtype=_np.int64)
+        mask = dep_count > k
+        out[mask] = dep_col[dbase[mask] + k]
+        return out
+
+    # The spine's per-op record: up to three producers plus the base
+    # latency in one tuple — a single list index in the hot loop.
+    ops = list(
+        zip(
+            nth_dep(0).tolist(),
+            nth_dep(1).tolist(),
+            nth_dep(2).tolist(),
+            lat.tolist(),
+        )
+    )
+    extras = {
+        int(i): dep_col[dbase[i] + 3:dep_start[i + 1]].tolist()
+        for i in _np.flatnonzero(dep_count > 3)
+    }
+    dmask = mem >= 0
+    prep = {
+        "uos": uos,
+        "uos_l": uos.tolist(),
+        "nops": nops,
+        "squashed": squashed,
+        "mispredict": mispredict,
+        "atomic": atomic,
+        "sq_l": squashed.tolist(),
+        "mis_l": mispredict.tolist(),
+        "at_l": atomic.tolist(),
+        "res_l": resolve.tolist(),
+        "resolve": resolve,
+        "lat": lat,
+        "ops": ops,
+        "extras": extras,
+        "dmask": dmask,
+        "dacc": int(dmask.sum()),
+        "dmem": mem[dmask],
+        "dload": (oflags[dmask] & 1) != 0,
+        "redirects": int((squashed | mispredict).sum()),
+        "squashed_ops": int(nops[squashed].sum()),
+    }
+    trace._vprep["base"] = prep
+    return prep
+
+
+def _icache_prep(trace, cache, line_bytes, want_flat):
+    """Per-unit icache access counts and miss outcomes for a geometry."""
+    perfect = isinstance(cache, PerfectCache)
+    key = (
+        ("ic", line_bytes)
+        if perfect
+        else ("ic", line_bytes, cache.num_sets, cache.config.assoc)
+    )
+    prep = trace._vprep.get(key)
+    if prep is None:
+        first, last = trace.line_spans(line_bytes)
+        first = _np.frombuffer(first, dtype=_np.int64)
+        last = _np.frombuffer(last, dtype=_np.int64)
+        nlines = last - first + 1
+        prep = {
+            "first": first,
+            "last": last,
+            "nlines": nlines,
+            "accesses": int(nlines.sum()),
+        }
+        if perfect:
+            prep["unit_miss"] = _np.zeros(len(nlines), dtype=_np.int64)
+            prep["misses"] = 0
+        else:
+            flat, starts = span_lines(first, last)
+            miss = ~lru_hits(flat, cache.num_sets, cache.config.assoc)
+            prep["flat"] = flat
+            prep["starts"] = starts
+            prep["miss_flags"] = miss
+            prep["unit_miss"] = (
+                _np.add.reduceat(miss.astype(_np.int64), starts)
+                if len(flat)
+                else _np.zeros(len(nlines), dtype=_np.int64)
+            )
+            prep["misses"] = int(miss.sum())
+        trace._vprep[key] = prep
+    if want_flat and "flat" not in prep:
+        flat, starts = span_lines(prep["first"], prep["last"])
+        prep["flat"] = flat
+        prep["starts"] = starts
+        prep["miss_flags"] = _np.zeros(len(flat), dtype=bool)
+    return prep
+
+
+def _dcache_prep(trace, base, cache, line_bytes):
+    """Dcache miss outcomes (and which loads miss) for one geometry."""
+    perfect = isinstance(cache, PerfectCache)
+    key = (
+        ("dc",)
+        if perfect
+        else ("dc", line_bytes, cache.num_sets, cache.config.assoc)
+    )
+    prep = trace._vprep.get(key)
+    if prep is None:
+        if perfect:
+            prep = {"misses": 0, "miss_load_idx": ()}
+        else:
+            dlines = base["dmem"] // line_bytes
+            miss = ~lru_hits(dlines, cache.num_sets, cache.config.assoc)
+            miss_load = _np.zeros(trace.num_ops, dtype=bool)
+            miss_load[base["dmask"]] = miss & base["dload"]
+            prep = {
+                "misses": int(miss.sum()),
+                "miss_load_idx": tuple(
+                    int(i) for i in _np.flatnonzero(miss_load)
+                ),
+            }
+        trace._vprep[key] = prep
+    return prep
+
+
+def _fetch_prep(trace, ic, l2, fetch_lines):
+    """Per-unit fetch-cycle counts and stalls for (geometry, l2, width)."""
+    key = ("fetch", l2, fetch_lines, id(ic))
+    prep = trace._vprep.get(key)
+    if prep is None:
+        nlines = ic["nlines"]
+        fc = (nlines + fetch_lines - 1) // fetch_lines
+        stall = _np.where(ic["unit_miss"] > 0, l2, 0)
+        adv = fc - 1 + stall  # fetch_end - fetch, per unit
+        prep = {
+            "fc_l": fc.tolist(),
+            "stall_l": stall.tolist(),
+            "adv_l": adv.tolist(),
+            "fetch_stall": int(stall.sum() + (fc - 1).sum()),
+        }
+        trace._vprep[key] = prep
+    return prep
+
+
+def _lat_prep(trace, base, dc, l2):
+    """Spine op tuples / latency vector with dcache-miss l2 folded in."""
+    key = ("lat", l2, tuple(dc["miss_load_idx"]))
+    prep = trace._vprep.get(key)
+    if prep is None:
+        idx = dc["miss_load_idx"]
+        if idx:
+            ops = list(base["ops"])
+            lat_eff = base["lat"].copy()
+            for i in idx:
+                p1, p2, p3, lt = ops[i]
+                ops[i] = (p1, p2, p3, lt + l2)
+                lat_eff[i] += l2
+        else:
+            ops = base["ops"]
+            lat_eff = base["lat"]
+        prep = {"ops": ops, "lat_eff": lat_eff}
+        trace._vprep[key] = prep
+    return prep
+
+
+# ---------------------------------------------------------------------------
+# The replay kernel
+# ---------------------------------------------------------------------------
+
+
+def replay_packed_vector(engine, trace: PackedTrace):
+    """Replay *trace* on *engine* at column speed.
+
+    On success: fills ``engine.stats``, mirrors cache counters onto
+    ``engine.icache``/``engine.dcache``, feeds the engine's insight
+    collector and telemetry event trace exactly as ``run_packed`` would,
+    and returns the stats object. Returns ``None`` when the kernel
+    cannot guarantee bit-exactness for this trace/config shape — the
+    caller must then run ``engine.run_packed`` on the (untouched)
+    engine.
+    """
+    global KERNEL_RUNS, FALLBACKS
+    if _np is None:
+        FALLBACKS += 1
+        return None
+
+    config = engine.config
+    atomic_window = engine.atomic_window
+    tel = engine.telemetry if engine.telemetry is not None else get_telemetry()
+    events = tel.trace if tel.enabled else None
+    ins = engine.insight
+    stats = engine.stats
+
+    nu = trace.num_units
+    if nu == 0:
+        stats.cycles = 1
+        if ins is not None:
+            ins.finish(1, 0)
+        KERNEL_RUNS += 1
+        return stats
+
+    base = _base_prep(trace)
+    squashed = base["squashed"]
+    mispredict = base["mispredict"]
+    atomic = base["atomic"]
+    nops_v = base["nops"]
+    resolve = base["resolve"]
+
+    # Shapes the kernel does not model: fall back (exactness first).
+    flagged = squashed | mispredict
+    if bool(_np.any(flagged & ((resolve < 0) | (resolve >= nops_v)))):
+        FALLBACKS += 1
+        return None  # the scalar path raises SimulationError
+    if atomic_window:
+        if bool(_np.any(~atomic & ~squashed)):
+            FALLBACKS += 1
+            return None
+    else:
+        if (
+            bool(_np.any(atomic | squashed))
+            or bool(_np.any(nops_v == 0))
+            or int(nops_v.max()) > config.window_ops
+        ):
+            FALLBACKS += 1
+            return None
+
+    line_bytes = (
+        config.icache.line_bytes if config.icache is not None else 64
+    )
+    dline_bytes = (
+        config.dcache.line_bytes if config.dcache is not None else 64
+    )
+    l2 = config.l2_latency
+    ic = _icache_prep(trace, engine.icache, line_bytes, events is not None)
+    dc = _dcache_prep(trace, base, engine.dcache, dline_bytes)
+    fetch = _fetch_prep(trace, ic, l2, config.fetch_lines)
+    lat = _lat_prep(trace, base, dc, l2)
+
+    need_aux = events is not None or ins is not None
+    # Pass-choice memo key: which spine variant is exact for this
+    # (trace, config) pair. The ic/dc prep dicts are cached per
+    # geometry on the trace, so their ids identify the geometry.
+    sig = (
+        config.fu_count, config.window_ops, config.window_blocks,
+        config.retire_width, config.frontend_depth,
+        config.mispredict_penalty, l2, config.fetch_lines,
+        id(ic), id(dc),
+    )
+    if atomic_window:
+        run = _block_replay(engine, base, fetch, lat, need_aux, sig)
+    else:
+        run = _conv_replay(engine, base, fetch, lat, need_aux, sig)
+    (completes, unit_retire_l, wstall, rstall, next_fetch, max_cycle,
+     gap_l, wd_l) = run
+
+    n = trace.num_ops
+    sq_ops = base["squashed_ops"]
+    unit0 = stats.fetched_units  # events number units from prior state
+    stats.fetched_units += nu
+    stats.fetched_ops += n
+    stats.retired_ops += n - sq_ops
+    stats.squashed_ops += sq_ops
+    stats.redirects += base["redirects"]
+    stats.icache_accesses += ic["accesses"]
+    stats.icache_misses += ic["misses"]
+    stats.dcache_accesses += base["dacc"]
+    stats.dcache_misses += dc["misses"]
+    stats.fetch_stall_cycles += fetch["fetch_stall"]
+    stats.window_stall_cycles += wstall
+    stats.redirect_stall_cycles += rstall
+    stats.cycles = max_cycle + 1
+    engine.icache.accesses += ic["accesses"]
+    engine.icache.misses += ic["misses"]
+    engine.dcache.accesses += base["dacc"]
+    engine.dcache.misses += dc["misses"]
+
+    if ins is not None:
+        unit = ins.unit
+        fc_l = fetch["fc_l"]
+        stall_l = fetch["stall_l"]
+        nops_l = nops_v.tolist()
+        sq_l = base["sq_l"]
+        mis_l = base["mis_l"]
+        for u in range(nu):
+            unit(gap_l[u], fc_l[u], stall_l[u], nops_l[u], wd_l[u],
+                 sq_l[u], mis_l[u])
+        ins.finish(stats.cycles, next_fetch)
+    if events is not None:
+        _emit_events(
+            config, trace, base, ic, fetch, completes, unit_retire_l,
+            gap_l, events, unit0,
+        )
+    KERNEL_RUNS += 1
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Conventional-ISA replay
+# ---------------------------------------------------------------------------
+
+
+def _conv_replay(engine, base, fetch, lat, need_aux, sig):
+    """Dispatch to the cheapest conventional pass that is provably
+    exact for this (trace, config) pair.
+
+    Cold: try the optimistic no-gating pass, prove it with the
+    vectorized window/FU validations; when a window binds, drop to the
+    serial windowed spine (unit-window-only when the trace geometry
+    proves the op window can never bind; full otherwise), with the FU
+    dict only when the bincount proof fails. The surviving pass is
+    memoized per config signature on the trace, so warm replays jump
+    straight to it with no wasted passes.
+    """
+    config = engine.config
+    depth = config.frontend_depth
+    penalty = config.mispredict_penalty
+    width = config.retire_width
+    uos = base["uos"]
+    nu = len(uos) - 1
+    path_key = ("cpath",) + sig
+    path = base.get(path_key)
+
+    if path is None:
+        completes, d0_l, rstall, next_fetch, gap_l = _conv_fast_pass(
+            base, fetch, lat, depth, penalty, need_aux
+        )
+        c_np = _np.array(completes, dtype=_np.int64)
+        retire, _ = retire_scan(c_np + 1, width)
+        d0_np = _np.array(d0_l, dtype=_np.int64)
+        n = len(completes)
+        cap_ops = config.window_ops
+        cap_units = config.window_blocks
+        # Op-granular window: slot g frees at retire[g] and gates op
+        # g + window_ops, whose un-gated dispatch is its unit's d0.
+        ok = n <= cap_ops or bool(
+            _np.all(
+                retire[: n - cap_ops]
+                <= _np.repeat(d0_np, base["nops"])[cap_ops:]
+            )
+        )
+        # Unit-granular checkpoint window: unit u's slot frees when its
+        # last op retires and gates unit u + window_blocks.
+        if ok and nu > cap_units:
+            unit_retire = retire[uos[1:] - 1]
+            ok = bool(
+                _np.all(unit_retire[: nu - cap_units] <= d0_np[cap_units:])
+            )
+        if ok and _fu_ok(c_np, lat["lat_eff"], config.fu_count):
+            base[path_key] = ("fast",)
+            retire_l = retire.tolist()
+            max_cycle = max(retire_l[-1], next_fetch - 1)
+            unit_retire_l = wd_l = None
+            if need_aux:
+                uos_l = base["uos_l"]
+                unit_retire_l = [
+                    retire_l[uos_l[u + 1] - 1] for u in range(nu)
+                ]
+                wd_l = [0] * nu
+            return (completes, unit_retire_l, 0, rstall, next_fetch,
+                    max_cycle, gap_l, wd_l)
+        # A window (or the FUs) binds: pick the serial windowed spine.
+        # When every window of window_blocks consecutive units (and the
+        # leading partial window) holds at most window_ops ops, an op's
+        # window slot has always been freed by the time the op-pop
+        # would read it — retire is monotone here and the unit gate
+        # already waited for a later retire — so the pass may skip
+        # op-slot bookkeeping entirely.
+        unit_only = base["uos_l"][min(cap_units, nu)] <= cap_ops and (
+            nu <= cap_units
+            or bool(_np.all(uos[cap_units:] - uos[:-cap_units] <= cap_ops))
+        )
+        run = _conv_window_pass(base, fetch, lat, config, need_aux,
+                                False, unit_only)
+        if _fu_ok(
+            _np.array(run[0], dtype=_np.int64), lat["lat_eff"],
+            config.fu_count,
+        ):
+            base[path_key] = ("win", unit_only, False)
+        else:
+            run = _conv_window_pass(base, fetch, lat, config, need_aux,
+                                    True, unit_only)
+            base[path_key] = ("win", unit_only, True)
+    elif path[0] == "fast":
+        completes, d0_l, rstall, next_fetch, gap_l = _conv_fast_pass(
+            base, fetch, lat, depth, penalty, need_aux
+        )
+        retire, _ = retire_scan(
+            _np.array(completes, dtype=_np.int64) + 1, width
+        )
+        retire_l = retire.tolist()
+        max_cycle = max(retire_l[-1], next_fetch - 1)
+        unit_retire_l = wd_l = None
+        if need_aux:
+            uos_l = base["uos_l"]
+            unit_retire_l = [retire_l[uos_l[u + 1] - 1] for u in range(nu)]
+            wd_l = [0] * nu
+        return (completes, unit_retire_l, 0, rstall, next_fetch,
+                max_cycle, gap_l, wd_l)
+    else:
+        _, unit_only, need_fu = path
+        run = _conv_window_pass(base, fetch, lat, config, need_aux,
+                                need_fu, unit_only)
+
+    (completes, rc, wstall, rstall, next_fetch, gap_l, wd_l,
+     unit_retire_l) = run
+    max_cycle = max(rc, next_fetch - 1)
+    return (completes, unit_retire_l, wstall, rstall, next_fetch,
+            max_cycle, gap_l, wd_l)
+
+
+def _fu_ok(completes, lat_eff, fu_count):
+    """Prove the optimistic schedule never oversubscribes the function
+    units: if no cycle issues more than ``fu_count`` ops even in the
+    whole-trace histogram, the serial reservation loop returned
+    ``start == ready`` for every op (induction on op order: prefix
+    counts never exceed total counts)."""
+    if len(completes) == 0:
+        return True
+    starts = completes - lat_eff
+    return int(_np.bincount(starts).max()) <= fu_count
+
+
+def _conv_fast_pass(base, fetch, lat, depth, penalty, need_aux):
+    """Serial spine assuming no window gating and no FU contention."""
+    uos_l = base["uos_l"]
+    adv_l = fetch["adv_l"]
+    mis_l = base["mis_l"]
+    res_l = base["res_l"]
+    ops = lat["ops"]
+    extras = base["extras"]
+    ex_get = extras.get
+    has_ex = bool(extras)
+    nu = len(uos_l) - 1
+    c = [0] * uos_l[-1]
+    d0_l = [0] * nu
+    gap_l = [0] * nu if need_aux else None
+    nf = 0
+    ra = 0
+    rstall = 0
+    for u in range(nu):
+        lo = uos_l[u]
+        hi = uos_l[u + 1]
+        if ra > nf:
+            if need_aux:
+                gap_l[u] = ra - nf
+            rstall += ra - nf
+            f0 = ra
+        else:
+            f0 = nf
+        fe = f0 + adv_l[u]
+        nf = fe + 1
+        d0 = fe + depth
+        d0_l[u] = d0
+        d01 = d0 + 1
+        for i in range(lo, hi):
+            p1, p2, p3, lt = ops[i]
+            if p1 < 0:
+                c[i] = d01 + lt
+            else:
+                t = c[p1]
+                ready = t if t > d01 else d01
+                if p2 >= 0:
+                    t = c[p2]
+                    if t > ready:
+                        ready = t
+                    if p3 >= 0:
+                        t = c[p3]
+                        if t > ready:
+                            ready = t
+                        if has_ex:
+                            e = ex_get(i)
+                            if e is not None:
+                                for q in e:
+                                    t = c[q]
+                                    if t > ready:
+                                        ready = t
+                c[i] = ready + lt
+        if mis_l[u]:
+            ra = c[lo + res_l[u]] + 1 + penalty
+    return c, d0_l, rstall, nf, gap_l
+
+
+def _conv_window_pass(base, fetch, lat, config, need_aux, use_fu,
+                      unit_only):
+    """Exact serial spine with window gating and in-order retirement
+    carried inline.
+
+    ``unit_only`` skips op-granular window slots when the caller has
+    proven (from trace geometry) that they can never bind.  ``use_fu``
+    switches from optimistic FU scheduling to exact modeling via a
+    cycle-indexed busy-count table.  Returns ``(completes,
+    final_retire, wstall, rstall, next_fetch, gap_l, wd_l,
+    unit_retire_l)``.
+    """
+    uos_l = base["uos_l"]
+    adv_l = fetch["adv_l"]
+    mis_l = base["mis_l"]
+    res_l = base["res_l"]
+    ops = lat["ops"]
+    extras = base["extras"]
+    ex_get = extras.get
+    has_ex = bool(extras)
+    depth = config.frontend_depth
+    penalty = config.mispredict_penalty
+    cap_ops = config.window_ops
+    cap_units = config.window_blocks
+    width = config.retire_width
+    fu_count = config.fu_count
+    nu = len(uos_l) - 1
+    c = [0] * uos_l[-1]
+    # Zero-padded FIFO views of the window heaps: every pushed release
+    # is a retire cycle (monotone non-decreasing here), so heap-pop
+    # order equals push order and the pop before op g / unit u reads
+    # exactly element g - cap_ops / u - cap_units (zeros never gate).
+    op_release = [0] * cap_ops if not unit_only else None
+    unit_release = [0] * cap_units
+    ur_append = unit_release.append
+    gap_l = [0] * nu if need_aux else None
+    wd_l = [0] * nu if need_aux else None
+    nf = 0
+    ra = 0
+    rstall = 0
+    wstall = 0
+    rc = 0  # retire cycle
+    rcnt = 0  # ops retired at rc
+    if use_fu:
+        # Busy FUs per cycle, list-indexed (cheaper than a dict in the
+        # hot loop); grown on demand.
+        fu = [0] * 4096
+        fulen = 4096
+    for u in range(nu):
+        lo = uos_l[u]
+        hi = uos_l[u + 1]
+        if ra > nf:
+            if need_aux:
+                gap_l[u] = ra - nf
+            rstall += ra - nf
+            f0 = ra
+        else:
+            f0 = nf
+        fe = f0 + adv_l[u]
+        nf = fe + 1
+        d = fe + depth
+        rel = unit_release[u]
+        if rel > d:
+            wstall += rel - d
+            d = rel
+        if not use_fu:
+            if unit_only:
+                d1 = d + 1
+                for i in range(lo, hi):
+                    p1, p2, p3, lt = ops[i]
+                    ready = d1
+                    if p1 >= 0:
+                        t = c[p1]
+                        if t > ready:
+                            ready = t
+                        if p2 >= 0:
+                            t = c[p2]
+                            if t > ready:
+                                ready = t
+                            if p3 >= 0:
+                                t = c[p3]
+                                if t > ready:
+                                    ready = t
+                                if has_ex:
+                                    e = ex_get(i)
+                                    if e is not None:
+                                        for q in e:
+                                            t = c[q]
+                                            if t > ready:
+                                                ready = t
+                    ci = ready + lt
+                    c[i] = ci
+                    if ci >= rc:
+                        rc = ci + 1
+                        rcnt = 1
+                    elif rcnt >= width:
+                        rc += 1
+                        rcnt = 1
+                    else:
+                        rcnt += 1
+            else:
+                ora = op_release.append
+                for i in range(lo, hi):
+                    v = op_release[i]
+                    if v > d:
+                        d = v
+                    p1, p2, p3, lt = ops[i]
+                    ready = d + 1
+                    if p1 >= 0:
+                        t = c[p1]
+                        if t > ready:
+                            ready = t
+                        if p2 >= 0:
+                            t = c[p2]
+                            if t > ready:
+                                ready = t
+                            if p3 >= 0:
+                                t = c[p3]
+                                if t > ready:
+                                    ready = t
+                                if has_ex:
+                                    e = ex_get(i)
+                                    if e is not None:
+                                        for q in e:
+                                            t = c[q]
+                                            if t > ready:
+                                                ready = t
+                    ci = ready + lt
+                    c[i] = ci
+                    if ci >= rc:
+                        rc = ci + 1
+                        rcnt = 1
+                    elif rcnt >= width:
+                        rc += 1
+                        rcnt = 1
+                    else:
+                        rcnt += 1
+                    ora(rc)
+        else:
+            if unit_only:
+                d1 = d + 1
+                for i in range(lo, hi):
+                    p1, p2, p3, lt = ops[i]
+                    ready = d1
+                    if p1 >= 0:
+                        t = c[p1]
+                        if t > ready:
+                            ready = t
+                        if p2 >= 0:
+                            t = c[p2]
+                            if t > ready:
+                                ready = t
+                            if p3 >= 0:
+                                t = c[p3]
+                                if t > ready:
+                                    ready = t
+                                if has_ex:
+                                    e = ex_get(i)
+                                    if e is not None:
+                                        for q in e:
+                                            t = c[q]
+                                            if t > ready:
+                                                ready = t
+                    if ready >= fulen:
+                        fu += [0] * (ready - fulen + 4096)
+                        fulen = ready + 4096
+                    busy = fu[ready]
+                    while busy >= fu_count:
+                        ready += 1
+                        if ready >= fulen:
+                            fu += [0] * 4096
+                            fulen += 4096
+                        busy = fu[ready]
+                    fu[ready] = busy + 1
+                    ci = ready + lt
+                    c[i] = ci
+                    if ci >= rc:
+                        rc = ci + 1
+                        rcnt = 1
+                    elif rcnt >= width:
+                        rc += 1
+                        rcnt = 1
+                    else:
+                        rcnt += 1
+            else:
+                ora = op_release.append
+                for i in range(lo, hi):
+                    v = op_release[i]
+                    if v > d:
+                        d = v
+                    p1, p2, p3, lt = ops[i]
+                    ready = d + 1
+                    if p1 >= 0:
+                        t = c[p1]
+                        if t > ready:
+                            ready = t
+                        if p2 >= 0:
+                            t = c[p2]
+                            if t > ready:
+                                ready = t
+                            if p3 >= 0:
+                                t = c[p3]
+                                if t > ready:
+                                    ready = t
+                                if has_ex:
+                                    e = ex_get(i)
+                                    if e is not None:
+                                        for q in e:
+                                            t = c[q]
+                                            if t > ready:
+                                                ready = t
+                    if ready >= fulen:
+                        fu += [0] * (ready - fulen + 4096)
+                        fulen = ready + 4096
+                    busy = fu[ready]
+                    while busy >= fu_count:
+                        ready += 1
+                        if ready >= fulen:
+                            fu += [0] * 4096
+                            fulen += 4096
+                        busy = fu[ready]
+                    fu[ready] = busy + 1
+                    ci = ready + lt
+                    c[i] = ci
+                    if ci >= rc:
+                        rc = ci + 1
+                        rcnt = 1
+                    elif rcnt >= width:
+                        rc += 1
+                        rcnt = 1
+                    else:
+                        rcnt += 1
+                    ora(rc)
+        if mis_l[u]:
+            ra = c[lo + res_l[u]] + 1 + penalty
+        if need_aux:
+            wd_l[u] = d - fe - depth
+        ur_append(rc)
+    unit_retire_l = unit_release[cap_units:]
+    return (c, rc, wstall, rstall, nf, gap_l, wd_l, unit_retire_l)
+
+
+# ---------------------------------------------------------------------------
+# Block-structured replay (atomic window)
+# ---------------------------------------------------------------------------
+
+
+def _block_replay(engine, base, fetch, lat, need_aux, sig):
+    """Atomic-window replay: real (tiny) release heap per unit, O(1)
+    closed-form block retirement, optimistic FU with exact re-run (the
+    surviving choice memoized per config signature)."""
+    config = engine.config
+    path_key = ("bpath",) + sig
+    path = base.get(path_key)
+    if path is None:
+        run = _block_pass(base, fetch, lat, config, need_aux, False)
+        if _fu_ok(
+            _np.array(run[0], dtype=_np.int64), lat["lat_eff"],
+            config.fu_count,
+        ):
+            base[path_key] = False
+        else:
+            run = _block_pass(base, fetch, lat, config, need_aux, True)
+            base[path_key] = True
+        return run
+    return _block_pass(base, fetch, lat, config, need_aux, path)
+
+
+def _block_pass(base, fetch, lat, config, need_aux, use_fu):
+    uos_l = base["uos_l"]
+    adv_l = fetch["adv_l"]
+    sq_l = base["sq_l"]
+    mis_l = base["mis_l"]
+    res_l = base["res_l"]
+    ops = lat["ops"]
+    extras = base["extras"]
+    ex_get = extras.get
+    has_ex = bool(extras)
+    depth = config.frontend_depth
+    penalty = config.mispredict_penalty
+    cap = config.window_blocks
+    width = config.retire_width
+    fu_count = config.fu_count
+    nu = len(uos_l) - 1
+    c = [0] * uos_l[-1]
+    # Real min-heap: squash releases are not monotone with retire
+    # cycles, so FIFO order is not guaranteed here (unlike the
+    # conventional windows).
+    window: list = []
+    wsize = 0
+    hpush = heapq.heappush
+    hpop = heapq.heappop
+    rc = 0  # retire cycle
+    rcnt = 0  # ops already retired at rc
+    if use_fu:
+        fu = [0] * 4096
+        fulen = 4096
+    maxrel = 0
+    nf = 0
+    ra = 0
+    lnf = 0  # next_fetch after the last non-squashed unit
+    rstall = 0
+    wstall = 0
+    rc_l = [0] * nu if need_aux else None
+    gap_l = [0] * nu if need_aux else None
+    wd_l = [0] * nu if need_aux else None
+    for u in range(nu):
+        lo = uos_l[u]
+        hi = uos_l[u + 1]
+        if ra > nf:
+            if need_aux:
+                gap_l[u] = ra - nf
+            rstall += ra - nf
+            f0 = ra
+        else:
+            f0 = nf
+        fe = f0 + adv_l[u]
+        nf = fe + 1
+        d0 = fe + depth
+        if wsize >= cap:
+            rel = hpop(window)
+            if rel > d0:
+                wstall += rel - d0
+                d0 = rel
+        else:
+            wsize += 1
+        if need_aux:
+            wd_l[u] = d0 - fe - depth
+        d01 = d0 + 1
+        bl = 0
+        if not use_fu:
+            for i in range(lo, hi):
+                p1, p2, p3, lt = ops[i]
+                ready = d01
+                if p1 >= 0:
+                    t = c[p1]
+                    if t > ready:
+                        ready = t
+                    if p2 >= 0:
+                        t = c[p2]
+                        if t > ready:
+                            ready = t
+                        if p3 >= 0:
+                            t = c[p3]
+                            if t > ready:
+                                ready = t
+                            if has_ex:
+                                e = ex_get(i)
+                                if e is not None:
+                                    for q in e:
+                                        t = c[q]
+                                        if t > ready:
+                                            ready = t
+                ci = ready + lt
+                c[i] = ci
+                if ci > bl:
+                    bl = ci
+        else:
+            for i in range(lo, hi):
+                p1, p2, p3, lt = ops[i]
+                ready = d01
+                if p1 >= 0:
+                    t = c[p1]
+                    if t > ready:
+                        ready = t
+                    if p2 >= 0:
+                        t = c[p2]
+                        if t > ready:
+                            ready = t
+                        if p3 >= 0:
+                            t = c[p3]
+                            if t > ready:
+                                ready = t
+                            if has_ex:
+                                e = ex_get(i)
+                                if e is not None:
+                                    for q in e:
+                                        t = c[q]
+                                        if t > ready:
+                                            ready = t
+                if ready >= fulen:
+                    fu += [0] * (ready - fulen + 4096)
+                    fulen = ready + 4096
+                busy = fu[ready]
+                while busy >= fu_count:
+                    ready += 1
+                    if ready >= fulen:
+                        fu += [0] * 4096
+                        fulen += 4096
+                    busy = fu[ready]
+                fu[ready] = busy + 1
+                ci = ready + lt
+                c[i] = ci
+                if ci > bl:
+                    bl = ci
+        if sq_l[u]:
+            release = c[lo + res_l[u]] + 1
+            ra = release
+            hpush(window, release)
+            if release > maxrel:
+                maxrel = release
+            if need_aux:
+                rc_l[u] = rc
+            continue
+        if mis_l[u]:
+            ra = c[lo + res_l[u]] + 1 + penalty
+        k = hi - lo
+        if k:
+            # O(1) closed form of the engine's per-op atomic retire
+            # loop: all k ops become eligible at block_done and drain
+            # `width` per cycle from the current (rc, rcnt) state.
+            block_done = bl + 1
+            if block_done > rc:
+                q = (k - 1) // width
+                rc = block_done + q
+                rcnt = k - width * q
+            else:
+                free = width - rcnt
+                if k <= free:
+                    rcnt += k
+                else:
+                    k2 = k - free
+                    q = (k2 - 1) // width
+                    rc += 1 + q
+                    rcnt = k2 - width * q
+        hpush(window, rc)
+        lnf = nf
+        if need_aux:
+            rc_l[u] = rc
+    max_cycle = rc
+    if maxrel > max_cycle:
+        max_cycle = maxrel
+    if lnf - 1 > max_cycle:
+        max_cycle = lnf - 1
+    return (c, rc_l, wstall, rstall, nf, max_cycle, gap_l, wd_l)
+
+
+# ---------------------------------------------------------------------------
+# Post-hoc event emission (telemetry-on replays)
+# ---------------------------------------------------------------------------
+
+
+def _emit_events(config, trace, base, ic, fetch, completes, unit_retire_l,
+                 gap_l, events, unit0):
+    """Emit the engine's event stream in its exact order: per unit, the
+    icache misses of its lines, the fetch, then squash OR (optional
+    redirect and) retire."""
+    emit = events.emit
+    uos_l = base["uos_l"]
+    adv_l = fetch["adv_l"]
+    sq_l = base["sq_l"]
+    mis_l = base["mis_l"]
+    at_l = base["at_l"]
+    res_l = base["res_l"]
+    addr_l = base.get("addr_l")
+    if addr_l is None:
+        addr_l = base["addr_l"] = _np.frombuffer(
+            trace.unit_addr, dtype=_np.int64
+        ).tolist()
+    nlines_l = ic["nlines"].tolist()
+    starts_l = ic["starts"].tolist() if "starts" in ic else None
+    flat_l = ic["flat"].tolist() if "flat" in ic else None
+    miss_l = ic["miss_flags"].tolist() if "miss_flags" in ic else None
+    any_miss = ic["misses"] > 0
+    penalty = config.mispredict_penalty
+    nf = 0
+    for u in range(len(uos_l) - 1):
+        uid = unit0 + u + 1
+        f0 = nf + gap_l[u]
+        nf = f0 + adv_l[u] + 1
+        lo = uos_l[u]
+        hi = uos_l[u + 1]
+        k = hi - lo
+        addr = addr_l[u]
+        if any_miss:
+            s = starts_l[u]
+            for j in range(s, s + nlines_l[u]):
+                if miss_l[j]:
+                    emit(EV_ICACHE_MISS, f0, line=flat_l[j])
+        emit(EV_FETCH, f0, addr=addr, ops=k, lines=nlines_l[u], unit=uid)
+        if sq_l[u]:
+            emit(
+                EV_FAULT_SQUASH,
+                completes[lo + res_l[u]] + 1,
+                addr=addr,
+                ops=k,
+                unit=uid,
+            )
+            continue
+        if mis_l[u]:
+            emit(
+                EV_REDIRECT,
+                completes[lo + res_l[u]] + 1 + penalty,
+                addr=addr,
+                penalty=penalty,
+                unit=uid,
+            )
+        emit(
+            EV_RETIRE,
+            unit_retire_l[u],
+            addr=addr,
+            ops=k,
+            atomic=at_l[u],
+            unit=uid,
+        )

@@ -1,0 +1,416 @@
+"""Vectorized replay kernel (repro.sim.vector): three-way differential
+bit-identity, property tests for the kernel primitives, numpy-absent
+fallbacks, and the cosim/fuzz promotion (an injected off-by-one
+wavefront bug must be caught and shrink small).
+
+The kernel's contract is *exact* equality — every SimResult field,
+every InsightReport counter, every published metric series — against
+both the scalar replayer and the streaming engine. There is no float
+tolerance anywhere: the timing model is all-integer and the kernel's
+float use is confined to pre-proven bookkeeping (docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import sys
+
+import pytest
+
+from repro.core.toolchain import Toolchain
+from repro.engine import build_plan
+from repro.errors import SimulationError
+from repro.harness import EXPERIMENT_RUNS
+from repro.insight import InsightCollector
+from repro.obs import Telemetry
+from repro.sim import vector
+from repro.sim.cache import Cache
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.run import (
+    VALID_KERNELS,
+    capture_run,
+    predictor_key,
+    replay_captured,
+    simulate_streaming,
+)
+from repro.workloads import SUITE
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+np = pytest.importorskip("numpy") if vector.HAVE_NUMPY else None
+
+SCALE = 0.05
+BENCHES = ["compress", "m88ksim"]
+
+_PAIRS: dict[str, object] = {}
+
+
+def _pair(name: str):
+    if name not in _PAIRS:
+        _PAIRS[name] = Toolchain().compile(SUITE[name].source(SCALE), name)
+    return _PAIRS[name]
+
+
+def _matrix_specs():
+    plan = build_plan(
+        [(name, EXPERIMENT_RUNS[name](BENCHES)) for name in EXPERIMENT_RUNS],
+        scale=SCALE,
+    )
+    return plan.runs
+
+
+needs_numpy = pytest.mark.skipif(
+    not vector.HAVE_NUMPY, reason="numpy not installed"
+)
+
+
+# ---------------------------------------------------------------------------
+# Three-way differential: streaming vs run_packed vs vector kernel
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+class TestThreeWayDifferential:
+    def test_every_experiment_spec_pins_all_three_paths(self):
+        """For every EXPERIMENT_RUNS spec: streaming, scalar replay and
+        vectorized replay produce asdict-equal SimResults, and the
+        InsightReport is identical on all three paths."""
+        captures = {}
+        for spec in _matrix_specs():
+            prog = getattr(_pair(spec.benchmark), spec.isa)
+            memo = (spec.benchmark, spec.isa, predictor_key(spec.config))
+            if memo not in captures:
+                captures[memo] = capture_run(prog, spec.isa, spec.config)
+            captured = captures[memo]
+
+            s_ins = InsightCollector()
+            streamed = simulate_streaming(
+                prog, spec.isa, spec.config, insight=s_ins
+            )
+            p_ins = InsightCollector()
+            scalar = replay_captured(
+                captured, spec.config, insight=p_ins, kernel="python"
+            )
+            v_ins = InsightCollector()
+            vectored = replay_captured(
+                captured, spec.config, insight=v_ins, kernel="numpy"
+            )
+
+            want = dataclasses.asdict(streamed)
+            assert dataclasses.asdict(scalar) == want, spec
+            assert dataclasses.asdict(vectored) == want, spec
+            report = s_ins.report(spec.benchmark, spec.isa, spec.config)
+            assert p_ins.report(
+                spec.benchmark, spec.isa, spec.config
+            ) == report, spec
+            assert v_ins.report(
+                spec.benchmark, spec.isa, spec.config
+            ) == report, spec
+
+    def test_warm_replay_stays_exact(self):
+        """Second and third replays of one trace ride the memoized
+        fast/windowed path decisions — they must stay bit-identical."""
+        config = MachineConfig()
+        for isa in ("conventional", "block"):
+            prog = getattr(_pair("compress"), isa)
+            captured = capture_run(prog, isa, config)
+            want = dataclasses.asdict(
+                replay_captured(captured, config, kernel="python")
+            )
+            for _ in range(3):
+                got = replay_captured(captured, config, kernel="numpy")
+                assert dataclasses.asdict(got) == want, isa
+
+    def test_vector_replay_publishes_identical_metrics(self):
+        """sim./cache./bp. series must not depend on the kernel."""
+        config = MachineConfig()
+        captured = capture_run(
+            _pair("compress").conventional, "conventional", config
+        )
+
+        def series(kernel):
+            tel = Telemetry()
+            replay_captured(captured, config, telemetry=tel, kernel=kernel)
+            return [
+                e
+                for e in tel.metrics.snapshot()
+                if e["name"].startswith(("sim.", "cache.", "bp."))
+            ]
+
+        assert series("numpy") == series("python")
+
+    def test_kernel_actually_ran(self):
+        """The differential above must exercise the kernel, not the
+        fallback: a default-config replay runs vectorized."""
+        config = MachineConfig()
+        captured = capture_run(
+            _pair("compress").conventional, "conventional", config
+        )
+        runs = vector.KERNEL_RUNS
+        replay_captured(captured, config, kernel="numpy")
+        assert vector.KERNEL_RUNS == runs + 1
+
+
+# ---------------------------------------------------------------------------
+# Kernel selection and the numpy-absent fallback
+# ---------------------------------------------------------------------------
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_is_rejected(self):
+        captured = capture_run(
+            _pair("compress").conventional, "conventional", MachineConfig()
+        )
+        with pytest.raises(SimulationError, match="unknown replay kernel"):
+            replay_captured(captured, MachineConfig(), kernel="fortran")
+        assert set(VALID_KERNELS) == {"auto", "python", "numpy"}
+
+    def test_numpy_kernel_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(vector, "HAVE_NUMPY", False)
+        captured = capture_run(
+            _pair("compress").conventional, "conventional", MachineConfig()
+        )
+        with pytest.raises(SimulationError, match="numpy is not"):
+            replay_captured(captured, MachineConfig(), kernel="numpy")
+
+    def test_auto_mode_without_numpy_silently_uses_python(self):
+        """Reload repro.sim.vector with the numpy import failing: the
+        import guard must leave a working module whose replay entry
+        point declines, and auto replay must fall back silently."""
+        config = MachineConfig()
+        captured = capture_run(
+            _pair("compress").conventional, "conventional", config
+        )
+        want = dataclasses.asdict(
+            replay_captured(captured, config, kernel="python")
+        )
+        saved = sys.modules.get("numpy")
+        sys.modules["numpy"] = None  # import numpy now raises ImportError
+        try:
+            importlib.reload(vector)
+            assert not vector.HAVE_NUMPY
+            fallbacks = vector.FALLBACKS
+            got = replay_captured(captured, config)  # kernel="auto"
+            assert dataclasses.asdict(got) == want
+            assert vector.FALLBACKS == fallbacks + 1
+            assert vector.KERNEL_RUNS == 0  # fresh module, no vector runs
+        finally:
+            if saved is None:
+                del sys.modules["numpy"]
+            else:
+                sys.modules["numpy"] = saved
+            importlib.reload(vector)
+        assert vector.HAVE_NUMPY == (saved is not None)
+
+    def test_cli_kernel_numpy_without_numpy_exits_2(self, monkeypatch, capsys):
+        from repro.harness.cli import main
+
+        monkeypatch.setattr(vector, "HAVE_NUMPY", False)
+        assert main(
+            ["perf", "--benchmarks", "compress", "--kernel", "numpy"]
+        ) == 2
+        assert main(["run", "fig3", "--kernel", "numpy"]) == 2
+        err = capsys.readouterr().err
+        assert "numpy is not importable" in err
+
+    def test_perf_vector_column_presence(self):
+        """kernel='python' skips the vector_s column; auto (with numpy)
+        emits vector_s + vector_match and the vector totals."""
+        from repro.harness.perf import benchmark_suite
+        from repro.obs.schema import bench_document_errors
+
+        doc = benchmark_suite(["compress"], SCALE, kernel="python")
+        assert bench_document_errors(doc) == []
+        assert all("vector_s" not in e for e in doc["benchmarks"])
+        assert "vector_s" not in doc["totals"]
+        if vector.HAVE_NUMPY:
+            doc = benchmark_suite(["compress"], SCALE, kernel="auto")
+            assert bench_document_errors(doc) == []
+            for e in doc["benchmarks"]:
+                assert e["vector_s"] >= 0
+                assert e["vector_match"] is True
+            for key in ("vector_s", "speedup_vector", "replay_vs_vector"):
+                assert key in doc["totals"]
+            assert doc["totals"]["stats_match"] is True
+
+
+# ---------------------------------------------------------------------------
+# Property tests: kernel primitives vs small scalar references
+# ---------------------------------------------------------------------------
+
+
+def _retire_reference(mins, width):
+    """Brute-force least solution of the retirement recurrence
+    r[m] = max(mins[m], r[m-1], r[m-width] + 1)."""
+    out = []
+    for m in range(len(mins)):
+        out.append(max(mins[j] + (m - j) // width for j in range(m + 1)))
+    return out
+
+
+@needs_numpy
+class TestPrimitiveProperties:
+    @given(
+        mins=st.lists(st.integers(1, 50), min_size=1, max_size=60),
+        width=st.integers(1, 8),
+    )
+    @settings(max_examples=60)
+    def test_retire_scan_matches_serial_recurrence(self, mins, width):
+        got, _ = vector.retire_scan(np.array(mins, dtype=np.int64), width)
+        assert got.tolist() == _retire_reference(mins, width)
+
+    @given(
+        mins=st.lists(st.integers(1, 50), min_size=2, max_size=60),
+        width=st.integers(1, 8),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_retire_scan_carry_is_split_invariant(self, mins, width, data):
+        """Scanning in two chunks through the carry equals one scan —
+        the property that makes chunked replay exact."""
+        cut = data.draw(st.integers(1, len(mins) - 1))
+        arr = np.array(mins, dtype=np.int64)
+        whole, _ = vector.retire_scan(arr, width)
+        head, carry = vector.retire_scan(arr[:cut], width)
+        tail, _ = vector.retire_scan(arr[cut:], width, carry)
+        assert head.tolist() + tail.tolist() == whole.tolist()
+
+    @given(
+        lines=st.lists(st.integers(0, 20), min_size=0, max_size=80),
+        num_sets=st.sampled_from([1, 2, 4]),
+        assoc=st.integers(1, 4),
+    )
+    @settings(max_examples=60)
+    def test_lru_hits_matches_the_real_cache(self, lines, num_sets, assoc):
+        """The hit/miss vector must agree access-by-access with the
+        scalar Cache model the engine uses."""
+        line_bytes = 64
+        cache = Cache(
+            CacheConfig(num_sets * assoc * line_bytes, assoc, line_bytes)
+        )
+        want = [cache.access_line(line) for line in lines]
+        got = vector.lru_hits(lines, num_sets, assoc)
+        assert got.tolist() == want
+        assert cache.accesses == len(lines)
+        assert cache.misses == len(lines) - int(got.sum())
+
+    @given(data=st.data())
+    @settings(max_examples=60)
+    def test_wavefront_levels_match_recursive_reference(self, data):
+        """level[i] = 0 for source ops, else 1 + max(level[producers]);
+        producers are always earlier ops (the packed topological
+        order)."""
+        n = data.draw(st.integers(0, 30))
+        dep_start = [0]
+        deps = []
+        for i in range(n):
+            producers = (
+                data.draw(
+                    st.lists(st.integers(0, i - 1), max_size=3)
+                )
+                if i
+                else []
+            )
+            deps.extend(producers)
+            dep_start.append(len(deps))
+        want = []
+        for i in range(n):
+            prods = deps[dep_start[i]:dep_start[i + 1]]
+            want.append(1 + max(want[d] for d in prods) if prods else 0)
+        got = vector.wavefront_levels(dep_start, deps, n)
+        assert list(got) == want
+
+    @given(
+        spans=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 5)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_span_lines_match_nested_loops(self, spans):
+        first = [f for f, _ in spans]
+        last = [f + extra for f, extra in spans]
+        flat, starts = vector.span_lines(first, last)
+        want = [
+            line for f, l in zip(first, last) for line in range(f, l + 1)
+        ]
+        assert flat.tolist() == want
+        offsets = [0]
+        for f, l in zip(first, last):
+            offsets.append(offsets[-1] + (l - f + 1))
+        assert starts.tolist() == offsets[:-1]
+
+
+# ---------------------------------------------------------------------------
+# Promotion into repro.check: cosim oracle + fuzz shrinking
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+class TestCosimPromotion:
+    CLEAN = (
+        "int main() { int i; int acc; acc = 0; "
+        "for (i = 0; i < 24; i = i + 1) { acc = acc + i; "
+        "if (acc > 40) { acc = acc - 7; } } print_int(acc); return 0; }"
+    )
+
+    def test_kernel_runs_as_third_implementation(self):
+        """A clean program passes the oracle with the vector kernel
+        replaying every timed configuration."""
+        from repro.check import CosimChecker
+
+        runs = vector.KERNEL_RUNS
+        report = CosimChecker().check_source(self.CLEAN, "vk-clean")
+        assert report.ok, report.summary()
+        assert report.configurations == 6
+        # one vector replay per (enlarge, machine, isa) combination
+        assert vector.KERNEL_RUNS >= runs + 12
+
+    def test_injected_off_by_one_wavefront_bug_is_caught_and_shrinks(
+        self, monkeypatch, tmp_path
+    ):
+        """The satellite acceptance check: shift the retirement
+        wavefront scan by one cycle and the fuzzer must (a) flag it as
+        cosim.kernel_divergence and (b) delta-debug the reproducer to
+        <= 15 lines."""
+        from repro.check import CosimChecker, Fuzzer
+
+        orig = vector.retire_scan
+
+        def off_by_one(mins, width, carry=None):
+            out, carry = orig(mins, width, carry)
+            return out + 1, carry
+
+        monkeypatch.setattr(vector, "retire_scan", off_by_one)
+        fuzzer = Fuzzer(
+            checker=CosimChecker(),
+            corpus_dir=str(tmp_path),
+            shrink=True,
+        )
+        result = fuzzer.run(3, seed=3)
+        assert not result.ok, "injected kernel bug escaped the oracle"
+        for failure in result.failures:
+            invariants = {v.invariant for v in failure.violations}
+            assert "cosim.kernel_divergence" in invariants, invariants
+            assert failure.reproducer_lines <= 15, failure.reproducer
+
+    def test_insight_divergence_is_its_own_finding(self, monkeypatch):
+        """A bug that skews per-unit analytics is reported as
+        cosim.insight_divergence even where SimResult fields agree —
+        here both fire, which pins the invariant names."""
+        from repro.check import CosimChecker
+
+        orig = vector.retire_scan
+
+        def off_by_one(mins, width, carry=None):
+            out, carry = orig(mins, width, carry)
+            return out + 1, carry
+
+        monkeypatch.setattr(vector, "retire_scan", off_by_one)
+        report = CosimChecker().check_source(self.CLEAN, "vk-buggy")
+        invariants = {v.invariant for v in report.violations}
+        assert "cosim.kernel_divergence" in invariants
+        assert "cosim.insight_divergence" in invariants
