@@ -15,7 +15,11 @@ stages (docs/experiment-engine.md):
 
 from repro.engine.cache import ArtifactCache, default_cache_root
 from repro.engine.core import ExperimentEngine
-from repro.engine.executor import execute_run, simulate_spec
+from repro.engine.executor import (
+    execute_group,
+    execute_run,
+    simulate_spec,
+)
 from repro.engine.plan import RunPlan, build_plan
 from repro.engine.spec import (
     SCHEMA_VERSION,
@@ -39,6 +43,7 @@ __all__ = [
     "compile_key",
     "config_key",
     "default_cache_root",
+    "execute_group",
     "execute_run",
     "insight_key",
     "run_key",

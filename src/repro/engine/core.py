@@ -24,15 +24,18 @@ Plan-level telemetry: ``plan.runs_total`` / ``plan.runs_deduped``
 counters per execution, ``plan.cache_hits{kind=run|compile|trace}`` /
 ``plan.cache_misses{...}``, ``plan.trace_captures`` /
 ``plan.trace_replays`` / ``plan.trace_reuse`` counters for the
-capture/replay split, and a ``plan.run{benchmark,isa}`` span around
-every simulation (worker-side when parallel).
+capture/replay split, ``plan.sweep_groups`` /
+``plan.trace_ship_bytes`` / ``sweep.configs_batched`` counters for the
+sweep-batched distribution (docs/experiment-engine.md), and a
+``plan.run{benchmark,isa}`` span around every simulation (worker-side
+when parallel).
 """
 
 from __future__ import annotations
 
 from repro.core.toolchain import CompiledPair, Toolchain
 from repro.engine.cache import ArtifactCache
-from repro.engine.executor import execute_parallel
+from repro.engine.executor import execute_parallel_groups
 from repro.engine.plan import RunPlan
 from repro.engine.spec import (
     RunSpec,
@@ -49,6 +52,7 @@ from repro.sim.run import (
     SimResult,
     capture_run,
     predictor_key,
+    prepare_sweep,
     replay_captured,
 )
 from repro.workloads import SUITE, default_scale
@@ -250,26 +254,37 @@ class ExperimentEngine:
                 report = self._load_cached_insight(spec)
         if result is None or (self.insight and report is None):
             captured = self.captured_run(spec)
-            tel = self._tel()
-            collector = InsightCollector() if self.insight else None
-            with tel.span("plan.run", **spec.labels()):
-                result = replay_captured(
-                    captured, spec.config, tel,
-                    insight=collector, kernel=self.kernel,
-                )
-            tel.count("plan.trace_replays")
-            if collector is not None:
-                report = collector.report(
-                    spec.benchmark, spec.isa, spec.config
-                )
-                if tel.enabled:
-                    report.publish(tel.metrics)
+            result, report = self._replay(spec, captured)
+            if report is not None:
                 self._store_cached_insight(spec, report)
             self._store_cached_run(spec, result)
         self._results[spec] = result
         if report is not None:
             self._insights[spec] = report
         return result
+
+    def _replay(self, spec: RunSpec, captured: CapturedRun):
+        """One spanned replay of *captured* under *spec*'s config.
+
+        Returns ``(result, report)`` — *report* is ``None`` outside
+        insight mode. Shared by the single-run path and the grouped
+        serial sweep path so every replay carries the same
+        ``plan.run`` span and ``plan.trace_replays`` count.
+        """
+        tel = self._tel()
+        collector = InsightCollector() if self.insight else None
+        with tel.span("plan.run", **spec.labels()):
+            result = replay_captured(
+                captured, spec.config, tel,
+                insight=collector, kernel=self.kernel,
+            )
+        tel.count("plan.trace_replays")
+        report = None
+        if collector is not None:
+            report = collector.report(spec.benchmark, spec.isa, spec.config)
+            if tel.enabled:
+                report.publish(tel.metrics)
+        return result, report
 
     # -- plan execution ------------------------------------------------
 
@@ -300,25 +315,74 @@ class ExperimentEngine:
             if self.jobs > 1 and len(missing) > 1:
                 self._execute_pool(missing, tel)
             else:
-                for spec in missing:
-                    self.run(spec)
+                self._execute_serial(missing, tel)
         return {spec: self._results[spec] for spec in plan.runs}
+
+    def _sweep_groups(self, missing: list[RunSpec]) -> list[list[RunSpec]]:
+        """Partition *missing* into trace-sharing config groups.
+
+        Group key = the trace memo key *(benchmark, isa,
+        predictor_key(config))*: every spec of a group replays the same
+        :class:`CapturedRun`, so its precompute is amortized
+        (:func:`repro.sim.run.prepare_sweep`) and — in pool mode — the
+        trace ships to a worker once per group, not once per spec.
+        Plan order is preserved within and across groups.
+        """
+        groups: dict[tuple, list[RunSpec]] = {}
+        for spec in missing:
+            memo = (spec.benchmark, spec.isa, predictor_key(spec.config))
+            groups.setdefault(memo, []).append(spec)
+        return list(groups.values())
+
+    def _execute_serial(self, missing: list[RunSpec], tel: Telemetry) -> None:
+        # Sweep-batched serial path: capture once per group, run the
+        # shared multi-geometry precompute, then replay per spec —
+        # bit-identical to calling run() per spec, just without
+        # re-deriving the per-trace work for every config.
+        for specs in self._sweep_groups(missing):
+            captured = self.captured_run(specs[0])
+            tel.count("plan.sweep_groups")
+            prepare_sweep(
+                captured,
+                [spec.config for spec in specs],
+                kernel=self.kernel,
+                telemetry=tel,
+            )
+            for i, spec in enumerate(specs):
+                if i:
+                    tel.count("plan.trace_reuse")
+                result, report = self._replay(spec, captured)
+                if report is not None:
+                    self._store_cached_insight(spec, report)
+                    self._insights[spec] = report
+                self._store_cached_run(spec, result)
+                self._results[spec] = result
 
     def _execute_pool(self, missing: list[RunSpec], tel: Telemetry) -> None:
         # Compile and capture serially up front: one functional
         # execution per (benchmark, isa, predictor-config) group is
-        # shared across every config sweeping over it, and workers
-        # receive the pickled CapturedRun only — replay needs no
-        # program object.
-        work = [(spec, self.captured_run(spec)) for spec in missing]
-        for spec, result, snapshot, report in execute_parallel(
-            work, self.jobs, tel.enabled, self.insight, self.kernel
+        # shared across every config sweeping over it. Ship-once
+        # distribution: each group becomes ONE work item carrying the
+        # pickled CapturedRun plus its config list, so an N-point sweep
+        # pickles its trace once, not N times, and the worker amortizes
+        # the shared precompute across the group.
+        groups: list[tuple[CapturedRun, list[RunSpec]]] = []
+        for specs in self._sweep_groups(missing):
+            captured = self.captured_run(specs[0])
+            for _ in specs[1:]:
+                tel.count("plan.trace_reuse")
+            tel.count("plan.sweep_groups")
+            tel.count("plan.trace_ship_bytes", captured.trace.nbytes)
+            groups.append((captured, specs))
+        for specs, payloads, snapshot in execute_parallel_groups(
+            groups, self.jobs, tel.enabled, self.insight, self.kernel
         ):
             if snapshot is not None:
                 tel.merge_snapshot(snapshot)
-            tel.count("plan.trace_replays")
-            self._store_cached_run(spec, result)
-            self._results[spec] = result
-            if report is not None:
-                self._insights[spec] = report
-                self._store_cached_insight(spec, report)
+            for spec, (result, report) in zip(specs, payloads):
+                tel.count("plan.trace_replays")
+                self._store_cached_run(spec, result)
+                self._results[spec] = result
+                if report is not None:
+                    self._insights[spec] = report
+                    self._store_cached_insight(spec, report)

@@ -15,7 +15,15 @@ Times the three phases of the packed-trace pipeline per benchmark × ISA
   builds the kernel's per-trace prep columns and proves its fast paths,
   then the timed replay measures what every subsequent sweep point
   costs. Skipped (no ``vector_s`` column) when numpy is absent or
-  ``kernel='python'`` is forced.
+  ``kernel='python'`` is forced;
+* **sweep**    — the batched fig6/fig7-style icache sweep
+  (:func:`~repro.sim.run.replay_sweep` over perfect +
+  :data:`~repro.fidelity.paper.ICACHE_SWEEP_KB`): ``sweep_per_config_s``
+  replays one cold-shipped trace copy per config point (the old
+  one-work-item-per-spec distribution), ``sweep_s`` ships once and
+  batches the whole sweep; ``totals.speedup_sweep`` is their ratio.
+  Emitted for every kernel — without numpy both legs run the grouped
+  scalar fallback and the ratio hovers near 1.
 
 Every replay — scalar and vectorized — is asserted bit-identical to the
 streaming run (``dataclasses.asdict`` equality) so the artifact doubles
@@ -37,11 +45,18 @@ import json
 from time import perf_counter
 
 from repro.core.toolchain import Toolchain
+from repro.fidelity.paper import ICACHE_SWEEP_KB
 from repro.obs.schema import BENCH_SCHEMA_ID
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.sim import vector
 from repro.sim.config import MachineConfig
-from repro.sim.run import capture_run, replay_captured, simulate_streaming
+from repro.sim.packed import PackedTrace
+from repro.sim.run import (
+    capture_run,
+    replay_captured,
+    replay_sweep,
+    simulate_streaming,
+)
 from repro.workloads import SUITE
 
 ISAS = ("conventional", "block")
@@ -117,8 +132,54 @@ def benchmark_one(
             entry["vector_match"] = dataclasses.asdict(
                 vectored
             ) == dataclasses.asdict(streamed)
+        entry.update(
+            _sweep_columns(
+                tel, captured, config,
+                "numpy" if time_vector else "python", labels,
+            )
+        )
         entries.append(entry)
     return entries
+
+
+def _sweep_columns(tel, captured, config, kernel, labels) -> dict:
+    """Time the fig6/fig7-style icache sweep both ways.
+
+    Both legs replay *cold-shipped* trace copies — what a pool worker
+    unpickles. The per-config leg rebuilds the copy per sweep point
+    (one work item per spec, the pre-batching distribution); the sweep
+    leg ships once and hands the whole config list to
+    :func:`~repro.sim.run.replay_sweep`, which amortizes the shared
+    precompute. ``sweep_match`` asserts the two result lists are
+    bit-identical (``dataclasses.asdict`` equality, no tolerance).
+    """
+    configs = [config.with_icache_kb(None)] + [
+        config.with_icache_kb(kb) for kb in ICACHE_SWEEP_KB
+    ]
+    blob = captured.trace.to_bytes()
+
+    def ship():
+        return dataclasses.replace(
+            captured, trace=PackedTrace.from_bytes(blob)
+        )
+
+    per_results, sweep_per_config_s = _timed(
+        tel, "perf.sweep_per_config",
+        lambda: [replay_captured(ship(), c, kernel=kernel) for c in configs],
+        **labels,
+    )
+    sweep_results, sweep_s = _timed(
+        tel, "perf.sweep",
+        lambda: replay_sweep(ship(), configs, kernel=kernel),
+        **labels,
+    )
+    return {
+        "sweep_points": len(configs),
+        "sweep_per_config_s": sweep_per_config_s,
+        "sweep_s": sweep_s,
+        "sweep_match": [dataclasses.asdict(r) for r in per_results]
+        == [dataclasses.asdict(r) for r in sweep_results],
+    }
 
 
 def _totals(entries: list[dict]) -> dict:
@@ -138,8 +199,18 @@ def _totals(entries: list[dict]) -> dict:
             else 0.0
         ),
         "stats_match": all(e["stats_match"] for e in entries)
-        and all(e.get("vector_match", True) for e in entries),
+        and all(e.get("vector_match", True) for e in entries)
+        and all(e.get("sweep_match", True) for e in entries),
     }
+    if entries and all("sweep_s" in e for e in entries):
+        sweep_s = sum(e["sweep_s"] for e in entries)
+        sweep_per_config_s = sum(e["sweep_per_config_s"] for e in entries)
+        totals["sweep_s"] = sweep_s
+        totals["sweep_per_config_s"] = sweep_per_config_s
+        #: per-config -> batched sweep: ISSUE 9's >=3x target
+        totals["speedup_sweep"] = (
+            sweep_per_config_s / sweep_s if sweep_s else 0.0
+        )
     if entries and all("vector_s" in e for e in entries):
         vector_s = sum(e["vector_s"] for e in entries)
         totals["vector_s"] = vector_s
@@ -184,11 +255,14 @@ def benchmark_suite(
 #: more than this much slower than the committed baseline.
 REGRESSION_THRESHOLD = 0.20
 
-_COMPARE_FIELDS = ("capture_s", "replay_s", "streaming_s", "vector_s")
+_COMPARE_FIELDS = (
+    "capture_s", "replay_s", "streaming_s", "vector_s", "sweep_s"
+)
 #: capture_s is informational (it runs once per sweep); the sim phases
-#: are what ROADMAP item 1's trajectory gates on. vector_s only gates
-#: when both documents carry it (numpy present on both sides).
-_GATED_FIELDS = ("replay_s", "streaming_s", "vector_s")
+#: are what ROADMAP item 1's trajectory gates on. vector_s/sweep_s only
+#: gate when both documents carry them (numpy present on both sides,
+#: sweep columns present on both sides).
+_GATED_FIELDS = ("replay_s", "streaming_s", "vector_s", "sweep_s")
 
 
 def compare_documents(
@@ -207,7 +281,7 @@ def compare_documents(
     }
     lines = [
         f"{'benchmark':12s} {'isa':13s} {'capture':>9s} {'replay':>9s} "
-        f"{'streaming':>9s} {'vector':>9s}  vs baseline"
+        f"{'streaming':>9s} {'vector':>9s} {'sweep':>9s}  vs baseline"
     ]
     regressions: list[str] = []
     for entry in new["benchmarks"]:
@@ -216,7 +290,7 @@ def compare_documents(
         if base is None:
             lines.append(
                 f"{entry['benchmark']:12s} {entry['isa']:13s} "
-                f"{'—':>9s} {'—':>9s} {'—':>9s} {'—':>9s}  "
+                f"{'—':>9s} {'—':>9s} {'—':>9s} {'—':>9s} {'—':>9s}  "
                 f"(no baseline entry)"
             )
             continue
@@ -257,8 +331,8 @@ def render(doc: dict) -> str:
     """Human-readable table of one perf document."""
     lines = [
         f"{'benchmark':12s} {'isa':13s} {'capture':>9s} {'replay':>9s} "
-        f"{'streaming':>9s} {'vector':>9s} {'warm x':>7s} {'vec x':>7s} "
-        f"{'ops':>10s} match"
+        f"{'streaming':>9s} {'vector':>9s} {'sweep':>9s} {'warm x':>7s} "
+        f"{'vec x':>7s} {'swp x':>7s} {'ops':>10s} match"
     ]
     for e in doc["benchmarks"]:
         warm = e["streaming_s"] / e["replay_s"] if e["replay_s"] else 0.0
@@ -269,35 +343,50 @@ def render(doc: dict) -> str:
                 if e["vector_s"]
                 else f"{'—':>7s}"
             )
-            match = (
-                "ok"
-                if e["stats_match"] and e.get("vector_match", True)
-                else "MISMATCH"
-            )
         else:
             vec_col = f"{'—':>9s}"
             vec_x = f"{'—':>7s}"
-            match = "ok" if e["stats_match"] else "MISMATCH"
+        if "sweep_s" in e:
+            sweep_col = f"{e['sweep_s']:8.3f}s"
+            sweep_x = (
+                f"{e['sweep_per_config_s'] / e['sweep_s']:6.2f}x"
+                if e["sweep_s"]
+                else f"{'—':>7s}"
+            )
+        else:
+            sweep_col = f"{'—':>9s}"
+            sweep_x = f"{'—':>7s}"
+        match = (
+            "ok"
+            if e["stats_match"]
+            and e.get("vector_match", True)
+            and e.get("sweep_match", True)
+            else "MISMATCH"
+        )
         lines.append(
             f"{e['benchmark']:12s} {e['isa']:13s} {e['capture_s']:8.3f}s "
             f"{e['replay_s']:8.3f}s {e['streaming_s']:8.3f}s {vec_col} "
-            f"{warm:6.2f}x {vec_x} {e['ops']:10,d} {match}"
+            f"{sweep_col} {warm:6.2f}x {vec_x} {sweep_x} "
+            f"{e['ops']:10,d} {match}"
         )
     t = doc["totals"]
+    extras = []
     if "vector_s" in t:
-        tail = (
-            f"{t['vector_s']:8.3f}s {t['speedup_warm']:6.2f}x "
-            f"(vector {t['speedup_vector']:.2f}x vs streaming, "
-            f"{t['replay_vs_vector']:.2f}x vs python replay, "
-            f"cold {t['speedup_cold']:.2f}x)"
+        extras.append(
+            f"vector {t['speedup_vector']:.2f}x vs streaming, "
+            f"{t['replay_vs_vector']:.2f}x vs python replay"
         )
-    else:
-        tail = (
-            f"{'—':>9s} {t['speedup_warm']:6.2f}x "
-            f"(cold {t['speedup_cold']:.2f}x)"
+    if "sweep_s" in t:
+        extras.append(
+            f"sweep {t['speedup_sweep']:.2f}x vs per-config"
         )
+    extras.append(f"cold {t['speedup_cold']:.2f}x")
+    vec_tot = f"{t['vector_s']:8.3f}s" if "vector_s" in t else f"{'—':>9s}"
+    sweep_tot = f"{t['sweep_s']:8.3f}s" if "sweep_s" in t else f"{'—':>9s}"
     lines.append(
         f"{'total':12s} {'':13s} {t['capture_s']:8.3f}s "
-        f"{t['replay_s']:8.3f}s {t['streaming_s']:8.3f}s " + tail
+        f"{t['replay_s']:8.3f}s {t['streaming_s']:8.3f}s {vec_tot} "
+        f"{sweep_tot} {t['speedup_warm']:6.2f}x "
+        f"({', '.join(extras)})"
     )
     return "\n".join(lines)

@@ -188,6 +188,11 @@ _BENCH_TOTAL_NUMBERS = (
 #: and the kernel not forced to 'python') — validated when present.
 _BENCH_ENTRY_VECTOR_NUMBERS = ("vector_s",)
 _BENCH_TOTAL_VECTOR_NUMBERS = ("vector_s", "speedup_vector", "replay_vs_vector")
+#: The batched-sweep columns (docs/performance.md, "Sweep-batched
+#: replay"). ``bsisa perf`` emits them for every kernel, but older
+#: documents predate them — validated when present.
+_BENCH_ENTRY_SWEEP_NUMBERS = ("sweep_s", "sweep_per_config_s", "sweep_points")
+_BENCH_TOTAL_SWEEP_NUMBERS = ("sweep_s", "sweep_per_config_s", "speedup_sweep")
 
 
 def bench_document_errors(doc) -> list[str]:
@@ -219,15 +224,14 @@ def bench_document_errors(doc) -> list[str]:
                 errors.append(f"{where}: {field} must be a non-negative number")
         if not isinstance(entry.get("stats_match"), bool):
             errors.append(f"{where}: stats_match must be a bool")
-        for field in _BENCH_ENTRY_VECTOR_NUMBERS:
+        for field in _BENCH_ENTRY_VECTOR_NUMBERS + _BENCH_ENTRY_SWEEP_NUMBERS:
             if field in entry and (
                 not isinstance(entry[field], _NUMBER) or entry[field] < 0
             ):
                 errors.append(f"{where}: {field} must be a non-negative number")
-        if "vector_match" in entry and not isinstance(
-            entry["vector_match"], bool
-        ):
-            errors.append(f"{where}: vector_match must be a bool")
+        for field in ("vector_match", "sweep_match"):
+            if field in entry and not isinstance(entry[field], bool):
+                errors.append(f"{where}: {field} must be a bool")
     totals = doc.get("totals")
     if not isinstance(totals, dict):
         errors.append("totals must be an object")
@@ -237,7 +241,7 @@ def bench_document_errors(doc) -> list[str]:
                 errors.append(f"totals.{field} must be a number")
         if not isinstance(totals.get("stats_match"), bool):
             errors.append("totals.stats_match must be a bool")
-        for field in _BENCH_TOTAL_VECTOR_NUMBERS:
+        for field in _BENCH_TOTAL_VECTOR_NUMBERS + _BENCH_TOTAL_SWEEP_NUMBERS:
             if field in totals and not isinstance(totals[field], _NUMBER):
                 errors.append(f"totals.{field} must be a number")
     return errors

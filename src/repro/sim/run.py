@@ -323,6 +323,87 @@ def capture_run(
 # ---------------------------------------------------------------------------
 
 
+def _validate_kernel(kernel: str | None) -> str:
+    kern = kernel if kernel is not None else "auto"
+    if kern not in VALID_KERNELS:
+        raise SimulationError(
+            f"unknown replay kernel {kernel!r}; choose from "
+            f"{', '.join(VALID_KERNELS)}"
+        )
+    if kern == "numpy" and not vector.HAVE_NUMPY:
+        raise SimulationError(
+            "replay kernel 'numpy' requested but numpy is not "
+            "importable; install numpy or use the 'python' kernel"
+        )
+    return kern
+
+
+def prepare_sweep(
+    captured: CapturedRun,
+    configs,
+    kernel: str = "auto",
+    telemetry: Telemetry | None = None,
+) -> int:
+    """Shared precompute for replaying *captured* under every *config*.
+
+    On the vectorized kernel this primes the trace's ``_vprep`` cache
+    with one Mattson stack-distance traversal per
+    ``(line_bytes, num_sets)`` geometry group — covering every
+    associativity in the group — plus the config-independent column
+    decodings, so the subsequent per-config replays only pay vectorized
+    comparisons and the timing spine. On the ``python`` kernel (or when
+    numpy is absent) it is a no-op: the batch degrades to grouped
+    scalar replay, still bit-identical, just without the shared work.
+
+    Counts ``sweep.configs_batched`` on *telemetry* and returns the
+    number of geometry groups traversed (0 on the scalar path).
+    """
+    kern = _validate_kernel(kernel)
+    configs = list(configs)
+    tel = telemetry if telemetry is not None else get_telemetry()
+    tel.count("sweep.configs_batched", len(configs))
+    if kern == "python" or not vector.HAVE_NUMPY:
+        return 0
+    return vector.prepare_sweep(captured.trace, configs)
+
+
+def replay_sweep(
+    captured: CapturedRun,
+    configs,
+    telemetry: Telemetry | None = None,
+    insights=None,
+    kernel: str = "auto",
+) -> list[SimResult]:
+    """Batched replay of one captured trace under many machine configs.
+
+    The sweep entry point (docs/performance.md): one
+    :func:`prepare_sweep` pass amortizes the trace precompute and the
+    multi-geometry icache/dcache vectors across the whole config list,
+    then each config replays through :func:`replay_captured` unchanged —
+    so every returned :class:`SimResult` is bit-identical
+    (``dataclasses.asdict`` equality, insight reports included) to a
+    one-at-a-time replay of the same config.
+
+    *insights*, when given, is a sequence aligned with *configs*; each
+    non-``None`` entry is an :class:`~repro.insight.InsightCollector`
+    fed by that config's replay.
+    """
+    configs = list(configs)
+    if insights is None:
+        insights = [None] * len(configs)
+    elif len(insights) != len(configs):
+        raise SimulationError(
+            f"replay_sweep got {len(insights)} insight collectors for "
+            f"{len(configs)} configs"
+        )
+    tel = telemetry if telemetry is not None else get_telemetry()
+    prepare_sweep(captured, configs, kernel=kernel, telemetry=tel)
+    return [
+        replay_captured(captured, config, tel, insight=ins, kernel=kernel)
+        for config, ins in zip(configs, insights)
+    ]
+
+
 def replay_captured(
     captured: CapturedRun,
     config: MachineConfig | None = None,
@@ -342,17 +423,7 @@ def replay_captured(
     produce bit-identical results — all integer fields, no tolerance —
     so the choice only affects speed (docs/performance.md)."""
     config = config or MachineConfig()
-    kern = kernel if kernel is not None else "auto"
-    if kern not in VALID_KERNELS:
-        raise SimulationError(
-            f"unknown replay kernel {kernel!r}; choose from "
-            f"{', '.join(VALID_KERNELS)}"
-        )
-    if kern == "numpy" and not vector.HAVE_NUMPY:
-        raise SimulationError(
-            "replay kernel 'numpy' requested but numpy is not "
-            "importable; install numpy or use the 'python' kernel"
-        )
+    kern = _validate_kernel(kernel)
     tel = telemetry if telemetry is not None else get_telemetry()
     atomic = captured.isa == "block"
     engine = TimingEngine(

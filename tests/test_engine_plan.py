@@ -28,7 +28,7 @@ from repro.harness import ALL_EXPERIMENTS, EXPERIMENT_RUNS, SuiteRunner
 from repro.obs import Telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.engine import TimingStats
-from repro.sim.run import SimResult
+from repro.sim.run import SimResult, capture_run
 from repro.workloads import SUITE
 
 SCALE = 0.05
@@ -236,9 +236,82 @@ class TestParallelExecution:
         def boom(*args, **kwargs):  # pragma: no cover - guard
             raise AssertionError("serial path must not use the pool")
 
-        monkeypatch.setattr(core, "execute_parallel", boom)
+        monkeypatch.setattr(core, "execute_parallel_groups", boom)
         runner = SuiteRunner(scale=SCALE, benchmarks=["compress"], jobs=1)
         runner.execute(["table2"])
+
+
+# ---------------------------------------------------------------------------
+# Ship-once trace distribution (one work item per trace/config group)
+# ---------------------------------------------------------------------------
+
+
+class TestTraceGroupedDistribution:
+    def test_effective_single_worker_runs_in_process(self, monkeypatch):
+        """jobs=2 with a single work item: the effective worker count
+        is 1, so neither entry point may create a pool — regression for
+        execute_parallel spawning a ProcessPoolExecutor just to feed
+        one worker."""
+        import repro.engine.executor as executor
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("single effective worker must not spawn")
+
+        monkeypatch.setattr(executor, "ProcessPoolExecutor", boom)
+        pair = Toolchain().compile(SUITE["compress"].source(SCALE), "compress")
+        spec = RunSpec("compress", "conventional", MachineConfig())
+        small = RunSpec(
+            "compress", "conventional", MachineConfig().with_icache_kb(16)
+        )
+        captured = capture_run(pair.conventional, spec.isa, spec.config)
+
+        [(got, result, snapshot, report)] = executor.execute_parallel(
+            [(spec, captured)], 2, False
+        )
+        assert got is spec and snapshot is None and report is None
+        assert isinstance(result, SimResult)
+
+        [(specs, payloads, snap)] = executor.execute_parallel_groups(
+            [(captured, [spec, small])], 2, False
+        )
+        assert specs == [spec, small] and snap is None
+        want = [
+            dataclasses.asdict(executor.execute_run(captured, s, False)[0])
+            for s in (spec, small)
+        ]
+        assert [dataclasses.asdict(r) for r, _ in payloads] == want
+
+    def test_pool_grouped_results_and_counters_match_serial(self):
+        """fig6+fig7 on one benchmark: two (trace, config-group) work
+        items across a 2-process pool. Results stay bit-identical to a
+        serial run and the sweep telemetry lands on both paths; the
+        trace is shipped once per group, so ship bytes equal the two
+        packed traces — not eight."""
+        tel = Telemetry()
+        runner = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], telemetry=tel, jobs=2
+        )
+        plan = runner.execute(["fig6", "fig7"])
+        serial_tel = Telemetry()
+        serial = SuiteRunner(
+            scale=SCALE, benchmarks=["compress"], telemetry=serial_tel
+        )
+        serial.execute(["fig6", "fig7"])
+        for spec in plan.runs:
+            assert dataclasses.asdict(runner.engine.run(spec)) == (
+                dataclasses.asdict(serial.engine.run(spec))
+            ), spec
+        for t in (tel, serial_tel):
+            assert t.metrics.get("plan.sweep_groups") == 2
+            assert t.metrics.get("plan.trace_reuse") == 6
+            assert t.metrics.get("sweep.configs_batched") == 8
+        groups = runner.engine._sweep_groups(list(plan.runs))
+        shipped = sum(
+            runner.engine.captured_run(specs[0]).trace.nbytes
+            for specs in groups
+        )
+        assert tel.metrics.get("plan.trace_ship_bytes") == shipped
+        assert serial_tel.metrics.get("plan.trace_ship_bytes") is None
 
 
 # ---------------------------------------------------------------------------

@@ -27,11 +27,14 @@ from repro.obs import Telemetry
 from repro.sim import vector
 from repro.sim.cache import Cache
 from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.packed import PackedTrace
 from repro.sim.run import (
     VALID_KERNELS,
     capture_run,
     predictor_key,
+    prepare_sweep,
     replay_captured,
+    replay_sweep,
     simulate_streaming,
 )
 from repro.workloads import SUITE
@@ -204,6 +207,36 @@ class TestKernelSelection:
             importlib.reload(vector)
         assert vector.HAVE_NUMPY == (saved is not None)
 
+    def test_sweep_without_numpy_falls_back_to_grouped_scalar(self):
+        """Reload repro.sim.vector with numpy absent: prepare_sweep
+        declines (no shared precompute to run) and replay_sweep still
+        replays the whole batch via the scalar path, bit-identical to
+        per-config scalar replay."""
+        config = MachineConfig()
+        captured = capture_run(
+            _pair("compress").conventional, "conventional", config
+        )
+        configs = [config.with_icache_kb(None), config.with_icache_kb(16)]
+        want = [
+            dataclasses.asdict(replay_captured(captured, c, kernel="python"))
+            for c in configs
+        ]
+        saved = sys.modules.get("numpy")
+        sys.modules["numpy"] = None  # import numpy now raises ImportError
+        try:
+            importlib.reload(vector)
+            assert not vector.HAVE_NUMPY
+            assert prepare_sweep(captured, configs) == 0
+            got = replay_sweep(captured, configs)  # kernel="auto"
+            assert [dataclasses.asdict(r) for r in got] == want
+        finally:
+            if saved is None:
+                del sys.modules["numpy"]
+            else:
+                sys.modules["numpy"] = saved
+            importlib.reload(vector)
+        assert vector.HAVE_NUMPY == (saved is not None)
+
     def test_cli_kernel_numpy_without_numpy_exits_2(self, monkeypatch, capsys):
         from repro.harness.cli import main
 
@@ -225,13 +258,22 @@ class TestKernelSelection:
         assert bench_document_errors(doc) == []
         assert all("vector_s" not in e for e in doc["benchmarks"])
         assert "vector_s" not in doc["totals"]
+        # The sweep columns ride every kernel: forced-python runs both
+        # legs through the grouped scalar fallback.
+        for e in doc["benchmarks"]:
+            assert e["sweep_points"] == 4
+            assert e["sweep_match"] is True
+        for key in ("sweep_s", "sweep_per_config_s", "speedup_sweep"):
+            assert key in doc["totals"]
         if vector.HAVE_NUMPY:
             doc = benchmark_suite(["compress"], SCALE, kernel="auto")
             assert bench_document_errors(doc) == []
             for e in doc["benchmarks"]:
                 assert e["vector_s"] >= 0
                 assert e["vector_match"] is True
-            for key in ("vector_s", "speedup_vector", "replay_vs_vector"):
+                assert e["sweep_match"] is True
+            for key in ("vector_s", "speedup_vector", "replay_vs_vector",
+                        "speedup_sweep"):
                 assert key in doc["totals"]
             assert doc["totals"]["stats_match"] is True
 
@@ -342,6 +384,140 @@ class TestPrimitiveProperties:
         for f, l in zip(first, last):
             offsets.append(offsets[-1] + (l - f + 1))
         assert starts.tolist() == offsets[:-1]
+
+
+# ---------------------------------------------------------------------------
+# Sweep batching: stack distances + batched replay equality
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+class TestStackDistances:
+    """The all-associativity primitive the sweep precompute rests on,
+    cross-checked against the listwise move-to-front oracle and the
+    real Cache across a (num_sets, assoc) matrix — including assoc=1
+    (direct-mapped sets) and num_sets=1 (fully associative)."""
+
+    @given(
+        lines=st.lists(st.integers(0, 20), min_size=0, max_size=80),
+        num_sets=st.sampled_from([1, 2, 4, 8]),
+        max_assoc=st.integers(1, 6),
+    )
+    @settings(max_examples=60)
+    def test_one_saturated_vector_decides_every_smaller_assoc(
+        self, lines, num_sets, max_assoc
+    ):
+        """dist saturated at cap C classifies hits exactly for every
+        assoc <= C: dist < assoc iff the per-assoc oracle hits."""
+        dist = vector.stack_distances(lines, num_sets, max_assoc)
+        for assoc in range(1, max_assoc + 1):
+            want = vector.lru_hits_listwise(lines, num_sets, assoc)
+            assert (dist < assoc).tolist() == want.tolist(), assoc
+
+    @given(
+        lines=st.lists(st.integers(0, 20), min_size=0, max_size=80),
+        num_sets=st.sampled_from([1, 2, 4]),
+        assoc=st.integers(1, 4),
+    )
+    @settings(max_examples=60)
+    def test_distances_agree_with_the_real_cache(
+        self, lines, num_sets, assoc
+    ):
+        line_bytes = 64
+        cache = Cache(
+            CacheConfig(num_sets * assoc * line_bytes, assoc, line_bytes)
+        )
+        want = [cache.access_line(line) for line in lines]
+        dist = vector.stack_distances(lines, num_sets, assoc)
+        assert (dist < assoc).tolist() == want
+        assert vector.lru_hits(lines, num_sets, assoc).tolist() == want
+        assert vector.lru_hits_listwise(
+            lines, num_sets, assoc
+        ).tolist() == want
+
+    @given(
+        lines=st.lists(st.integers(0, 12), min_size=0, max_size=60),
+        num_sets=st.sampled_from([1, 2, 4]),
+        assocs=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+    )
+    @settings(max_examples=60)
+    def test_cached_geometry_vector_is_query_order_independent(
+        self, lines, num_sets, assocs
+    ):
+        """_geom_distances' per-trace cache (cap widening plus the
+        floor-guarded synthesized never-evict vectors) must classify
+        exactly like the oracle for every queried associativity, in any
+        query order."""
+        import types
+
+        fake = types.SimpleNamespace(_vprep={})
+        arr = np.array(lines, dtype=np.int64)
+        for assoc in assocs:
+            dist = vector._geom_distances(
+                fake, "icdist", arr, 64, num_sets, assoc
+            )
+            want = vector.lru_hits_listwise(lines, num_sets, assoc)
+            assert (dist < assoc).tolist() == want.tolist(), assoc
+
+
+@needs_numpy
+class TestSweepBatchedReplay:
+    def test_every_sweep_group_matches_per_config_and_streaming(self):
+        """Three-way over every EXPERIMENT_RUNS trace group (the fig6/
+        fig7 icache sweeps included): batched replay_sweep vs cold
+        one-at-a-time replay vs streaming — asdict-equal SimResults and
+        identical InsightReports, no tolerance."""
+        groups: dict = {}
+        for spec in _matrix_specs():
+            memo = (spec.benchmark, spec.isa, predictor_key(spec.config))
+            groups.setdefault(memo, []).append(spec)
+        for (bench, isa, _), specs in groups.items():
+            prog = getattr(_pair(bench), isa)
+            captured = capture_run(prog, isa, specs[0].config)
+            configs = [spec.config for spec in specs]
+            sweep_ins = [InsightCollector() for _ in specs]
+            swept = replay_sweep(
+                captured, configs, insights=sweep_ins, kernel="numpy"
+            )
+            for spec, batched, b_ins in zip(specs, swept, sweep_ins):
+                cold = dataclasses.replace(
+                    captured,
+                    trace=PackedTrace.from_bytes(captured.trace.to_bytes()),
+                )
+                p_ins = InsightCollector()
+                single = replay_captured(
+                    cold, spec.config, insight=p_ins, kernel="numpy"
+                )
+                s_ins = InsightCollector()
+                streamed = simulate_streaming(
+                    prog, isa, spec.config, insight=s_ins
+                )
+                want = dataclasses.asdict(streamed)
+                assert dataclasses.asdict(single) == want, spec
+                assert dataclasses.asdict(batched) == want, spec
+                report = s_ins.report(bench, isa, spec.config)
+                assert p_ins.report(bench, isa, spec.config) == report, spec
+                assert b_ins.report(bench, isa, spec.config) == report, spec
+
+    def test_prepare_sweep_counts_batched_configs(self):
+        config = MachineConfig()
+        captured = capture_run(
+            _pair("compress").conventional, "conventional", config
+        )
+        configs = [config.with_icache_kb(None)] + [
+            config.with_icache_kb(kb) for kb in (16, 32, 64)
+        ]
+        tel = Telemetry()
+        assert prepare_sweep(captured, configs, telemetry=tel) > 0
+        assert tel.metrics.get("sweep.configs_batched") == 4
+
+    def test_sweep_insight_length_mismatch_is_rejected(self):
+        config = MachineConfig()
+        captured = capture_run(
+            _pair("compress").conventional, "conventional", config
+        )
+        with pytest.raises(SimulationError, match="insight collectors"):
+            replay_sweep(captured, [config], insights=[None, None])
 
 
 # ---------------------------------------------------------------------------
