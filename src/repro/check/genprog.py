@@ -26,6 +26,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class GenConfig:
@@ -36,12 +38,55 @@ class GenConfig:
     * ``struct_depth`` — nesting depth of the generated struct chain
       (0 disables structs; 1 is a flat struct; ``d`` nests ``d`` deep);
     * ``switch_arms`` — max ``case`` arms per ``switch`` (0 disables
-      switch statements; clamped to the 8 distinct ``& 7`` values).
+      switch statements; at most 8, the distinct ``& 7`` values);
+    * ``branch_bias`` — when set, generated ``if`` conditions compare
+      low bits of a live value against a threshold so each branch is
+      taken with roughly this probability (``None`` keeps the classic
+      unbiased condition distribution and draw sequence);
+    * ``hot_loop_ops`` — approximate static machine-op footprint of an
+      extra hot loop nest appended to ``main`` (0 disables it). The
+      nest is a trip-bounded loop over biased conditionals guarding
+      straight-line arithmetic runs, so the hot-region size scales with
+      the knob while control behavior follows ``branch_bias``.
     """
+
+    #: inclusive (lo, hi) bounds for every integer knob, used both by
+    #: validation and by error messages.
+    RANGES = {
+        "array_ops": (0, 64),
+        "struct_depth": (0, 8),
+        "switch_arms": (0, 8),
+        "hot_loop_ops": (0, 65536),
+    }
 
     array_ops: int = 2
     struct_depth: int = 2
     switch_arms: int = 4
+    branch_bias: float | None = None
+    hot_loop_ops: int = 0
+
+    def __post_init__(self):
+        for knob, (lo, hi) in self.RANGES.items():
+            value = getattr(self, knob)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigError(
+                    f"GenConfig.{knob}={value!r} must be an integer "
+                    f"in {lo}..{hi}"
+                )
+            if not lo <= value <= hi:
+                raise ConfigError(
+                    f"GenConfig.{knob}={value} outside allowed range "
+                    f"{lo}..{hi}"
+                )
+        if self.branch_bias is not None and not (
+            isinstance(self.branch_bias, (int, float))
+            and not isinstance(self.branch_bias, bool)
+            and 0.0 <= self.branch_bias <= 1.0
+        ):
+            raise ConfigError(
+                f"GenConfig.branch_bias={self.branch_bias!r} must be "
+                "None or a float in 0.0..1.0"
+            )
 
 
 class RandomSource:
@@ -170,7 +215,12 @@ class ProgramBuilder:
             elif kind == "switch" and depth < 2:
                 out.extend(self._switch(names, depth))
             elif kind == "if" and depth < 2:
-                cond = self.expr(names)
+                if self.config.branch_bias is not None and names:
+                    cond = self.biased_condition(
+                        self.source.sampled_from(names)
+                    )
+                else:
+                    cond = self.expr(names)
                 then = self.stmts(names, depth + 1, budget)
                 if self.source.booleans():
                     other = self.stmts(names, depth + 1, budget)
@@ -195,6 +245,99 @@ class ProgramBuilder:
                 out.extend(body)
                 out.append("}")
         return out
+
+    #: straight-line statement shapes: every line rewrites *t* from its
+    #: old value plus an operand, so lines form a dependence chain that
+    #: neither constant folding nor CSE can collapse. Each lowers to a
+    #: handful of ALU machine ops (see OPS_PER_LINE).
+    RUN_PATTERNS = [
+        "{t} = (({t} * {a}) + ({r} ^ {b})) & 1048575;",
+        "{t} = (({t} ^ ({r} + {a})) + {b}) & 1048575;",
+        "{t} = ((({t} << {s}) ^ ({t} >> 3)) + {a}) & 1048575;",
+        "{t} = (({t} + ({r} & {a})) * {b}) & 1048575;",
+    ]
+
+    #: lighter shapes (~2-3 ops each) for small-block scenarios where
+    #: the heavy chain would swamp the target block size.
+    LIGHT_PATTERNS = [
+        "{t} = ({t} + ({r} ^ {a})) & 1048575;",
+        "{t} = ({t} ^ ({r} >> {s})) & 1048575;",
+        "{t} = (({t} >> 1) + {a}) & 1048575;",
+    ]
+
+    #: rough machine ops a RUN_PATTERNS line lowers to (used for
+    #: hot-region budgeting; calibration loops re-measure, so this only
+    #: needs to be in the right ballpark).
+    OPS_PER_LINE = 4
+
+    def biased_condition(self, operand: str) -> str:
+        """A condition on *operand* taken with ~``branch_bias``.
+
+        Compares ten low bits (after a drawn shift, so consecutive
+        branches key on different bits) against the bias threshold;
+        for pseudo-random non-negative operands the taken probability
+        tracks the knob. Falls back to an even 0.5 split when
+        ``branch_bias`` is unset.
+        """
+        bias = self.config.branch_bias
+        if bias is None:
+            bias = 0.5
+        thresh = max(1, min(1023, round(bias * 1024)))
+        shift = self.source.integers(0, 6)
+        return f"((({operand} >> {shift}) & 1023) < {thresh})"
+
+    def straight_run(
+        self, target: str, operand: str, n: int, light: bool = False
+    ) -> list[str]:
+        """*n* dependent straight-line arithmetic statements.
+
+        Each line both reads and writes *target*, mixing in *operand*
+        with drawn constants, so the run contributes ``n`` distinct
+        lines (~``n * OPS_PER_LINE`` machine ops, fewer with *light*)
+        to one basic block.
+        """
+        pool = self.LIGHT_PATTERNS if light else self.RUN_PATTERNS
+        out = []
+        for _ in range(n):
+            pattern = self.source.sampled_from(pool)
+            out.append(pattern.format(
+                t=target,
+                r=operand,
+                a=self.source.integers(3, 255),
+                b=self.source.integers(3, 255),
+                s=self.source.integers(1, 4),
+            ))
+        return out
+
+    def _hot_loop(self) -> list[str]:
+        """A loop nest sized to ~``hot_loop_ops`` static machine ops.
+
+        The body is a chain of biased conditionals guarding straight
+        runs, re-seeded by an inline LCG each trip so the branch stream
+        is data-dependent. Appended to ``main`` when the knob is set.
+        """
+        budget = self.config.hot_loop_ops
+        lines = [
+            "int hx = 1;",
+            "int hr = 17;",
+            "for (int hi = 0; hi < 8; hi = hi + 1) {",
+            "hr = ((hr * 1103515245) + 12345) & 1073741823;",
+        ]
+        emitted = 0
+        while emitted < budget:
+            run = self.source.integers(2, 6)
+            then = self.straight_run("hx", "hr", run)
+            block = [f"if ({self.biased_condition('hr')}) {{", *then]
+            if self.source.booleans():
+                block += ["} else {",
+                          *self.straight_run("hx", "hr", run), "}"]
+            else:
+                block.append("}")
+            lines.extend(block)
+            # straight lines plus compare/branch overhead per block
+            emitted += (len(block) - 1) * self.OPS_PER_LINE + 3
+        lines += ["}", "print_int(hx);"]
+        return lines
 
     def _struct_decls(self) -> list[str]:
         """The struct-type chain and its two global instances.
@@ -235,8 +378,10 @@ class ProgramBuilder:
 
         About half the arms fall through (no ``break``), so generated
         programs exercise both the dispatch tree and C fallthrough.
+        ``switch_arms`` is range-checked at :class:`GenConfig`
+        construction, so the knob is honored as-is here.
         """
-        arms = self.source.integers(1, min(self.config.switch_arms, 8))
+        arms = self.source.integers(1, self.config.switch_arms)
         pool = list(range(8))
         values = []
         for _ in range(arms):
@@ -258,6 +403,8 @@ class ProgramBuilder:
 
     def program(self) -> str:
         body = self.stmts(["g"], 0, 0)
+        if self.config.hot_loop_ops > 0:
+            body += self._hot_loop()
         use_helper = self.source.booleans()
         helper_lines: list[str] = []
         call_lines: list[str] = []

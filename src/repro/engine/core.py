@@ -55,7 +55,7 @@ from repro.sim.run import (
     prepare_sweep,
     replay_captured,
 )
-from repro.workloads import SUITE, default_scale
+from repro.workloads import SUITE, default_scale, get_workload
 
 
 class ExperimentEngine:
@@ -117,7 +117,9 @@ class ExperimentEngine:
 
     def _source(self, name: str) -> str:
         if name not in self._sources:
-            self._sources[name] = SUITE[name].source(self.scale)
+            # get_workload (not SUITE) so registered scenario
+            # families flow through RunSpec/cache/replay unchanged
+            self._sources[name] = get_workload(name).source(self.scale)
         return self._sources[name]
 
     def _compile_key(self, name: str) -> str | None:

@@ -29,13 +29,19 @@
     bsisa fuzz --replay corpus/fail-0-4.minic   # re-run a saved failure
     bsisa explore prog.minic            # source -> IR -> both ISA encodings
     bsisa explore prog.minic --function main --opt-level 0
+    bsisa scenarios list --realized     # families + measured axis values
+    bsisa scenarios generate synthetic/bb8_bias90_fit16k -o fam.minic
+    bsisa scenarios sweep -o SCENARIO.json   # crossover heatmap artifact
+    bsisa scenarios sweep --bb 3 8 16 --bias 0.6 0.8 0.95 --hot-kb 4 16
+    bsisa scenarios cosim               # oracle over every family
     bsisa verify-paper                  # paper-fidelity regression gate
     bsisa verify-paper -o BENCH_paper.json --write-experiments
 
 Exit codes are a contract (tests/test_cli_exit_codes.py): 0 success,
-1 operational failure (fuzz oracle violation, perf stats mismatch or
->20% perf regression under ``--compare``, broken cycle accounting),
-2 usage error (argparse, unknown name, unknown ``--kind``,
+1 operational failure (fuzz or scenario-cosim oracle violation, perf
+stats mismatch or >20% perf regression under ``--compare``, broken
+cycle accounting), 2 usage error (argparse, unknown name or family,
+out-of-range generator/axis knobs, unknown ``--kind``,
 ``--kernel numpy`` without numpy installed), 3 paper-claim failure
 from ``verify-paper``.
 """
@@ -52,11 +58,12 @@ from repro.harness.experiments import ALL_EXPERIMENTS, SuiteRunner
 from repro.obs import Telemetry
 from repro.sim.config import MachineConfig
 from repro.sim.run import simulate_block_structured, simulate_conventional
-from repro.workloads import EXTRA, SUITE, get_workload
+from repro.workloads import EXTRA, SUITE, get_workload, workload_names
 
 #: Names accepted by the single-workload commands (compile, simulate,
-#: metrics, timeline, trace): the paper suite plus the EXTRA registry.
-ALL_WORKLOADS = list(SUITE) + list(EXTRA)
+#: metrics, timeline, trace): the paper suite, the EXTRA registry, and
+#: the registered scenario families (docs/scenarios.md).
+ALL_WORKLOADS = workload_names()
 
 #: The CLI's exit-code contract.
 EXIT_OK = 0
@@ -90,12 +97,21 @@ def _kernel_usage_error(args) -> bool:
 
 
 def _cmd_list(_args) -> int:
+    from repro.scenario.families import FAMILIES
+
     print("workloads:")
     for name, workload in SUITE.items():
         print(f"  {name:10s} {workload.description}")
     print("extra workloads (not part of Table 2):")
     for name, workload in EXTRA.items():
         print(f"  {name:10s} {workload.description}")
+    print("scenario families (bsisa scenarios, docs/scenarios.md):")
+    for name in sorted(FAMILIES):
+        spec = FAMILIES[name]
+        print(
+            f"  {name}  (targets: bb {spec.bb_size} ops, "
+            f"bias {spec.bias:.2f}, hot {spec.hot_bytes} B)"
+        )
     print("experiments:")
     for name, fn in ALL_EXPERIMENTS.items():
         print(f"  {name:10s} {(fn.__doc__ or '').strip().splitlines()[0]}")
@@ -625,6 +641,19 @@ def _cmd_fuzz(args) -> int:
         print(report.summary())
         rc = 0 if report.ok else 1
     else:
+        from repro.errors import ConfigError
+
+        try:
+            gen_config = GenConfig(
+                array_ops=args.array_ops,
+                struct_depth=args.struct_depth,
+                switch_arms=args.switch_arms,
+                branch_bias=args.branch_bias,
+                hot_loop_ops=args.hot_loop_ops,
+            )
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return EXIT_USAGE
         fuzzer = Fuzzer(
             checker=checker,
             corpus_dir=args.corpus,
@@ -632,11 +661,7 @@ def _cmd_fuzz(args) -> int:
             shrink_budget=args.shrink_budget,
             telemetry=tel,
             progress=progress,
-            gen_config=GenConfig(
-                array_ops=args.array_ops,
-                struct_depth=args.struct_depth,
-                switch_arms=args.switch_arms,
-            ),
+            gen_config=gen_config,
         )
         result = fuzzer.run(args.budget, args.seed)
         if result.ok:
@@ -677,6 +702,137 @@ def _cmd_fuzz(args) -> int:
         )
         rc = rc or artifact_rc
     return rc
+
+
+def _cmd_scenarios(args) -> int:
+    """Scenario-engine entry: list/generate/sweep/cosim families."""
+    import dataclasses
+    import json
+
+    from repro.errors import ConfigError
+    from repro.scenario.families import FAMILIES, get_family
+    from repro.scenario.spec import ScenarioSpec
+    from repro.scenario.sweep import render_heatmap, run_sweep
+    from repro.scenario.synth import generate_source, synthesize
+
+    if args.action == "list":
+        for name in sorted(FAMILIES):
+            spec = FAMILIES[name]
+            line = (
+                f"{name}  bb={spec.bb_size} bias={spec.bias:.2f} "
+                f"hot={spec.hot_bytes}B seed={spec.seed}"
+            )
+            if args.realized:
+                axes = synthesize(spec, args.budget).realized
+                line += (
+                    f"  -> realized bb={axes.mean_bb_ops} "
+                    f"mis={axes.mispredict_rate} hot={axes.hot_bytes}B"
+                )
+            print(line)
+        return EXIT_OK
+
+    if args.action == "generate":
+        try:
+            spec = get_family(args.family)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return EXIT_USAGE
+        if args.seed is not None:
+            try:
+                spec = dataclasses.replace(spec, seed=args.seed)
+            except ConfigError as exc:
+                print(str(exc), file=sys.stderr)
+                return EXIT_USAGE
+        result = synthesize(spec, args.budget)
+        source = generate_source(spec, result.params, args.scale)
+        report = {
+            "family": spec.family_name,
+            "seed": spec.seed,
+            "target": {
+                "bb_size": spec.bb_size,
+                "bias": spec.bias,
+                "hot_bytes": spec.hot_bytes,
+            },
+            "realized": result.realized.as_dict(),
+            "attempts": result.attempts,
+            "params": result.params.key(),
+        }
+        if args.output:
+            try:
+                with open(args.output, "w", encoding="utf-8") as fh:
+                    fh.write(source)
+            except OSError as exc:
+                print(
+                    f"cannot write source to {args.output}: {exc}",
+                    file=sys.stderr,
+                )
+                return EXIT_FAILURE
+            print(f"source written to {args.output}", file=sys.stderr)
+        else:
+            print(source)
+        print(json.dumps(report, indent=2), file=sys.stderr)
+        return EXIT_OK
+
+    if args.action == "sweep":
+        if _kernel_usage_error(args):
+            return EXIT_USAGE
+        tel = _make_telemetry(args)
+        try:
+            doc = run_sweep(
+                bb_sizes=args.bb,
+                biases=args.bias,
+                hot_kb=args.hot_kb,
+                icache_kb=args.icache_kb,
+                seed=args.seed,
+                scale=args.scale,
+                budget=args.budget,
+                kernel=args.kernel,
+                telemetry=tel,
+                progress=lambda line: print(line, file=sys.stderr),
+            )
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return EXIT_USAGE
+        print(render_heatmap(doc))
+        rc = EXIT_OK
+        if args.output:
+            try:
+                with open(args.output, "w", encoding="utf-8") as fh:
+                    json.dump(doc, fh, indent=1, sort_keys=True)
+                    fh.write("\n")
+            except OSError as exc:
+                print(
+                    f"cannot write artifact to {args.output}: {exc}",
+                    file=sys.stderr,
+                )
+                return EXIT_FAILURE
+            print(f"artifact written to {args.output}", file=sys.stderr)
+        if tel is not None:
+            rc = rc or _write_artifact(
+                tel,
+                args.metrics_json,
+                {"command": "scenarios sweep", "seed": args.seed},
+            )
+        return rc
+
+    # action == "cosim": every registered family through the oracle
+    from repro.check import CosimChecker
+
+    checker = CosimChecker()
+    failures = []
+    for name in sorted(FAMILIES):
+        source = get_workload(name).source(args.scale)
+        report = checker.check_source(source, name=name.replace("/", "_"))
+        status = "ok" if report.ok else "FAILED"
+        print(f"{name}: {status} ({report.configurations} configurations)")
+        if not report.ok:
+            failures.append((name, report))
+    if failures:
+        for name, report in failures:
+            print(f"{name}: {report.summary()}", file=sys.stderr)
+        return EXIT_FAILURE
+    print(f"scenario cosim ok: {len(FAMILIES)} families")
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1005,7 +1161,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzzp.add_argument(
         "--switch-arms", type=int, default=4, metavar="N",
         help="max case arms per generated switch "
-        "(0 disables switches; default 4)",
+        "(0 disables switches; max 8; default 4)",
+    )
+    fuzzp.add_argument(
+        "--branch-bias", type=float, default=None, metavar="P",
+        help="taken-probability of generated if conditions "
+        "(0.0..1.0; default: unbiased classic conditions)",
+    )
+    fuzzp.add_argument(
+        "--hot-loop-ops", type=int, default=0, metavar="N",
+        help="approximate static op footprint of an extra hot loop "
+        "nest in main (0 disables; default 0)",
     )
     fuzzp.add_argument(
         "--metrics-json",
@@ -1013,6 +1179,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the unified telemetry artifact (metrics+spans+trace)",
     )
     fuzzp.set_defaults(fn=_cmd_fuzz)
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="parameterized workload families on the paper's three axes",
+    )
+    scen_sub = scen.add_subparsers(dest="action", required=True)
+
+    scen_list = scen_sub.add_parser(
+        "list", help="registered families and their axis targets"
+    )
+    scen_list.add_argument(
+        "--realized", action="store_true",
+        help="also synthesize each family and print realized axis values",
+    )
+    scen_list.add_argument(
+        "--budget", type=int, default=6, metavar="N",
+        help="synthesis attempt budget when --realized (default 6)",
+    )
+    scen_list.set_defaults(fn=_cmd_scenarios)
+
+    scen_gen = scen_sub.add_parser(
+        "generate",
+        help="synthesize one family and emit its MiniC source + report",
+    )
+    scen_gen.add_argument("family", help="registered family name")
+    scen_gen.add_argument("--scale", type=float, default=1.0)
+    scen_gen.add_argument(
+        "--seed", type=int, default=None,
+        help="override the family seed (off-registry variant)",
+    )
+    scen_gen.add_argument(
+        "--budget", type=int, default=6, metavar="N",
+        help="synthesis attempt budget (default 6)",
+    )
+    scen_gen.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write source here instead of stdout "
+        "(the JSON report always goes to stderr)",
+    )
+    scen_gen.set_defaults(fn=_cmd_scenarios)
+
+    scen_sweep = scen_sub.add_parser(
+        "sweep",
+        help="axis-grid crossover sweep -> repro.scenario/v1 artifact",
+    )
+    scen_sweep.add_argument(
+        "--bb", type=int, nargs="+", default=[3, 8, 16], metavar="N",
+        help="target mean basic-block sizes (default: 3 8 16)",
+    )
+    scen_sweep.add_argument(
+        "--bias", type=float, nargs="+", default=[0.6, 0.8, 0.95],
+        metavar="P", help="branch-bias targets (default: 0.6 0.8 0.95)",
+    )
+    scen_sweep.add_argument(
+        "--hot-kb", type=int, nargs="+", default=[4, 16], metavar="KB",
+        help="hot-footprint targets in KB (default: 4 16)",
+    )
+    scen_sweep.add_argument(
+        "--icache-kb", type=int, nargs="+", default=[4, 16, 64],
+        metavar="KB",
+        help="icache sizes replayed per cell, batched (default: 4 16 64)",
+    )
+    scen_sweep.add_argument("--scale", type=float, default=1.0)
+    scen_sweep.add_argument("--seed", type=int, default=0)
+    scen_sweep.add_argument(
+        "--budget", type=int, default=6, metavar="N",
+        help="synthesis attempt budget per cell (default 6)",
+    )
+    scen_sweep.add_argument(
+        "--kernel", choices=["auto", "python", "numpy"], default="auto",
+        help="replay kernel for the batched icache sweep",
+    )
+    scen_sweep.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the repro.scenario/v1 JSON artifact here",
+    )
+    scen_sweep.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="write the unified telemetry artifact (metrics+spans+trace)",
+    )
+    scen_sweep.set_defaults(fn=_cmd_scenarios)
+
+    scen_cosim = scen_sub.add_parser(
+        "cosim",
+        help="run every registered family through the cosimulation "
+        "oracle (all enlargement variants)",
+    )
+    scen_cosim.add_argument(
+        "--scale", type=float, default=0.1,
+        help="workload scale for the oracle runs (default 0.1)",
+    )
+    scen_cosim.set_defaults(fn=_cmd_scenarios)
 
     explore = sub.add_parser(
         "explore",

@@ -35,6 +35,9 @@ FIDELITY_SCHEMA_ID = "repro.fidelity/v1"
 #: (docs/observability.md).
 INSIGHT_SCHEMA_ID = "repro.insight/v1"
 
+#: Schema id of the ``bsisa scenarios sweep`` artifact (docs/scenarios.md).
+SCENARIO_SCHEMA_ID = "repro.scenario/v1"
+
 #: The cycle-accounting buckets of one :class:`repro.insight.InsightReport`,
 #: in display order. Every simulated cycle lands in exactly one bucket:
 #: ``sum(buckets) == cycles`` is part of the schema contract.
@@ -479,6 +482,180 @@ def insight_document_errors(doc) -> list[str]:
     return errors
 
 
+_SCENARIO_WINNERS = ("block", "conventional", "tie")
+_SCENARIO_REALIZED_NUMBERS = (
+    "mean_bb_ops",
+    "mispredict_rate",
+    "branch_events",
+    "hot_bytes",
+    "static_code_bytes",
+    "block_code_bytes",
+)
+_SCENARIO_AXES = ("bb_size", "bias", "hot_bytes", "icache_kb")
+_SCENARIO_SUMMARY_COUNTS = (
+    "cells",
+    "points",
+    "block_wins",
+    "conventional_wins",
+    "ties",
+    "crossover_points",
+)
+
+
+def _check_scenario_cell(cell, i: int, errors: list[str]) -> None:
+    where = f"cells[{i}]"
+    if not isinstance(cell, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    if not isinstance(cell.get("family"), str) or not cell.get(
+        "family", ""
+    ).startswith("synthetic/"):
+        errors.append(
+            f"{where}: family must be a 'synthetic/…' name, got "
+            f"{cell.get('family')!r}"
+        )
+    target = cell.get("target")
+    if not isinstance(target, dict):
+        errors.append(f"{where}: target must be an object")
+    else:
+        for field in ("bb_size", "bias", "hot_bytes", "seed"):
+            if not isinstance(target.get(field), _NUMBER):
+                errors.append(f"{where}: target.{field} must be a number")
+    realized = cell.get("realized")
+    if not isinstance(realized, dict):
+        errors.append(f"{where}: realized must be an object")
+    else:
+        for field in _SCENARIO_REALIZED_NUMBERS:
+            value = realized.get(field)
+            if not isinstance(value, _NUMBER) or value < 0:
+                errors.append(
+                    f"{where}: realized.{field} must be a non-negative "
+                    f"number"
+                )
+        hist = realized.get("bb_hist")
+        if not isinstance(hist, list) or not all(
+            isinstance(b, list)
+            and len(b) == 2
+            and all(isinstance(v, int) and v > 0 for v in b)
+            for b in hist
+        ):
+            errors.append(
+                f"{where}: realized.bb_hist must be a list of "
+                f"[size, count] positive-int pairs"
+            )
+    if not isinstance(cell.get("attempts"), int) or cell["attempts"] < 1:
+        errors.append(f"{where}: attempts must be a positive int")
+    points = cell.get("results")
+    if not isinstance(points, list) or not points:
+        errors.append(f"{where}: results must be a non-empty list")
+        points = []
+    for j, point in enumerate(points):
+        pwhere = f"{where}.results[{j}]"
+        if not isinstance(point, dict):
+            errors.append(f"{pwhere}: must be an object")
+            continue
+        for field in ("icache_kb", "conventional_cycles", "block_cycles"):
+            value = point.get(field)
+            if not isinstance(value, _NUMBER) or value <= 0:
+                errors.append(f"{pwhere}: {field} must be a positive number")
+        speedup = point.get("speedup")
+        if not isinstance(speedup, _NUMBER) or speedup <= 0:
+            errors.append(f"{pwhere}: speedup must be a positive number")
+        elif isinstance(point.get("conventional_cycles"), _NUMBER) and (
+            isinstance(point.get("block_cycles"), _NUMBER)
+            and point["block_cycles"]
+        ):
+            ratio = point["conventional_cycles"] / point["block_cycles"]
+            if abs(ratio - speedup) > 0.001:
+                errors.append(
+                    f"{pwhere}: speedup={speedup} disagrees with the "
+                    f"cycle ratio {ratio:.4f}"
+                )
+        if point.get("winner") not in _SCENARIO_WINNERS:
+            errors.append(
+                f"{pwhere}: winner must be one of {_SCENARIO_WINNERS}"
+            )
+
+
+def scenario_document_errors(doc) -> list[str]:
+    """Every schema violation in a ``repro.scenario/v1`` document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("schema") != SCENARIO_SCHEMA_ID:
+        errors.append(
+            f"schema must be {SCENARIO_SCHEMA_ID!r}, got "
+            f"{doc.get('schema')!r}"
+        )
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        errors.append("meta must be an object")
+    else:
+        grid = meta.get("grid")
+        if not isinstance(grid, dict):
+            errors.append("meta.grid must be an object")
+        else:
+            for axis in ("bb_size", "bias", "hot_kb", "icache_kb"):
+                values = grid.get(axis)
+                if not isinstance(values, list) or not values or not all(
+                    isinstance(v, _NUMBER) for v in values
+                ):
+                    errors.append(
+                        f"meta.grid.{axis} must be a non-empty number list"
+                    )
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append("cells must be a non-empty list")
+        cells = []
+    families = []
+    for i, cell in enumerate(cells):
+        _check_scenario_cell(cell, i, errors)
+        if isinstance(cell, dict) and isinstance(cell.get("family"), str):
+            families.append(cell["family"])
+    if len(families) != len(set(families)):
+        dupes = sorted({f for f in families if families.count(f) > 1})
+        errors.append(f"duplicate cell families: {dupes}")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("summary must be an object")
+    else:
+        for field in _SCENARIO_SUMMARY_COUNTS:
+            if not isinstance(summary.get(field), int) or summary[field] < 0:
+                errors.append(f"summary.{field} must be a non-negative int")
+        axes = summary.get("crossover_axes")
+        if not isinstance(axes, list) or not all(
+            a in _SCENARIO_AXES for a in axes
+        ):
+            errors.append(
+                f"summary.crossover_axes must be a list drawn from "
+                f"{_SCENARIO_AXES}"
+            )
+        if cells and not errors:
+            points = [
+                p
+                for c in cells
+                for p in c["results"]
+            ]
+            expected = {
+                "cells": len(cells),
+                "points": len(points),
+                "block_wins": sum(
+                    1 for p in points if p["winner"] == "block"
+                ),
+                "conventional_wins": sum(
+                    1 for p in points if p["winner"] == "conventional"
+                ),
+                "ties": sum(1 for p in points if p["winner"] == "tie"),
+            }
+            for field, value in expected.items():
+                if summary[field] != value:
+                    errors.append(
+                        f"summary.{field} is {summary[field]}, cells say "
+                        f"{value}"
+                    )
+    return errors
+
+
 def validate_document(doc) -> None:
     """Raise :class:`TelemetryError` listing every violation in *doc*."""
     errors = document_errors(doc)
@@ -502,6 +679,8 @@ def main(argv: list[str] | None = None) -> int:
         errors = fidelity_document_errors(doc)
     elif isinstance(doc, dict) and doc.get("schema") == INSIGHT_SCHEMA_ID:
         errors = insight_document_errors(doc)
+    elif isinstance(doc, dict) and doc.get("schema") == SCENARIO_SCHEMA_ID:
+        errors = scenario_document_errors(doc)
     else:
         errors = document_errors(doc)
     if errors:
@@ -524,6 +703,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{argv[0]}: ok ({len(doc['reports'])} insight reports, "
             f"cycle accounting balanced)"
+        )
+    elif doc.get("schema") == SCENARIO_SCHEMA_ID:
+        summary = doc["summary"]
+        print(
+            f"{argv[0]}: ok ({summary['cells']} cells, "
+            f"{summary['points']} points, "
+            f"{summary['crossover_points']} crossover pairs on axes "
+            f"{summary['crossover_axes']})"
         )
     else:
         print(

@@ -1,0 +1,53 @@
+"""Scenario engine: parameterized workload families on the paper's axes.
+
+Public surface:
+
+* :class:`~repro.scenario.spec.ScenarioSpec` /
+  :class:`~repro.scenario.spec.RealizedAxes` — axis targets and
+  measured values;
+* :func:`~repro.scenario.synth.synthesize` /
+  :func:`~repro.scenario.synth.measure_axes` — the measure-and-retry
+  synthesis layer;
+* :data:`~repro.scenario.families.FAMILIES` — the named registry
+  resolved by :func:`repro.workloads.get_workload`;
+* :func:`~repro.scenario.sweep.run_sweep` — the axis-grid crossover
+  sweep emitting ``repro.scenario/v1``.
+
+See docs/scenarios.md.
+"""
+
+from repro.scenario.spec import (
+    RealizedAxes,
+    ScenarioSpec,
+    SynthesisResult,
+    SynthParams,
+)
+from repro.scenario.synth import (
+    family_source,
+    generate_source,
+    measure_axes,
+    synthesize,
+)
+from repro.scenario.families import FAMILIES, WORKLOADS, get_family
+from repro.scenario.sweep import (
+    SCENARIO_SCHEMA_ID,
+    render_heatmap,
+    run_sweep,
+)
+
+__all__ = [
+    "FAMILIES",
+    "RealizedAxes",
+    "SCENARIO_SCHEMA_ID",
+    "ScenarioSpec",
+    "SynthParams",
+    "SynthesisResult",
+    "WORKLOADS",
+    "family_source",
+    "generate_source",
+    "get_family",
+    "measure_axes",
+    "render_heatmap",
+    "run_sweep",
+    "synthesize",
+]

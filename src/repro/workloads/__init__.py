@@ -48,13 +48,43 @@ EXTRA: dict[str, Workload] = {
 }
 
 
+def scenario_workloads() -> dict[str, Workload]:
+    """The registered scenario families as workloads.
+
+    Imported lazily: :mod:`repro.scenario` pulls in the toolchain and
+    simulator (its synthesis layer compiles and measures), and those in
+    turn import :mod:`repro.workloads.base` — an eager import here
+    would be a cycle. Family sources are synthesized on first
+    ``.source()`` call and memoized per process.
+    """
+    from repro.scenario.families import WORKLOADS
+
+    return WORKLOADS
+
+
+def workload_names() -> list[str]:
+    """Every resolvable workload name: suite, extra, scenario families."""
+    return list(SUITE) + list(EXTRA) + sorted(scenario_workloads())
+
+
 def get_workload(name: str) -> Workload:
     if name in SUITE:
         return SUITE[name]
     if name in EXTRA:
         return EXTRA[name]
-    known = ", ".join(list(SUITE) + list(EXTRA))
+    if name.startswith("synthetic/"):
+        families = scenario_workloads()
+        if name in families:
+            return families[name]
+    known = ", ".join(workload_names())
     raise KeyError(f"unknown workload {name!r} (known: {known})")
 
 
-__all__ = ["Workload", "SUITE", "EXTRA", "get_workload"]
+__all__ = [
+    "Workload",
+    "SUITE",
+    "EXTRA",
+    "get_workload",
+    "scenario_workloads",
+    "workload_names",
+]

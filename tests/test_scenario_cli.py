@@ -1,0 +1,168 @@
+"""CLI and artifact tests for ``bsisa scenarios`` (docs/scenarios.md).
+
+Exercises the exit-code contract for the new subcommands, the
+``repro.scenario/v1`` artifact against its schema validator (both
+directions — a valid sweep passes, corrupted documents are named), and
+the heatmap rendering.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.harness import cli
+from repro.harness.cli import main
+from repro.obs.schema import SCENARIO_SCHEMA_ID, scenario_document_errors
+from repro.scenario.sweep import render_heatmap, run_sweep
+
+TINY_SWEEP = dict(
+    bb_sizes=(3, 12),
+    biases=(0.6, 0.9),
+    hot_kb=(2,),
+    icache_kb=(4, 64),
+    scale=0.2,
+    budget=2,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_doc() -> dict:
+    return run_sweep(**TINY_SWEEP)
+
+
+def test_sweep_document_is_schema_valid(sweep_doc):
+    assert sweep_doc["schema"] == SCENARIO_SCHEMA_ID
+    assert scenario_document_errors(sweep_doc) == []
+
+
+def test_sweep_summary_is_consistent(sweep_doc):
+    summary = sweep_doc["summary"]
+    assert summary["cells"] == 4
+    assert summary["points"] == 8
+    assert (
+        summary["block_wins"]
+        + summary["conventional_wins"]
+        + summary["ties"]
+        == summary["points"]
+    )
+
+
+def test_schema_validator_names_corruption(sweep_doc):
+    broken = copy.deepcopy(sweep_doc)
+    broken["cells"][0]["results"][0]["speedup"] = 99.0
+    errors = scenario_document_errors(broken)
+    assert any("disagrees with the cycle ratio" in e for e in errors)
+
+    broken = copy.deepcopy(sweep_doc)
+    broken["summary"]["block_wins"] += 1
+    assert any(
+        "summary.block_wins" in e for e in scenario_document_errors(broken)
+    )
+
+    broken = copy.deepcopy(sweep_doc)
+    broken["cells"][0]["family"] = "compress"
+    assert any("synthetic/" in e for e in scenario_document_errors(broken))
+
+    assert scenario_document_errors({"schema": "nope"})
+
+
+def test_heatmap_renders_every_point(sweep_doc):
+    text = render_heatmap(sweep_doc)
+    for bb in TINY_SWEEP["bb_sizes"]:
+        assert f"bb{bb}" in text
+    for ic in TINY_SWEEP["icache_kb"]:
+        assert f"icache {ic}KB" in text
+    assert "speedup = conventional cycles / block cycles" in text
+
+
+def test_scenarios_list_exits_0(capsys):
+    assert main(["scenarios", "list"]) == cli.EXIT_OK
+    out = capsys.readouterr().out
+    assert "synthetic/bb8_bias90_fit16k" in out
+
+
+def test_scenarios_generate_unknown_family_exits_2(capsys):
+    rc = main(["scenarios", "generate", "synthetic/bb99_bias1_fit1k"])
+    assert rc == cli.EXIT_USAGE
+    assert "unknown scenario family" in capsys.readouterr().err
+
+
+def test_scenarios_generate_writes_source_and_report(tmp_path, capsys):
+    out = tmp_path / "fam.minic"
+    rc = main(
+        [
+            "scenarios", "generate", "synthetic/bb3_bias60_fit2k",
+            "--scale", "0.05", "-o", str(out),
+        ]
+    )
+    assert rc == cli.EXIT_OK
+    assert "void main()" in out.read_text()
+    report = json.loads(
+        capsys.readouterr().err.split("\n", 1)[1]
+    )
+    assert report["family"] == "synthetic/bb3_bias60_fit2k"
+    assert report["realized"]["mean_bb_ops"] > 0
+
+
+def test_scenarios_sweep_writes_valid_artifact(tmp_path, capsys):
+    out = tmp_path / "SCENARIO.json"
+    rc = main(
+        [
+            "scenarios", "sweep",
+            "--bb", "3", "--bias", "0.6", "--hot-kb", "2",
+            "--icache-kb", "4", "64",
+            "--scale", "0.2", "--budget", "2", "-o", str(out),
+        ]
+    )
+    assert rc == cli.EXIT_OK
+    doc = json.loads(out.read_text())
+    assert scenario_document_errors(doc) == []
+    assert "crossover heatmap" in capsys.readouterr().out
+
+
+def test_scenarios_sweep_rejects_bad_axes(capsys):
+    rc = main(["scenarios", "sweep", "--bb", "999", "--scale", "0.05"])
+    assert rc == cli.EXIT_USAGE
+    assert "bb_size" in capsys.readouterr().err
+
+
+def test_fuzz_rejects_out_of_range_switch_arms(capsys):
+    """Regression: the generator used to clamp switch_arms silently;
+    now the CLI surfaces the allowed range as a usage error."""
+    rc = main(["fuzz", "--budget", "1", "--switch-arms", "9"])
+    assert rc == cli.EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "switch_arms" in err and "0..8" in err
+
+
+def test_fuzz_rejects_out_of_range_branch_bias(capsys):
+    rc = main(["fuzz", "--budget", "1", "--branch-bias", "1.5"])
+    assert rc == cli.EXIT_USAGE
+    assert "branch_bias" in capsys.readouterr().err
+
+
+def test_fuzz_accepts_new_knobs(tmp_path, capsys):
+    rc = main(
+        [
+            "fuzz", "--budget", "2", "--seed", "11",
+            "--branch-bias", "0.9", "--hot-loop-ops", "200",
+            "--corpus", str(tmp_path / "corpus"),
+        ]
+    )
+    assert rc == cli.EXIT_OK
+
+
+def test_single_workload_commands_accept_family_names(capsys):
+    rc = main(
+        ["compile", "synthetic/bb3_bias60_fit2k", "--scale", "0.05"]
+    )
+    assert rc == cli.EXIT_OK
+
+
+def test_scenarios_cosim_exits_0(capsys):
+    assert main(["scenarios", "cosim", "--scale", "0.05"]) == cli.EXIT_OK
+    out = capsys.readouterr().out
+    assert "scenario cosim ok" in out

@@ -1,0 +1,104 @@
+"""Golden pin of one scenario family, end to end.
+
+Pins the complete synthesis product of the smallest registered family —
+the generated MiniC source, the realized axis report, and the full
+``dataclasses.asdict(SimResult)`` on both ISAs — against a checked-in
+JSON file. Any drift in the generator draws, the synthesis search, the
+toolchain, or the simulators fails tier-1 loudly with the differing
+paths named. After an intentional change, regenerate with
+
+    pytest tests/test_scenario_golden.py --update-goldens
+
+and review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import SuiteRunner
+from repro.scenario.families import FAMILIES
+from repro.scenario.synth import generate_source, synthesize
+from repro.sim.config import MachineConfig
+from tests.test_goldens import diff_paths
+
+GOLDEN_FAMILY = "synthetic/bb3_bias60_fit2k"
+GOLDEN_SCALE = 0.05
+GOLDEN_PATH = (
+    Path(__file__).parent / "goldens" / "scenario_bb3_bias60_fit2k.json"
+)
+ISAS = ("conventional", "block")
+
+
+def measure() -> dict:
+    spec = FAMILIES[GOLDEN_FAMILY]
+    synth = synthesize(spec)
+    runner = SuiteRunner(scale=GOLDEN_SCALE, benchmarks=[GOLDEN_FAMILY])
+    results = {
+        isa: dataclasses.asdict(
+            runner.run(GOLDEN_FAMILY, isa, MachineConfig())
+        )
+        for isa in ISAS
+    }
+    doc = {
+        "family": GOLDEN_FAMILY,
+        "scale": GOLDEN_SCALE,
+        "source": generate_source(spec, synth.params, GOLDEN_SCALE),
+        "realized": synth.realized.as_dict(),
+        "attempts": synth.attempts,
+        "params": synth.params.key(),
+        "results": results,
+    }
+    # JSON round trip: compare exactly what the golden file represents
+    return json.loads(json.dumps(doc))
+
+
+def test_scenario_golden_snapshot(request):
+    measured = measure()
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(measured, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"updated {GOLDEN_PATH.name}")
+    if not GOLDEN_PATH.is_file():
+        pytest.fail(
+            f"golden {GOLDEN_PATH} is missing — create it with "
+            "`pytest tests/test_scenario_golden.py --update-goldens` "
+            "and commit it"
+        )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    mismatches = diff_paths(golden, measured)
+    assert not mismatches, (
+        f"{GOLDEN_PATH.name} is stale — scenario synthesis output "
+        "changed:\n  "
+        + "\n  ".join(mismatches)
+        + "\nIf intentional, regenerate with --update-goldens and review."
+    )
+
+
+def test_scenario_golden_is_committed():
+    assert GOLDEN_PATH.is_file(), (
+        "missing scenario golden — run "
+        "`pytest tests/test_scenario_golden.py --update-goldens`"
+    )
+
+
+def test_scenario_golden_source_compiles_as_committed():
+    """The pinned source itself (not a regeneration) still compiles and
+    prints the pinned outputs — guards against goldens going stale in
+    ways regeneration would mask."""
+    if not GOLDEN_PATH.is_file():
+        pytest.skip("golden not committed yet")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    from tests.conftest import compile_cached
+    from repro.exec import run_conventional
+
+    pair = compile_cached(golden["source"], "scenario_golden")
+    stats = run_conventional(pair.conventional)
+    pinned = [list(o) for o in golden["results"]["conventional"]["outputs"]]
+    assert [list(o) for o in stats.outputs] == pinned
